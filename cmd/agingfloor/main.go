@@ -1,0 +1,166 @@
+// Command agingfloor runs the complete aging-aware floorplanning flow on
+// one workload — a built-in kernel or a Table-I benchmark — and prints a
+// human-readable report: stress maps before and after, timing, stress
+// target, and the MTTF increase.
+//
+//	agingfloor -kernel fir16 -fabric 6x6
+//	agingfloor -bench B14
+//	agingfloor -src design.c -fabric 6x6
+//	agingfloor -kernel dct8 -fabric 5x5 -mode freeze
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/bench"
+	"agingfp/internal/core"
+	"agingfp/internal/dfg"
+	"agingfp/internal/frontend"
+	"agingfp/internal/hls"
+	"agingfp/internal/nbti"
+	"agingfp/internal/place"
+	"agingfp/internal/thermal"
+	"agingfp/internal/timing"
+)
+
+func main() {
+	var (
+		kernel = flag.String("kernel", "", "built-in kernel (fir16, fir32, iir4, iir8, matmul3, matmul4, dct8, conv3x3, fft16, reduce32)")
+		benchN = flag.String("bench", "", "Table-I benchmark name (B1..B27)")
+		srcF   = flag.String("src", "", "behavioral source file (C-like assignments) to compile")
+		fabric = flag.String("fabric", "8x8", "fabric WxH (kernels only)")
+		mode   = flag.String("mode", "rotate", "re-mapping mode: freeze or rotate")
+		seed   = flag.Int64("seed", 1, "random seed")
+		debug  = flag.Bool("debug", false, "trace Algorithm 1")
+		save   = flag.String("save", "", "write the design + both floorplans as JSON to this file")
+	)
+	flag.Parse()
+
+	d, err := buildDesign(*kernel, *benchN, *srcF, *fabric)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("design %s: %d ops, %d contexts, fabric %v, utilization %.0f%%\n",
+		d.Name, d.NumOps(), d.NumContexts, d.Fabric, 100*d.UtilizationRate())
+
+	m0, err := place.Place(d, place.DefaultConfig())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "placement: %v\n", err)
+		os.Exit(1)
+	}
+	res0 := timing.Analyze(d, m0)
+	s0 := arch.ComputeStress(d, m0)
+	fmt.Printf("\naging-unaware floorplan: CPD %.3f ns (clock %.1f ns), max stress %.3f, mean %.3f\n",
+		res0.CPD, d.ClockPeriodNs, s0.Max(), s0.Mean())
+	fmt.Println("accumulated stress map:")
+	fmt.Print(arch.RenderStress(s0))
+
+	opts := core.DefaultOptions()
+	opts.Seed = *seed
+	opts.Debug = *debug
+	switch *mode {
+	case "freeze":
+		opts.Mode = core.Freeze
+	case "rotate":
+		opts.Mode = core.Rotate
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	r, err := core.Remap(d, m0, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "remap: %v\n", err)
+		os.Exit(1)
+	}
+	s1 := arch.ComputeStress(d, r.Mapping)
+	fmt.Printf("\naging-aware floorplan (%v, %v): ST_target %.3f (lower bound %.3f)\n",
+		opts.Mode, time.Since(start).Round(time.Millisecond), r.STTarget, r.STLowerBound)
+	fmt.Printf("max stress %.3f -> %.3f, CPD %.3f -> %.3f ns\n",
+		r.OrigMaxStress, r.NewMaxStress, r.OrigCPD, r.NewCPD)
+	fmt.Println("re-mapped stress map:")
+	fmt.Print(arch.RenderStress(s1))
+
+	ratio, err := core.MTTFIncrease(d, m0, r.Mapping, nbti.DefaultModel(), thermal.DefaultConfig())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mttf: %v\n", err)
+		os.Exit(1)
+	}
+	before, _ := core.Evaluate(d, m0, nbti.DefaultModel(), thermal.DefaultConfig())
+	fmt.Printf("\nMTTF: %.2f years -> %.2f years  (increase %.2fx)\n",
+		before.Hours/8760, before.Hours*ratio/8760, ratio)
+	fmt.Printf("solver effort: %d LP solves, %d ILP solves, %d B&B nodes, %d ST probes\n",
+		r.Stats.LPSolves, r.Stats.ILPSolves, r.Stats.ILPNodes, r.Stats.STProbes)
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		err = arch.WriteJSON(f, d, map[string]arch.Mapping{
+			"baseline":    m0,
+			"aging_aware": r.Mapping,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("saved floorplans to", *save)
+	}
+}
+
+func buildDesign(kernel, benchName, srcFile, fabric string) (*arch.Design, error) {
+	parseFabric := func() (arch.Fabric, error) {
+		var w, h int
+		if _, err := fmt.Sscanf(fabric, "%dx%d", &w, &h); err != nil {
+			return arch.Fabric{}, fmt.Errorf("bad -fabric %q: %v", fabric, err)
+		}
+		return arch.Fabric{W: w, H: h}, nil
+	}
+	switch {
+	case (kernel != "" && benchName != "") || (kernel != "" && srcFile != "") || (benchName != "" && srcFile != ""):
+		return nil, fmt.Errorf("choose exactly one of -kernel, -bench, -src")
+	case srcFile != "":
+		src, err := os.ReadFile(srcFile)
+		if err != nil {
+			return nil, err
+		}
+		res, err := frontend.CompileSource(string(src))
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("compiled %s: inputs %v, outputs %v\n", srcFile, res.Inputs, res.Outputs)
+		f, err := parseFabric()
+		if err != nil {
+			return nil, err
+		}
+		return hls.BuildDesign(srcFile, res.Graph, f, hls.DefaultConfig())
+	case benchName != "":
+		spec, ok := bench.SpecByName(benchName)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q (want B1..B27)", benchName)
+		}
+		return bench.Synthesize(spec)
+	case kernel != "":
+		mk, ok := dfg.Kernels[kernel]
+		if !ok {
+			return nil, fmt.Errorf("unknown kernel %q", kernel)
+		}
+		f, err := parseFabric()
+		if err != nil {
+			return nil, err
+		}
+		return hls.BuildDesign(kernel, mk(), f, hls.DefaultConfig())
+	default:
+		return nil, fmt.Errorf("need -kernel, -bench, or -src")
+	}
+}

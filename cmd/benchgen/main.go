@@ -1,0 +1,84 @@
+// Command benchgen inspects the synthetic Table-I benchmark suite:
+// per-benchmark workload statistics, per-context op counts, and
+// (optionally) the generated DFG edges.
+//
+//	benchgen                 summary of all 27 benchmarks
+//	benchgen -bench B14      details of one benchmark
+//	benchgen -bench B14 -dot DFG in Graphviz dot format
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"agingfp/internal/bench"
+	"agingfp/internal/dfg"
+)
+
+func main() {
+	var (
+		name = flag.String("bench", "", "benchmark name (B1..B27); empty = summary of all")
+		dot  = flag.Bool("dot", false, "emit the DFG as Graphviz dot")
+	)
+	flag.Parse()
+
+	if *name == "" {
+		fmt.Printf("%-5s %4s %-7s %6s %6s %5s %7s %7s\n",
+			"name", "ctx", "fabric", "ops", "edges", "util", "ALU", "DMU")
+		for _, s := range bench.TableI {
+			d, err := bench.Synthesize(s)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", s.Name, err)
+				os.Exit(1)
+			}
+			st := d.Graph.Stat()
+			fmt.Printf("%-5s %4d %-7v %6d %6d %5.2f %7d %7d\n",
+				s.Name, s.Contexts, s.Fabric, d.NumOps(), st.Edges, s.Utilization(),
+				st.ALUOps, st.DMUOps)
+		}
+		return
+	}
+
+	spec, ok := bench.SpecByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *name)
+		os.Exit(2)
+	}
+	d, err := bench.Synthesize(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *dot {
+		fmt.Printf("digraph %s {\n  rankdir=LR;\n", spec.Name)
+		for _, op := range d.Graph.Ops {
+			shape := "ellipse"
+			if op.Kind == dfg.DMU {
+				shape = "box"
+			}
+			fmt.Printf("  n%d [label=\"%s\\nctx%d\" shape=%s];\n", op.ID, op.Name, d.Ctx[op.ID], shape)
+		}
+		for _, e := range d.Graph.SortedEdges() {
+			style := "solid"
+			if d.Ctx[e.From] != d.Ctx[e.To] {
+				style = "dashed" // registered
+			}
+			fmt.Printf("  n%d -> n%d [style=%s];\n", e.From, e.To, style)
+		}
+		fmt.Println("}")
+		return
+	}
+
+	st := d.Graph.Stat()
+	fmt.Printf("%s: %d contexts on %v (%d PEs), %d ops (%d ALU / %d DMU), %d edges, utilization %.2f\n",
+		spec.Name, spec.Contexts, spec.Fabric, spec.Fabric.NumPEs(),
+		d.NumOps(), st.ALUOps, st.DMUOps, st.Edges, spec.Utilization())
+	fmt.Printf("paper MTTF increase: freeze %.2fx rotate %.2fx\n\n", spec.PaperFreeze, spec.PaperRotate)
+	for c := 0; c < d.NumContexts; c++ {
+		ops := d.ContextOps(c)
+		intra := len(d.IntraEdges(c))
+		fmt.Printf("  context %2d: %3d ops, %3d chained edges\n", c, len(ops), intra)
+	}
+}

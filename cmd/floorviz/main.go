@@ -1,0 +1,106 @@
+// Command floorviz renders the flow's artifacts as SVG files: stress maps
+// before and after aging-aware re-mapping, the thermal maps, and one
+// floorplan diagram per context.
+//
+//	floorviz -bench B13 -out /tmp/b13
+//	floorviz -kernel fir16 -fabric 6x6 -out /tmp/fir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/bench"
+	"agingfp/internal/core"
+	"agingfp/internal/dfg"
+	"agingfp/internal/hls"
+	"agingfp/internal/nbti"
+	"agingfp/internal/place"
+	"agingfp/internal/thermal"
+	"agingfp/internal/viz"
+)
+
+func main() {
+	var (
+		kernel = flag.String("kernel", "", "built-in kernel name")
+		benchN = flag.String("bench", "", "Table-I benchmark name")
+		fabric = flag.String("fabric", "8x8", "fabric WxH (kernels only)")
+		outDir = flag.String("out", ".", "output directory for the SVG files")
+	)
+	flag.Parse()
+
+	var (
+		d   *arch.Design
+		err error
+	)
+	switch {
+	case *benchN != "":
+		spec, ok := bench.SpecByName(*benchN)
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q", *benchN))
+		}
+		d, err = bench.Synthesize(spec)
+	case *kernel != "":
+		mk, ok := dfg.Kernels[*kernel]
+		if !ok {
+			fatal(fmt.Errorf("unknown kernel %q", *kernel))
+		}
+		var w, h int
+		if _, err := fmt.Sscanf(*fabric, "%dx%d", &w, &h); err != nil {
+			fatal(err)
+		}
+		d, err = hls.BuildDesign(*kernel, mk(), arch.Fabric{W: w, H: h}, hls.DefaultConfig())
+	default:
+		fatal(fmt.Errorf("need -kernel or -bench"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	m0, err := place.Place(d, place.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	r, err := core.Remap(d, m0, core.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	model, tcfg := nbti.DefaultModel(), thermal.DefaultConfig()
+	before, err := core.Evaluate(d, m0, model, tcfg)
+	if err != nil {
+		fatal(err)
+	}
+	after, err := core.Evaluate(d, r.Mapping, model, tcfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	write := func(name, svg string) {
+		path := filepath.Join(*outDir, name)
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+	write("stress_before.svg", viz.StressSVG(d.Name+" — aging-unaware stress", before.Stress))
+	write("stress_after.svg", viz.StressSVG(d.Name+" — aging-aware stress", after.Stress))
+	write("temp_before.svg", viz.HeatSVG(d.Name+" — temperature (K), baseline", before.Temp))
+	write("temp_after.svg", viz.HeatSVG(d.Name+" — temperature (K), re-mapped", after.Temp))
+	for c := 0; c < d.NumContexts; c++ {
+		write(fmt.Sprintf("context_%02d_before.svg", c), viz.ContextSVG(d, m0, c))
+		write(fmt.Sprintf("context_%02d_after.svg", c), viz.ContextSVG(d, r.Mapping, c))
+	}
+	fmt.Printf("MTTF increase %.2fx; CPD %.3f -> %.3f ns\n",
+		after.Hours/before.Hours, r.OrigCPD, r.NewCPD)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "floorviz:", err)
+	os.Exit(1)
+}

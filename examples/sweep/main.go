@@ -1,0 +1,58 @@
+// sweep: the Fig. 5 intuition as a single-fabric experiment — MTTF
+// increase versus fabric utilization. The lower the utilization (the more
+// spare PEs), the more stress can be spread, the bigger the gain.
+//
+//	go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/bench"
+	"agingfp/internal/core"
+	"agingfp/internal/nbti"
+	"agingfp/internal/place"
+	"agingfp/internal/thermal"
+)
+
+func main() {
+	fmt.Println("MTTF increase vs fabric utilization (6x6 fabric, 8 contexts)")
+	fmt.Println()
+	fmt.Println("util   ops   MTTF increase")
+	for _, util := range []float64{0.2, 0.35, 0.5, 0.65, 0.8} {
+		ops := int(util * 8 * 36)
+		spec := bench.Spec{
+			Name:     fmt.Sprintf("u%02.0f", util*100),
+			Contexts: 8,
+			Fabric:   arch.Fabric{W: 6, H: 6},
+			TotalOps: ops,
+			Seed:     int64(100 + ops),
+		}
+		d, err := bench.Synthesize(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m0, err := place.Place(d, place.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := core.DefaultOptions()
+		opts.TimeLimit = 20 * time.Second // keep the demo brisk at high utilization
+		r, err := core.Remap(d, m0, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ratio, err := core.MTTFIncrease(d, m0, r.Mapping, nbti.DefaultModel(), thermal.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		bar := strings.Repeat("#", int(ratio*12))
+		fmt.Printf("%.2f  %4d   %5.2fx %s\n", util, ops, ratio, bar)
+	}
+	fmt.Println("\n(The paper's Fig. 5 shows the same trend across 27 benchmarks:")
+	fmt.Println(" low-utilization designs gain the most because spare PEs absorb stress.)")
+}

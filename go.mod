@@ -1,0 +1,3 @@
+module agingfp
+
+go 1.22

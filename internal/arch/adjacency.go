@@ -1,0 +1,51 @@
+package arch
+
+import "agingfp/internal/dfg"
+
+// IntraPreds returns op's predecessors scheduled in the same context —
+// combinationally chained inputs whose delay accumulates within the clock
+// cycle.
+func (d *Design) IntraPreds(op int) []int {
+	var out []int
+	for _, p := range d.Graph.Preds(op) {
+		if d.Ctx[p] == d.Ctx[op] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// IntraSuccs returns op's successors scheduled in the same context.
+func (d *Design) IntraSuccs(op int) []int {
+	var out []int
+	for _, s := range d.Graph.Succs(op) {
+		if d.Ctx[s] == d.Ctx[op] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// CrossPreds returns op's predecessors scheduled in earlier contexts —
+// registered inputs. The register sits at the producer op's PE, so the
+// consumer pays a wire from the producer's location.
+func (d *Design) CrossPreds(op int) []int {
+	var out []int
+	for _, p := range d.Graph.Preds(op) {
+		if d.Ctx[p] < d.Ctx[op] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// IntraEdges returns the chained (same-context) data edges of context c.
+func (d *Design) IntraEdges(c int) []dfg.Edge {
+	var out []dfg.Edge
+	for _, e := range d.Graph.Edges {
+		if d.Ctx[e.From] == c && d.Ctx[e.To] == c {
+			out = append(out, e)
+		}
+	}
+	return out
+}

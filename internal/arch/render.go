@@ -1,0 +1,87 @@
+package arch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderStress draws a stress map as fixed-width ASCII art, one cell per
+// PE, normalized to the map's own maximum. It is used by the example
+// programs and debug reports; '.' marks an unstressed PE and digits 1-9
+// mark deciles of the maximum.
+func RenderStress(s StressMap) string {
+	max := s.Max()
+	var b strings.Builder
+	for y := len(s) - 1; y >= 0; y-- {
+		for x := range s[y] {
+			v := s[y][x]
+			switch {
+			case v == 0:
+				b.WriteString(" .")
+			case max == 0:
+				b.WriteString(" ?")
+			default:
+				d := int(v / max * 9.999)
+				if d > 9 {
+					d = 9
+				}
+				fmt.Fprintf(&b, " %d", d)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderOccupancy draws which PEs context c uses under mapping m ('#')
+// versus idle PEs ('.').
+func RenderOccupancy(d *Design, m Mapping, c int) string {
+	used := make(map[Coord]bool)
+	for _, op := range d.ContextOps(c) {
+		used[m[op]] = true
+	}
+	var b strings.Builder
+	for y := d.Fabric.H - 1; y >= 0; y-- {
+		for x := 0; x < d.Fabric.W; x++ {
+			if used[Coord{X: x, Y: y}] {
+				b.WriteString(" #")
+			} else {
+				b.WriteString(" .")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderHeat draws a float grid (e.g. a thermal map) normalized between
+// its min and max, digits 0-9.
+func RenderHeat(grid [][]float64) string {
+	lo, hi := grid[0][0], grid[0][0]
+	for _, row := range grid {
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	span := hi - lo
+	var b strings.Builder
+	for y := len(grid) - 1; y >= 0; y-- {
+		for _, v := range grid[y] {
+			d := 0
+			if span > 0 {
+				d = int((v - lo) / span * 9.999)
+			}
+			if d > 9 {
+				d = 9
+			}
+			fmt.Fprintf(&b, " %d", d)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

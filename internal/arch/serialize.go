@@ -1,0 +1,128 @@
+package arch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"agingfp/internal/dfg"
+)
+
+// Document is the serializable form of a scheduled design plus (optional)
+// floorplans — the artifact a CAD flow would hand to bitstream
+// generation. It round-trips through JSON.
+type Document struct {
+	// Name of the design.
+	Name string `json:"name"`
+	// FabricW/FabricH describe the PE array.
+	FabricW int `json:"fabric_w"`
+	FabricH int `json:"fabric_h"`
+	// NumContexts is the context count.
+	NumContexts int `json:"num_contexts"`
+	// ClockPeriodNs / UnitWireDelayNs are the timing constants.
+	ClockPeriodNs   float64 `json:"clock_period_ns"`
+	UnitWireDelayNs float64 `json:"unit_wire_delay_ns"`
+	// Ops lists the operations (kind 0 = ALU, 1 = DMU).
+	Ops []DocOp `json:"ops"`
+	// Edges lists data dependencies.
+	Edges [][2]int `json:"edges"`
+	// Mappings holds named floorplans, e.g. "baseline" and "aging_aware";
+	// each is one [x, y] per op.
+	Mappings map[string][][2]int `json:"mappings,omitempty"`
+}
+
+// DocOp is one serialized operation.
+type DocOp struct {
+	Kind int    `json:"kind"`
+	Name string `json:"name,omitempty"`
+	Ctx  int    `json:"ctx"`
+}
+
+// ToDocument serializes a design with the given named floorplans.
+func ToDocument(d *Design, mappings map[string]Mapping) *Document {
+	doc := &Document{
+		Name:            d.Name,
+		FabricW:         d.Fabric.W,
+		FabricH:         d.Fabric.H,
+		NumContexts:     d.NumContexts,
+		ClockPeriodNs:   d.ClockPeriodNs,
+		UnitWireDelayNs: d.UnitWireDelayNs,
+	}
+	for i, op := range d.Graph.Ops {
+		doc.Ops = append(doc.Ops, DocOp{Kind: int(op.Kind), Name: op.Name, Ctx: d.Ctx[i]})
+	}
+	for _, e := range d.Graph.Edges {
+		doc.Edges = append(doc.Edges, [2]int{e.From, e.To})
+	}
+	if len(mappings) > 0 {
+		doc.Mappings = map[string][][2]int{}
+		for name, m := range mappings {
+			cells := make([][2]int, len(m))
+			for i, c := range m {
+				cells[i] = [2]int{c.X, c.Y}
+			}
+			doc.Mappings[name] = cells
+		}
+	}
+	return doc
+}
+
+// FromDocument reconstructs the design and floorplans, validating both.
+func FromDocument(doc *Document) (*Design, map[string]Mapping, error) {
+	g := &dfg.Graph{}
+	ctx := make([]int, 0, len(doc.Ops))
+	for _, op := range doc.Ops {
+		if op.Kind != int(dfg.ALU) && op.Kind != int(dfg.DMU) {
+			return nil, nil, fmt.Errorf("arch: document op kind %d invalid", op.Kind)
+		}
+		g.AddOp(dfg.OpKind(op.Kind), op.Name)
+		ctx = append(ctx, op.Ctx)
+	}
+	for _, e := range doc.Edges {
+		if e[0] < 0 || e[0] >= len(doc.Ops) || e[1] < 0 || e[1] >= len(doc.Ops) {
+			return nil, nil, fmt.Errorf("arch: document edge %v out of range", e)
+		}
+		g.AddEdge(e[0], e[1])
+	}
+	d := NewDesign(doc.Name, Fabric{W: doc.FabricW, H: doc.FabricH}, doc.NumContexts, g, ctx)
+	if doc.ClockPeriodNs > 0 {
+		d.ClockPeriodNs = doc.ClockPeriodNs
+	}
+	if doc.UnitWireDelayNs > 0 {
+		d.UnitWireDelayNs = doc.UnitWireDelayNs
+	}
+	if err := d.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("arch: document design invalid: %w", err)
+	}
+	maps := map[string]Mapping{}
+	for name, cells := range doc.Mappings {
+		if len(cells) != d.NumOps() {
+			return nil, nil, fmt.Errorf("arch: mapping %q has %d cells, want %d", name, len(cells), d.NumOps())
+		}
+		m := make(Mapping, len(cells))
+		for i, c := range cells {
+			m[i] = Coord{X: c[0], Y: c[1]}
+		}
+		if err := ValidateMapping(d, m); err != nil {
+			return nil, nil, fmt.Errorf("arch: mapping %q: %w", name, err)
+		}
+		maps[name] = m
+	}
+	return d, maps, nil
+}
+
+// WriteJSON serializes a design and floorplans to w.
+func WriteJSON(w io.Writer, d *Design, mappings map[string]Mapping) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToDocument(d, mappings))
+}
+
+// ReadJSON loads a design and floorplans from r.
+func ReadJSON(r io.Reader) (*Design, map[string]Mapping, error) {
+	var doc Document
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, nil, fmt.Errorf("arch: decode: %w", err)
+	}
+	return FromDocument(&doc)
+}

@@ -1,0 +1,88 @@
+package arch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"agingfp/internal/dfg"
+)
+
+func docDesign() (*Design, Mapping) {
+	g := &dfg.Graph{}
+	a := g.AddOp(dfg.ALU, "a")
+	b := g.AddOp(dfg.DMU, "b")
+	c := g.AddOp(dfg.ALU, "c")
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	d := NewDesign("doc", Fabric{W: 4, H: 4}, 2, g, []int{0, 0, 1})
+	m := Mapping{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 0}}
+	return d, m
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d, m := docDesign()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, d, map[string]Mapping{"baseline": m}); err != nil {
+		t.Fatal(err)
+	}
+	d2, maps, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Name != d.Name || d2.NumContexts != d.NumContexts || d2.Fabric != d.Fabric {
+		t.Fatalf("metadata mismatch: %+v", d2)
+	}
+	if d2.NumOps() != d.NumOps() || len(d2.Graph.Edges) != len(d.Graph.Edges) {
+		t.Fatalf("graph mismatch")
+	}
+	if d2.ClockPeriodNs != d.ClockPeriodNs || d2.UnitWireDelayNs != d.UnitWireDelayNs {
+		t.Fatalf("timing constants mismatch")
+	}
+	m2, ok := maps["baseline"]
+	if !ok {
+		t.Fatal("mapping lost")
+	}
+	for i := range m {
+		if m2[i] != m[i] {
+			t.Fatalf("op %d at %v, want %v", i, m2[i], m[i])
+		}
+	}
+	// Contexts preserved.
+	for i := range d.Ctx {
+		if d2.Ctx[i] != d.Ctx[i] {
+			t.Fatalf("ctx of op %d: %d vs %d", i, d2.Ctx[i], d.Ctx[i])
+		}
+	}
+}
+
+func TestReadJSONRejectsBadDocs(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"name":"x","fabric_w":0,"fabric_h":4,"num_contexts":1,"ops":[{"kind":0,"ctx":0}]}`,
+		`{"name":"x","fabric_w":4,"fabric_h":4,"num_contexts":1,"ops":[{"kind":7,"ctx":0}]}`,
+		`{"name":"x","fabric_w":4,"fabric_h":4,"num_contexts":1,"ops":[{"kind":0,"ctx":0}],"edges":[[0,5]]}`,
+		`{"name":"x","fabric_w":4,"fabric_h":4,"num_contexts":1,"ops":[{"kind":0,"ctx":0}],"mappings":{"m":[[0,0],[1,1]]}}`,
+		`{"name":"x","fabric_w":4,"fabric_h":4,"num_contexts":1,"ops":[{"kind":0,"ctx":0}],"mappings":{"m":[[9,9]]}}`,
+	}
+	for i, src := range cases {
+		if _, _, err := ReadJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDocumentWithoutMappings(t *testing.T) {
+	d, _ := docDesign()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, d, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, maps, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maps) != 0 {
+		t.Fatalf("unexpected mappings %v", maps)
+	}
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV exports suite results as CSV for external plotting — one row
+// per benchmark with the measured and paper values.
+func WriteCSV(w io.Writer, results []*Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"name", "contexts", "fabric", "ops", "utilization", "band",
+		"freeze_increase", "rotate_increase",
+		"paper_freeze", "paper_rotate",
+		"orig_cpd_ns", "rotate_cpd_ns",
+		"orig_max_stress", "rotate_max_stress",
+		"orig_mttf_hours", "elapsed_seconds",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range results {
+		row := []string{
+			r.Spec.Name,
+			fmt.Sprintf("%d", r.Spec.Contexts),
+			r.RunFabric.String(),
+			fmt.Sprintf("%d", r.RunOps),
+			fmt.Sprintf("%.4f", r.Spec.Utilization()),
+			r.Spec.Band.String(),
+			fmt.Sprintf("%.4f", r.FreezeIncrease),
+			fmt.Sprintf("%.4f", r.RotateIncrease),
+			fmt.Sprintf("%.2f", r.Spec.PaperFreeze),
+			fmt.Sprintf("%.2f", r.Spec.PaperRotate),
+			fmt.Sprintf("%.4f", r.OrigCPD),
+			fmt.Sprintf("%.4f", r.RotateCPD),
+			fmt.Sprintf("%.4f", r.OrigMaxStress),
+			fmt.Sprintf("%.4f", r.RotateMaxStress),
+			fmt.Sprintf("%.1f", r.OrigMTTFHours),
+			fmt.Sprintf("%.1f", r.Elapsed.Seconds()),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

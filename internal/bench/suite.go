@@ -1,0 +1,281 @@
+// Package bench defines the synthetic equivalents of the paper's 27
+// benchmark circuits (Table I) and the experiment harness that
+// regenerates the paper's tables and figures.
+//
+// The paper characterizes each benchmark only by its context count, CGRRA
+// fabric size, total PE usage ("PE #": operation instances summed over
+// contexts) and the resulting fabric usage band (low / medium / high).
+// The generator reproduces those parameters exactly with seeded random
+// multi-context workloads whose per-context chain structure matches the
+// PE characterization (mixed 0.87 ns ALU and 3.14 ns DMU chains that fit
+// a 200 MHz clock with operator chaining).
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/dfg"
+)
+
+// Band is the fabric usage classification of Table I.
+type Band int
+
+// Usage bands.
+const (
+	Low Band = iota
+	Medium
+	High
+)
+
+// String implements fmt.Stringer.
+func (b Band) String() string {
+	switch b {
+	case Low:
+		return "low"
+	case Medium:
+		return "medium"
+	case High:
+		return "high"
+	default:
+		return fmt.Sprintf("Band(%d)", int(b))
+	}
+}
+
+// Spec describes one Table-I benchmark.
+type Spec struct {
+	// Name is the paper's benchmark id (B1..B27).
+	Name string
+	// Contexts is the context count (= design latency in cycles).
+	Contexts int
+	// Fabric is the PE array.
+	Fabric arch.Fabric
+	// TotalOps is the "PE #" column: operation instances summed over all
+	// contexts.
+	TotalOps int
+	// Band is the fabric usage band.
+	Band Band
+	// PaperFreeze and PaperRotate are the MTTF increases Table I reports
+	// for the Freeze and Rotate variants.
+	PaperFreeze, PaperRotate float64
+	// Seed drives the workload generator.
+	Seed int64
+}
+
+// Utilization returns the average per-context fabric usage rate.
+func (s Spec) Utilization() float64 {
+	return float64(s.TotalOps) / float64(s.Contexts*s.Fabric.NumPEs())
+}
+
+// sq is shorthand for a square fabric.
+func sq(n int) arch.Fabric { return arch.Fabric{W: n, H: n} }
+
+// TableI is the full 27-benchmark suite with the paper's published
+// parameters and results.
+var TableI = []Spec{
+	{Name: "B1", Contexts: 4, Fabric: sq(4), TotalOps: 24, Band: Low, PaperFreeze: 1.94, PaperRotate: 1.94, Seed: 1},
+	{Name: "B2", Contexts: 4, Fabric: sq(8), TotalOps: 79, Band: Low, PaperFreeze: 2.17, PaperRotate: 2.17, Seed: 2},
+	{Name: "B3", Contexts: 4, Fabric: sq(16), TotalOps: 192, Band: Low, PaperFreeze: 2.26, PaperRotate: 2.28, Seed: 3},
+	{Name: "B4", Contexts: 8, Fabric: sq(4), TotalOps: 44, Band: Low, PaperFreeze: 2.77, PaperRotate: 2.80, Seed: 4},
+	{Name: "B5", Contexts: 8, Fabric: sq(8), TotalOps: 142, Band: Low, PaperFreeze: 2.69, PaperRotate: 2.89, Seed: 5},
+	{Name: "B6", Contexts: 8, Fabric: sq(16), TotalOps: 534, Band: Low, PaperFreeze: 2.93, PaperRotate: 3.39, Seed: 6},
+	{Name: "B7", Contexts: 16, Fabric: sq(4), TotalOps: 88, Band: Low, PaperFreeze: 3.76, PaperRotate: 3.85, Seed: 7},
+	{Name: "B8", Contexts: 16, Fabric: sq(8), TotalOps: 259, Band: Low, PaperFreeze: 3.19, PaperRotate: 3.79, Seed: 8},
+	{Name: "B9", Contexts: 16, Fabric: sq(16), TotalOps: 1011, Band: Low, PaperFreeze: 3.35, PaperRotate: 3.73, Seed: 9},
+
+	{Name: "B10", Contexts: 4, Fabric: sq(4), TotalOps: 35, Band: Medium, PaperFreeze: 1.67, PaperRotate: 1.67, Seed: 10},
+	{Name: "B11", Contexts: 4, Fabric: sq(8), TotalOps: 148, Band: Medium, PaperFreeze: 1.44, PaperRotate: 1.82, Seed: 11},
+	{Name: "B12", Contexts: 4, Fabric: sq(16), TotalOps: 451, Band: Medium, PaperFreeze: 1.54, PaperRotate: 1.77, Seed: 12},
+	{Name: "B13", Contexts: 8, Fabric: sq(4), TotalOps: 62, Band: Medium, PaperFreeze: 2.05, PaperRotate: 2.36, Seed: 13},
+	{Name: "B14", Contexts: 8, Fabric: sq(8), TotalOps: 280, Band: Medium, PaperFreeze: 1.97, PaperRotate: 2.84, Seed: 14},
+	{Name: "B15", Contexts: 8, Fabric: sq(16), TotalOps: 1101, Band: Medium, PaperFreeze: 1.93, PaperRotate: 2.97, Seed: 15},
+	{Name: "B16", Contexts: 16, Fabric: sq(4), TotalOps: 147, Band: Medium, PaperFreeze: 2.89, PaperRotate: 3.18, Seed: 16},
+	{Name: "B17", Contexts: 16, Fabric: sq(8), TotalOps: 531, Band: Medium, PaperFreeze: 2.62, PaperRotate: 2.94, Seed: 17},
+	{Name: "B18", Contexts: 16, Fabric: sq(16), TotalOps: 2165, Band: Medium, PaperFreeze: 2.39, PaperRotate: 3.08, Seed: 18},
+
+	{Name: "B19", Contexts: 4, Fabric: sq(4), TotalOps: 52, Band: High, PaperFreeze: 1.18, PaperRotate: 1.52, Seed: 19},
+	{Name: "B20", Contexts: 4, Fabric: sq(8), TotalOps: 175, Band: High, PaperFreeze: 1.27, PaperRotate: 1.70, Seed: 20},
+	{Name: "B21", Contexts: 4, Fabric: sq(16), TotalOps: 554, Band: High, PaperFreeze: 1.76, PaperRotate: 2.00, Seed: 21},
+	{Name: "B22", Contexts: 8, Fabric: sq(4), TotalOps: 87, Band: High, PaperFreeze: 1.56, PaperRotate: 2.06, Seed: 22},
+	{Name: "B23", Contexts: 8, Fabric: sq(8), TotalOps: 327, Band: High, PaperFreeze: 1.48, PaperRotate: 1.98, Seed: 23},
+	{Name: "B24", Contexts: 8, Fabric: sq(16), TotalOps: 1521, Band: High, PaperFreeze: 1.59, PaperRotate: 2.05, Seed: 24},
+	{Name: "B25", Contexts: 16, Fabric: sq(4), TotalOps: 193, Band: High, PaperFreeze: 1.61, PaperRotate: 2.06, Seed: 25},
+	{Name: "B26", Contexts: 16, Fabric: sq(8), TotalOps: 737, Band: High, PaperFreeze: 1.95, PaperRotate: 2.31, Seed: 26},
+	{Name: "B27", Contexts: 16, Fabric: sq(16), TotalOps: 3089, Band: High, PaperFreeze: 2.07, PaperRotate: 2.44, Seed: 27},
+}
+
+// SpecByName returns the Table-I spec with the given name.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range TableI {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Scaled returns a copy of s with the workload (and fabric, preserving
+// the utilization band) shrunk by the given linear factor: fabric sides
+// are multiplied by f and the op count by f^2. Used to run the largest
+// Table-I rows on a laptop-class compute budget (see EXPERIMENTS.md).
+func (s Spec) Scaled(f float64) Spec {
+	if f >= 1 {
+		return s
+	}
+	out := s
+	w := int(float64(s.Fabric.W)*f + 0.5)
+	h := int(float64(s.Fabric.H)*f + 0.5)
+	if w < 4 {
+		w = 4
+	}
+	if h < 4 {
+		h = 4
+	}
+	out.Fabric = arch.Fabric{W: w, H: h}
+	ratio := float64(w*h) / float64(s.Fabric.NumPEs())
+	out.TotalOps = int(float64(s.TotalOps)*ratio + 0.5)
+	if out.TotalOps < s.Contexts {
+		out.TotalOps = s.Contexts
+	}
+	out.Name = s.Name + "s"
+	return out
+}
+
+// chain templates: PE-delay sums all fit the 200 MHz chaining budget with
+// wire headroom. DMU-headed chains dominate stress; pure-ALU chains of
+// depth 3-4 dominate the wire-budget tightness.
+var chainTemplates = [][]dfg.OpKind{
+	{dfg.DMU},
+	{dfg.ALU},
+	{dfg.ALU},
+	{dfg.DMU, dfg.ALU},
+	{dfg.ALU, dfg.ALU},
+	{dfg.ALU, dfg.DMU},
+	{dfg.ALU, dfg.ALU, dfg.ALU},
+	{dfg.ALU, dfg.ALU, dfg.ALU, dfg.ALU},
+}
+
+// Synthesize builds the multi-context design for a spec: per-context
+// chained-op DAGs plus registered cross-context data edges, with exactly
+// spec.TotalOps operations.
+func Synthesize(spec Spec) (*arch.Design, error) {
+	if spec.TotalOps < spec.Contexts {
+		return nil, fmt.Errorf("bench: %s: %d ops cannot fill %d contexts",
+			spec.Name, spec.TotalOps, spec.Contexts)
+	}
+	n := spec.Fabric.NumPEs()
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	// Distribute ops over contexts with jitter, clamped to the fabric.
+	counts := make([]int, spec.Contexts)
+	base := spec.TotalOps / spec.Contexts
+	if base < 1 || base > n {
+		return nil, fmt.Errorf("bench: %s: %d ops over %d contexts does not fit fabric %v",
+			spec.Name, spec.TotalOps, spec.Contexts, spec.Fabric)
+	}
+	for c := range counts {
+		jitter := int(float64(base) * 0.2 * (rng.Float64()*2 - 1))
+		counts[c] = base + jitter
+		if counts[c] < 1 {
+			counts[c] = 1
+		}
+		if counts[c] > n {
+			counts[c] = n
+		}
+	}
+	// Fix the total exactly.
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	for sum != spec.TotalOps {
+		c := rng.Intn(spec.Contexts)
+		if sum < spec.TotalOps && counts[c] < n {
+			counts[c]++
+			sum++
+		} else if sum > spec.TotalOps && counts[c] > 1 {
+			counts[c]--
+			sum--
+		}
+	}
+
+	g := &dfg.Graph{}
+	ctx := make([]int, 0, spec.TotalOps)
+	opsOfCtx := make([][]int, spec.Contexts)
+	headsOfCtx := make([][]int, spec.Contexts) // chain heads (registered inputs land here)
+
+	for c := 0; c < spec.Contexts; c++ {
+		remaining := counts[c]
+		for remaining > 0 {
+			tpl := chainTemplates[rng.Intn(len(chainTemplates))]
+			if len(tpl) > remaining {
+				tpl = tpl[:remaining]
+			}
+			prev := -1
+			for i, kind := range tpl {
+				name := "add"
+				if kind == dfg.DMU {
+					name = "mul"
+				}
+				op := g.AddOp(kind, fmt.Sprintf("%s_c%d_%d", name, c, len(opsOfCtx[c])))
+				ctx = append(ctx, c)
+				opsOfCtx[c] = append(opsOfCtx[c], op)
+				if i == 0 {
+					headsOfCtx[c] = append(headsOfCtx[c], op)
+				} else {
+					g.AddEdge(prev, op)
+				}
+				prev = op
+			}
+			remaining -= len(tpl)
+		}
+	}
+
+	// Registered cross-context inputs: chain heads consume 1-2 producers
+	// from earlier contexts; mid-chain ops occasionally take an extra
+	// registered operand (creating the paper's mid-path source arcs).
+	for c := 1; c < spec.Contexts; c++ {
+		pickProducer := func() int {
+			pc := rng.Intn(c)
+			return opsOfCtx[pc][rng.Intn(len(opsOfCtx[pc]))]
+		}
+		for _, head := range headsOfCtx[c] {
+			if rng.Float64() < 0.85 {
+				k := 1 + rng.Intn(2)
+				used := map[int]bool{}
+				for i := 0; i < k; i++ {
+					p := pickProducer()
+					if !used[p] {
+						used[p] = true
+						g.AddEdge(p, head)
+					}
+				}
+			}
+		}
+		for _, op := range opsOfCtx[c] {
+			if len(g.Preds(op)) > 0 && rng.Float64() < 0.15 {
+				p := pickProducer()
+				dup := false
+				for _, q := range g.Preds(op) {
+					if q == p {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					g.AddEdge(p, op)
+				}
+			}
+		}
+	}
+
+	d := arch.NewDesign(spec.Name, spec.Fabric, spec.Contexts, g, ctx)
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: %s: generated design invalid: %w", spec.Name, err)
+	}
+	if d.NumOps() != spec.TotalOps {
+		return nil, fmt.Errorf("bench: %s: generated %d ops, want %d", spec.Name, d.NumOps(), spec.TotalOps)
+	}
+	return d, nil
+}

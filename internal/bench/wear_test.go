@@ -1,0 +1,25 @@
+package bench
+
+import "testing"
+
+func TestRunWear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-flow run")
+	}
+	s, _ := SpecByName("B1")
+	wr, err := RunWear(s, DefaultConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Configurations < 1 {
+		t.Fatal("no configurations")
+	}
+	if wr.ScheduleIncrease < wr.SingleIncrease-1e-6 {
+		t.Fatalf("schedule (%.2fx) worse than single floorplan (%.2fx)",
+			wr.ScheduleIncrease, wr.SingleIncrease)
+	}
+	out := FormatWear([]*WearResult{wr})
+	if len(out) == 0 {
+		t.Fatal("empty format")
+	}
+}

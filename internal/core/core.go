@@ -1,0 +1,256 @@
+// Package core implements the paper's contribution: the MILP-based
+// delay- and aging-aware re-mapping flow for multi-context CGRRAs
+// (Algorithm 1).
+//
+// Given a scheduled design and its aging-unaware baseline floorplan, the
+// re-mapper produces a new operation-to-PE binding that levels the
+// accumulated NBTI stress across the fabric — raising the MTTF — while
+// provably not increasing the critical path delay:
+//
+//  1. Step 1 determines a lower bound for the per-PE accumulated stress
+//     budget ST_target by binary search over delay-unaware feasibility
+//     MILPs (solved with the paper's LP-relax / round>0.95 / residual-ILP
+//     scheme).
+//  2. Step 2.1 freezes each context's critical paths as rigid shapes and
+//     rotates them among the 8 grid isometries to minimize the overlap of
+//     critical-path operations on particular PEs (Rotate mode; Freeze
+//     mode pins them at their original PEs).
+//  3. Step 2.2 converts every near-critical timing path into a linear
+//     wire-length budget (CPD - sum of PE delays) / unit wire delay.
+//  4. Step 2.3 solves the full assignment MILP at ST_target, relaxing the
+//     budget by a step Delta whenever the MILP is infeasible or the
+//     re-timed CPD regressed, exactly as in Algorithm 1.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/nbti"
+	"agingfp/internal/thermal"
+)
+
+// Mode selects the critical-path handling strategy of Table I.
+type Mode int
+
+const (
+	// Freeze pins critical-path ops at their original PEs (the paper's
+	// "Freeze" columns).
+	Freeze Mode = iota
+	// Rotate additionally rotates each context's frozen critical paths
+	// among the 8 grid isometries to minimize stacking (the paper's
+	// "Rotate" columns — the complete method).
+	Rotate
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Freeze:
+		return "freeze"
+	case Rotate:
+		return "rotate"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options tunes the re-mapper. The zero value is NOT usable; start from
+// DefaultOptions.
+type Options struct {
+	// Mode selects Freeze or Rotate.
+	Mode Mode
+	// PathThresholdFrac keeps timing paths within this fraction of the
+	// CPD as monitored constraints (paper default: paths within 20% of
+	// the CPD, i.e. 0.8).
+	PathThresholdFrac float64
+	// MaxPaths / MaxPathsPerContext cap the monitored path set (the
+	// paper's "M longest paths" filter).
+	MaxPaths, MaxPathsPerContext int
+	// DeltaFrac is the ST_target relaxation step Delta of Algorithm 1,
+	// as a fraction of (ST_up - ST_low).
+	DeltaFrac float64
+	// BinarySearchSteps bounds the Step-1 binary search probes.
+	BinarySearchSteps int
+	// RoundThreshold is the LP pre-mapping threshold (paper: 0.95).
+	RoundThreshold float64
+	// CandidatesPerOp bounds each op's candidate PE set in the
+	// delay-aware MILP; 0 (the default) admits every PE. Sampled sets
+	// shrink the variable count but inject feasibility noise; they are
+	// kept for the scaling ablation.
+	CandidatesPerOp int
+	// ContextsPerBatch solves this many contexts jointly per MILP.
+	// 0 derives a batch size from the problem scale; negative forces a
+	// single joint MILP over all contexts. Large instances use small
+	// batches to keep the simplex basis tractable (DESIGN.md guard
+	// rails); the stress budget rows chain across batches so the final
+	// floorplan still satisfies ST_target globally.
+	ContextsPerBatch int
+	// MaxNodes bounds branch-and-bound nodes in the experimental
+	// monolithic solver (the production dive is LP-budgeted instead).
+	MaxNodes int
+	// TimeLimit is the wall-clock budget of one ST_target probe
+	// (including its lazy-path repair rounds); on timeout the probe
+	// counts as infeasible. 0 means unbounded.
+	TimeLimit time.Duration
+	// Seed drives rotation selection and candidate sampling.
+	Seed int64
+	// WireObjective adds a tiny wirelength term to the (otherwise null)
+	// objective, improving realized CPD without affecting feasibility.
+	WireObjective bool
+	// RotationRestarts is the number of randomized orientation
+	// assignments evaluated in Step 2.1.
+	RotationRestarts int
+	// CritEpsNs is the slack tolerance identifying critical ops.
+	CritEpsNs float64
+	// Debug prints per-iteration progress of Algorithm 1 to stdout.
+	Debug bool
+	// LinearSTSearch runs Step 2.3 exactly as Algorithm 1 writes it:
+	// ST_target swept linearly upward from the lower bound by Delta.
+	// The default (false) bisects the same interval instead, reaching
+	// the same smallest-feasible budget (within Delta) in O(log) probes
+	// — important because every infeasible probe costs a full MILP
+	// attempt. See the scaling experiment E4.
+	LinearSTSearch bool
+	// CPDBudgetNs overrides the delay budget of the path constraints.
+	// 0 (the default) uses the original floorplan's CPD, exactly as the
+	// paper's formulation (3) does — the re-mapped CPD never exceeds the
+	// original. Setting it to the clock period instead (extension E8)
+	// exploits the fact that any CPD within the clock period has
+	// identical performance on a synchronous CGRRA: paths gain wire
+	// slack, fewer ops are frozen, and MTTF gains grow — still with zero
+	// real performance cost. Values below the original CPD are ignored.
+	CPDBudgetNs float64
+	// Step1MILP determines the Step-1 lower bound with the paper's
+	// delay-unaware binary-search MILP. The default (false) uses the
+	// LPT greedy leveler's achieved maximum, which is a feasible
+	// delay-unaware budget computable in microseconds and within a few
+	// percent of the MILP bound on these assignment-structured
+	// instances (tested in TestStep1GreedyVsMILP).
+	Step1MILP bool
+	// PathRepairRounds bounds the lazy-constraint loop per ST_target:
+	// when the re-timed floorplan's CPD regressed through a path that was
+	// below the monitoring threshold, the violating paths are added to
+	// the constraint set and the MILP re-solved at the same budget.
+	// Algorithm 1 instead only relaxes ST_target in this case; the lazy
+	// rows recover the paper's "no CPD increase observed" behaviour on
+	// workloads where sub-threshold paths do regress (see DESIGN.md).
+	PathRepairRounds int
+}
+
+// DefaultOptions mirrors the paper's published parameters.
+func DefaultOptions() Options {
+	return Options{
+		Mode:               Rotate,
+		PathThresholdFrac:  0.8,
+		MaxPaths:           2048,
+		MaxPathsPerContext: 256,
+		DeltaFrac:          1.0 / 16,
+		BinarySearchSteps:  7,
+		RoundThreshold:     0.95,
+		CandidatesPerOp:    0,
+		ContextsPerBatch:   0,
+		MaxNodes:           600,
+		TimeLimit:          2 * time.Minute,
+		Seed:               1,
+		WireObjective:      true,
+		RotationRestarts:   24,
+		CritEpsNs:          1e-6,
+		PathRepairRounds:   8,
+	}
+}
+
+// Stats records solver effort for the scaling experiments (E4).
+type Stats struct {
+	// LPSolves counts simplex solves (the rounding dive's unit of work).
+	// ILPSolves/ILPNodes count branch-and-bound usage; the production
+	// dive replaces B&B, so they are non-zero only in experiments that
+	// exercise the monolithic solver.
+	LPSolves, ILPSolves int
+	// ILPNodes is the total branch-and-bound node count.
+	ILPNodes int
+	// STProbes is the number of Step-1 binary-search probes.
+	STProbes int
+	// OuterIterations counts Algorithm-1 ST_target relaxations.
+	OuterIterations int
+	// Elapsed is total wall-clock re-mapping time.
+	Elapsed time.Duration
+}
+
+// Result is the outcome of a re-mapping run.
+type Result struct {
+	// Mapping is the aging-aware floorplan (equals the input mapping if
+	// no improvement was possible).
+	Mapping arch.Mapping
+	// STTarget is the accumulated-stress budget the solution satisfies.
+	STTarget float64
+	// STLowerBound is Step 1's delay-unaware lower bound.
+	STLowerBound float64
+	// OrigMaxStress / NewMaxStress are the worst per-PE accumulated
+	// stress before and after.
+	OrigMaxStress, NewMaxStress float64
+	// OrigCPD / NewCPD are the critical path delays before and after;
+	// the flow guarantees NewCPD <= OrigCPD.
+	OrigCPD, NewCPD float64
+	// Improved reports whether the mapping changed.
+	Improved bool
+	// Stats records solver effort.
+	Stats Stats
+}
+
+// MTTFReport carries the reliability evaluation of one floorplan.
+type MTTFReport struct {
+	// Hours is the fabric MTTF.
+	Hours float64
+	// LimitingPE is the first-failing PE.
+	LimitingPE arch.Coord
+	// MaxStress is the worst per-PE accumulated stress.
+	MaxStress float64
+	// MaxTempK is the hottest steady-state PE temperature.
+	MaxTempK float64
+	// Temp is the full temperature map (kelvin, [y][x]).
+	Temp [][]float64
+	// Stress is the accumulated stress map.
+	Stress arch.StressMap
+}
+
+// Evaluate computes the MTTF of design d under mapping m: stress map ->
+// thermal map -> first-failing PE under the NBTI model (§III).
+func Evaluate(d *arch.Design, m arch.Mapping, model nbti.Model, tcfg thermal.Config) (*MTTFReport, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	stress := arch.ComputeStress(d, m)
+	power := thermal.PowerFromStress(stress, d.NumContexts, tcfg)
+	temp, err := thermal.Solve(power, tcfg)
+	if err != nil {
+		return nil, err
+	}
+	hours, x, y, err := model.FabricMTTF(stress, temp, d.NumContexts)
+	if err != nil {
+		return nil, err
+	}
+	return &MTTFReport{
+		Hours:      hours,
+		LimitingPE: arch.Coord{X: x, Y: y},
+		MaxStress:  stress.Max(),
+		MaxTempK:   thermal.MaxK(temp),
+		Temp:       temp,
+		Stress:     stress,
+	}, nil
+}
+
+// MTTFIncrease evaluates the headline metric of Table I: the ratio of the
+// re-mapped floorplan's MTTF to the original floorplan's MTTF.
+func MTTFIncrease(d *arch.Design, orig, remapped arch.Mapping, model nbti.Model, tcfg thermal.Config) (float64, error) {
+	before, err := Evaluate(d, orig, model, tcfg)
+	if err != nil {
+		return 0, err
+	}
+	after, err := Evaluate(d, remapped, model, tcfg)
+	if err != nil {
+		return 0, err
+	}
+	return after.Hours / before.Hours, nil
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/dfg"
+	"agingfp/internal/hls"
+	"agingfp/internal/nbti"
+	"agingfp/internal/place"
+	"agingfp/internal/thermal"
+)
+
+// TestRemapDisconnectedOps: a DFG with no edges (pure data-parallel ops)
+// has no timing paths at all; the flow must still level stress.
+func TestRemapDisconnectedOps(t *testing.T) {
+	g := &dfg.Graph{}
+	for i := 0; i < 12; i++ {
+		g.AddOp(dfg.DMU, "mul")
+	}
+	d, err := hls.BuildDesign("par", g, arch.Fabric{W: 4, H: 4}, hls.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All ops land in context 0; stretch them over 3 contexts instead to
+	// create stacking potential.
+	ctx := make([]int, 12)
+	for i := range ctx {
+		ctx[i] = i % 3
+	}
+	d2 := arch.NewDesign("par3", d.Fabric, 3, g, ctx)
+	m0, err := place.Place(d2, place.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Remap(d2, m0, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arch.ValidateMapping(d2, r.Mapping); err != nil {
+		t.Fatal(err)
+	}
+	// With 4 ops per context on 16 PEs, perfect leveling (one DMU per
+	// PE) is reachable.
+	want := arch.DMUDelayNs / d2.ClockPeriodNs
+	if r.NewMaxStress > want+1e-9 {
+		t.Fatalf("max stress %.3f, want perfect level %.3f", r.NewMaxStress, want)
+	}
+}
+
+// TestRemapSingleOp: the degenerate one-op design is a no-op.
+func TestRemapSingleOp(t *testing.T) {
+	g := &dfg.Graph{}
+	g.AddOp(dfg.ALU, "only")
+	d := arch.NewDesign("one", arch.Fabric{W: 2, H: 2}, 1, g, []int{0})
+	m0 := arch.Mapping{{X: 0, Y: 0}}
+	r, err := Remap(d, m0, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Improved {
+		t.Fatal("nothing to improve on a single op")
+	}
+	if r.NewCPD != r.OrigCPD {
+		t.Fatal("CPD changed")
+	}
+}
+
+// TestRemapFullFabric: zero spare PEs per context — re-binding can only
+// permute, and stacking relief across contexts is still possible.
+func TestRemapFullFabric(t *testing.T) {
+	g := &dfg.Graph{}
+	for i := 0; i < 8; i++ {
+		kind := dfg.ALU
+		if i%4 == 0 {
+			kind = dfg.DMU
+		}
+		g.AddOp(kind, "x")
+	}
+	ctx := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	d := arch.NewDesign("full", arch.Fabric{W: 2, H: 2}, 2, g, ctx)
+	m0, err := place.Place(d, place.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Remap(d, m0, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arch.ValidateMapping(d, r.Mapping); err != nil {
+		t.Fatal(err)
+	}
+	if r.NewCPD > r.OrigCPD+1e-9 {
+		t.Fatal("CPD regressed")
+	}
+}
+
+func TestEvaluateErrorPaths(t *testing.T) {
+	g := &dfg.Graph{}
+	g.AddOp(dfg.ALU, "a")
+	d := arch.NewDesign("x", arch.Fabric{W: 2, H: 2}, 1, g, []int{0})
+	m := arch.Mapping{{X: 0, Y: 0}}
+	bad := nbti.Model{} // invalid
+	if _, err := Evaluate(d, m, bad, thermal.DefaultConfig()); err == nil {
+		t.Fatal("invalid NBTI model accepted")
+	}
+	badT := thermal.DefaultConfig()
+	badT.RVertical = -1
+	if _, err := Evaluate(d, m, nbti.DefaultModel(), badT); err == nil {
+		t.Fatal("invalid thermal config accepted")
+	}
+}
+
+// TestMTTFIncreaseIdentity: identical floorplans give exactly 1.0.
+func TestMTTFIncreaseIdentity(t *testing.T) {
+	g := dfg.FIR(4)
+	d, err := hls.BuildDesign("f", g, arch.Fabric{W: 3, H: 3}, hls.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0, err := place.Place(d, place.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := MTTFIncrease(d, m0, m0, nbti.DefaultModel(), thermal.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio != 1.0 {
+		t.Fatalf("identity ratio %g", ratio)
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/dfg"
+	"agingfp/internal/hls"
+	"agingfp/internal/place"
+	"agingfp/internal/timing"
+)
+
+// TestRemapPropertyRandomDesigns: on random small designs the full flow
+// must always return a legal floorplan with CPD within the original and
+// max stress within the reported target.
+func TestRemapPropertyRandomDesigns(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := dfg.MustNewLayered(rng, dfg.LayeredSpec{
+			Ops: 12 + rng.Intn(16), Depth: 2 + rng.Intn(4),
+			DMUFrac: 0.3, MaxFanIn: 2, LocalityBias: 0.8,
+		})
+		d, err := hls.BuildDesign("prop", g, arch.Fabric{W: 5, H: 5}, hls.DefaultConfig())
+		if err != nil {
+			return true // generator produced an unschedulable graph; skip
+		}
+		m0, err := place.Place(d, place.DefaultConfig())
+		if err != nil {
+			return true
+		}
+		opts := DefaultOptions()
+		opts.Seed = seed
+		r, err := Remap(d, m0, opts)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := arch.ValidateMapping(d, r.Mapping); err != nil {
+			t.Logf("seed %d: illegal mapping: %v", seed, err)
+			return false
+		}
+		res := timing.Analyze(d, r.Mapping)
+		if res.CPD > r.OrigCPD+1e-9 {
+			t.Logf("seed %d: CPD %g > %g", seed, res.CPD, r.OrigCPD)
+			return false
+		}
+		s := arch.ComputeStress(d, r.Mapping)
+		if s.Max() > r.STTarget+1e-9 {
+			t.Logf("seed %d: stress %g above target %g", seed, s.Max(), r.STTarget)
+			return false
+		}
+		if s.Max() != r.NewMaxStress {
+			t.Logf("seed %d: reported max %g, actual %g", seed, r.NewMaxStress, s.Max())
+			return false
+		}
+		// Total stress conservation.
+		if d := s.Total() - arch.ComputeStress(d, m0).Total(); d > 1e-9 || d < -1e-9 {
+			t.Logf("seed %d: stress not conserved", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemapIdempotentOnLevelDesign: re-running the flow on an already
+// leveled floorplan must not regress anything.
+func TestRemapIdempotentOnLevelDesign(t *testing.T) {
+	d, err := hls.BuildDesign("fir", dfg.FIR(16), arch.Fabric{W: 6, H: 6}, hls.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0, err := place.Place(d, place.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Mode = Freeze
+	r1, err := Remap(d, m0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Remap(d, r1.Mapping, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.NewMaxStress > r1.NewMaxStress+1e-9 {
+		t.Fatalf("second pass regressed stress: %.3f -> %.3f", r1.NewMaxStress, r2.NewMaxStress)
+	}
+	if r2.NewCPD > r1.NewCPD+1e-9 {
+		t.Fatalf("second pass regressed CPD: %.3f -> %.3f", r1.NewCPD, r2.NewCPD)
+	}
+}

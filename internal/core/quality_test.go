@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/dfg"
+	"agingfp/internal/hls"
+	"agingfp/internal/place"
+)
+
+// TestRemapQuality is the end-to-end quality regression for the dive's
+// pin ordering and LP guidance: on the FIR workload the flow must push
+// the stress budget down to (near) the delay-unaware lower bound. The
+// per-PE optimum here is one op per PE, i.e. the single-DMU stress rate.
+func TestRemapQuality(t *testing.T) {
+	d, err := hls.BuildDesign("fir", dfg.FIR(16), arch.Fabric{W: 6, H: 6}, hls.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0, err := place.Place(d, place.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Mode = Freeze
+	r, err := Remap(d, m0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Improved {
+		t.Fatalf("no improvement: max stress stayed %.3f", r.NewMaxStress)
+	}
+	// The ideal level is the lone-DMU stress rate (0.628); allow a
+	// little slack for search noise but demand most of the gain.
+	ideal := arch.DMUDelayNs / arch.DefaultClockPeriodNs
+	if r.NewMaxStress > ideal*1.15 {
+		t.Fatalf("weak leveling: new max %.3f, ideal %.3f", r.NewMaxStress, ideal)
+	}
+}
+
+// TestRemapBothRotateNeverWorse asserts the Table-I shape Rotate >=
+// Freeze on a couple of workloads.
+func TestRemapBothRotateNeverWorse(t *testing.T) {
+	for _, mk := range []func() *dfg.Graph{func() *dfg.Graph { return dfg.FIR(16) }, dfg.DCT8} {
+		d, err := hls.BuildDesign("x", mk(), arch.Fabric{W: 6, H: 6}, hls.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m0, err := place.Place(d, place.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, ro, err := RemapBoth(d, m0, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ro.NewMaxStress > fr.NewMaxStress+1e-9 {
+			t.Fatalf("%s: Rotate (%.3f) worse than Freeze (%.3f)", d.Name, ro.NewMaxStress, fr.NewMaxStress)
+		}
+	}
+}

@@ -1,0 +1,475 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/timing"
+)
+
+// Remap runs the full aging-aware re-mapping flow (Algorithm 1) on design
+// d starting from the aging-unaware floorplan m0, and returns the new
+// floorplan together with the achieved stress target and CPD bookkeeping.
+//
+// The returned mapping's critical path delay never exceeds the delay
+// budget — the original floorplan's CPD by default (Options.CPDBudgetNs
+// can relax it toward the clock period). If no strictly better stress
+// level can be reached under that guarantee, the original mapping is
+// returned with Improved == false.
+func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
+	start := time.Now()
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if err := arch.ValidateMapping(d, m0); err != nil {
+		return nil, err
+	}
+	if opts.PathThresholdFrac <= 0 || opts.PathThresholdFrac > 1 {
+		return nil, fmt.Errorf("core: PathThresholdFrac %g out of (0,1]", opts.PathThresholdFrac)
+	}
+	if opts.RoundThreshold <= 0.5 || opts.RoundThreshold > 1 {
+		return nil, fmt.Errorf("core: RoundThreshold %g out of (0.5,1]", opts.RoundThreshold)
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res0 := timing.Analyze(d, m0)
+	stress0 := arch.ComputeStress(d, m0)
+	stUp, stLow := stress0.Max(), stress0.Mean()
+
+	// The delay budget every path must respect. The paper uses the
+	// original CPD; extension E8 relaxes it toward the clock period
+	// (identical synchronous performance, more wire slack).
+	budget := res0.CPD
+	if opts.CPDBudgetNs > budget {
+		budget = opts.CPDBudgetNs
+	}
+
+	result := &Result{
+		Mapping:       m0,
+		OrigMaxStress: stUp,
+		NewMaxStress:  stUp,
+		OrigCPD:       res0.CPD,
+		NewCPD:        res0.CPD,
+		STTarget:      stUp,
+		STLowerBound:  stLow,
+	}
+	defer func() { result.Stats.Elapsed = time.Since(start) }()
+
+	if stUp-stLow < 1e-12 {
+		return result, nil // stress already perfectly level
+	}
+
+	perBatch := opts.ContextsPerBatch
+	switch {
+	case perBatch == 0:
+		perBatch = autoBatch(d, 250)
+	case perBatch < 0:
+		perBatch = d.NumContexts
+	}
+	batchList := batches(d.NumContexts, perBatch)
+
+	// Step 1: delay-unaware lower bound for ST_target. The default uses
+	// the LPT level (an achievable delay-unaware budget); Step1MILP runs
+	// the paper's binary-search MILP instead.
+	var stLB float64
+	if opts.Step1MILP {
+		var err error
+		stLB, err = stressLowerBound(d, m0, stress0, stLow, stUp, batchList, opts, rng, &result.Stats)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		stLB = arch.ComputeStress(d, GreedyLevel(d, nil)).Max()
+		if stLB < stLow {
+			stLB = stLow
+		}
+		result.Stats.STProbes++
+	}
+	result.STLowerBound = stLB
+
+	// Step 2.1: critical-path freezing (and rotation in Rotate mode).
+	// With a relaxed budget no path is critical and nothing is frozen.
+	crit := map[int]bool{}
+	if budget <= res0.CPD+1e-12 {
+		crit = timing.CriticalOps(d, m0, res0, opts.CritEpsNs)
+	}
+	frozenPos := rotateFrozen(d, m0, crit, opts, rng)
+
+	// Step 2.2: monitored path set and wire budgets (paths within 20%
+	// of the delay budget). Under a relaxed budget the initial set may
+	// be empty; the lazy repair rounds then supply any needed rows.
+	var paths []*timing.Path
+	if frac := opts.PathThresholdFrac * budget / res0.CPD; frac <= 1 {
+		paths = timing.EnumeratePaths(d, m0, res0, timing.EnumerateOptions{
+			ThresholdFrac: frac,
+			MaxPaths:      opts.MaxPaths,
+			MaxPerContext: opts.MaxPathsPerContext,
+		})
+	}
+
+	// The frozen ops alone put a floor under any achievable ST_target:
+	// a PE stacked with frozen critical ops in several contexts cannot be
+	// relieved (§V.B.1 — the motivation for rotation). Start there.
+	frozenFloor := make([]float64, d.Fabric.NumPEs())
+	for op, pe := range frozenPos {
+		frozenFloor[d.Fabric.Index(pe)] += d.StressRate(op)
+	}
+	stStart := stLB
+	for _, v := range frozenFloor {
+		if v > stStart {
+			stStart = v
+		}
+	}
+
+	// Step 2.3: solve, relaxing ST_target by Delta on failure.
+	delta := (stUp - stLow) * opts.DeltaFrac
+	if delta <= 0 {
+		delta = stUp/16 + 1e-9
+	}
+	repairRounds := opts.PathRepairRounds
+	if repairRounds < 1 {
+		repairRounds = 1
+	}
+	pathSeen := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		pathSeen[pathIdent(p)] = true
+	}
+
+	// probe attempts one ST_target: MILP solve (with lazy-path repair
+	// rounds) followed by the Algorithm-1 CPD verification. Each probe
+	// runs under a wall-clock budget (Options.TimeLimit) so a single
+	// pathological budget cannot stall the whole search — on timeout the
+	// probe counts as infeasible and the schedule moves on.
+	probe := func(st float64) (arch.Mapping, float64, bool, error) {
+		result.Stats.OuterIterations++
+		var deadline time.Time
+		if opts.TimeLimit > 0 {
+			deadline = time.Now().Add(opts.TimeLimit)
+		}
+		for round := 0; round < repairRounds; round++ {
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				if opts.Debug {
+					fmt.Printf("[remap %v] st=%.4f: probe timeout\n", opts.Mode, st)
+				}
+				return nil, 0, false, nil
+			}
+			mNew, ok, err := solveAllBatches(d, m0, frozenPos, paths, st, budget, stress0, batchList, opts, rng, &result.Stats, deadline)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			if !ok {
+				if opts.Debug {
+					fmt.Printf("[remap %v] st=%.4f round=%d: infeasible\n", opts.Mode, st, round)
+				}
+				return nil, 0, false, nil
+			}
+			newRes := timing.Analyze(d, mNew)
+			if opts.Debug {
+				fmt.Printf("[remap %v] st=%.4f round=%d: solved, CPD %.4f (budget %.4f), paths=%d\n",
+					opts.Mode, st, round, newRes.CPD, budget, len(paths))
+			}
+			if newRes.CPD <= budget+1e-9 {
+				return mNew, newRes.CPD, true, nil
+			}
+			// A path below the monitoring threshold regressed past the
+			// CPD: add the violators as lazy rows and re-solve at the
+			// same budget (see Options.PathRepairRounds).
+			added := 0
+			for _, p := range violatedPaths(d, mNew, newRes, budget) {
+				if id := pathIdent(p); !pathSeen[id] {
+					pathSeen[id] = true
+					paths = append(paths, p)
+					added++
+				}
+			}
+			if added == 0 {
+				return nil, 0, false, nil
+			}
+		}
+		return nil, 0, false, nil
+	}
+
+	finish := func(m arch.Mapping, st, cpd float64) *Result {
+		result.Mapping = m
+		result.STTarget = st
+		result.NewMaxStress = arch.ComputeStress(d, m).Max()
+		result.NewCPD = cpd
+		result.Improved = result.NewMaxStress < stUp-1e-12
+		return result
+	}
+
+	searched := false
+	linearSweep := func() (bool, error) {
+		// Algorithm 1 literal: sweep upward by Delta, ending at ST_up.
+		const maxOuter = 64
+		for k := 0; result.Stats.OuterIterations < maxOuter; k++ {
+			st := stStart + float64(k)*delta
+			lastProbe := false
+			if st >= stUp-1e-12 {
+				st, lastProbe = stUp, true
+			}
+			m, cpd, ok, err := probe(st)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				finish(m, st, cpd)
+				return true, nil
+			}
+			if lastProbe {
+				break
+			}
+		}
+		return false, nil
+	}
+	if opts.LinearSTSearch {
+		ok, err := linearSweep()
+		if err != nil {
+			return nil, err
+		}
+		searched = ok
+	} else {
+		// Bisection over [stStart, stUp]: same smallest-feasible budget
+		// (within Delta), O(log) probes.
+		if m, cpd, ok, err := probe(stStart); err != nil {
+			return nil, err
+		} else if ok {
+			finish(m, stStart, cpd)
+			searched = true
+		}
+		if !searched {
+			lo := stStart
+			var bestM arch.Mapping
+			var bestST, bestCPD float64
+			hi := stUp
+			if m, cpd, ok, err := probe(stUp); err != nil {
+				return nil, err
+			} else if ok {
+				bestM, bestST, bestCPD = m, stUp, cpd
+			}
+			if bestM != nil {
+				for hi-lo > delta {
+					mid := (lo + hi) / 2
+					m, cpd, ok, err := probe(mid)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						bestM, bestST, bestCPD = m, mid, cpd
+						hi = mid
+					} else {
+						lo = mid
+					}
+				}
+				finish(bestM, bestST, bestCPD)
+				searched = true
+			} else {
+				// Bisection assumes ST_up is feasible, which context
+				// batching cannot guarantee (earlier batches may consume
+				// budget at cells the originals occupied). Fall back to
+				// the Algorithm-1 linear sweep, which probes the
+				// intermediate budgets the bisection skipped.
+				ok, err := linearSweep()
+				if err != nil {
+					return nil, err
+				}
+				searched = ok
+			}
+		}
+	}
+	_ = searched
+
+	// Rotation can make the frozen-path geometry unreachable from its
+	// registered producers and consumers, especially on small context
+	// counts — Table I itself shows Rotate == Freeze on the small
+	// benchmarks. The Freeze configuration always admits the original
+	// floorplan, so when rotation produced nothing better, fall back and
+	// keep whichever floorplan is better.
+	if opts.Mode == Rotate && !result.Improved {
+		fo := opts
+		fo.Mode = Freeze
+		fr, err := Remap(d, m0, fo)
+		if err != nil {
+			return nil, err
+		}
+		fr.Stats.LPSolves += result.Stats.LPSolves
+		fr.Stats.ILPSolves += result.Stats.ILPSolves
+		fr.Stats.ILPNodes += result.Stats.ILPNodes
+		fr.Stats.STProbes += result.Stats.STProbes
+		fr.Stats.OuterIterations += result.Stats.OuterIterations
+		if betterResult(fr, result) {
+			return fr, nil
+		}
+		return result, nil
+	}
+	return result, nil
+}
+
+// betterResult reports whether a is a better floorplan than b: lower
+// maximum accumulated stress, ties broken by lower CPD.
+func betterResult(a, b *Result) bool {
+	if a.NewMaxStress != b.NewMaxStress {
+		return a.NewMaxStress < b.NewMaxStress
+	}
+	return a.NewCPD < b.NewCPD
+}
+
+// RemapBoth runs the Freeze ablation and the complete Rotate method on
+// the same baseline, sharing work: Table I reports both columns, and a
+// deployed flow keeps the better floorplan, so the Rotate result is
+// never allowed to fall below the Freeze result.
+func RemapBoth(d *arch.Design, m0 arch.Mapping, opts Options) (freeze, rotate *Result, err error) {
+	fo := opts
+	fo.Mode = Freeze
+	freeze, err = Remap(d, m0, fo)
+	if err != nil {
+		return nil, nil, err
+	}
+	ro := opts
+	ro.Mode = Rotate
+	rotate, err = Remap(d, m0, ro)
+	if err != nil {
+		return nil, nil, err
+	}
+	if betterResult(freeze, rotate) {
+		r := *freeze
+		r.Stats = rotate.Stats
+		rotate = &r
+	}
+	return freeze, rotate, nil
+}
+
+// pathIdent returns a dedup key for a timing path (its op sequence and
+// source, which determine its budget row).
+func pathIdent(p *timing.Path) string {
+	id := fmt.Sprintf("%d|%d", p.Context, p.Source)
+	for _, op := range p.Ops {
+		id += fmt.Sprintf(",%d", op)
+	}
+	return id
+}
+
+// violatedPaths lists paths of mapping m whose delay exceeds the original
+// CPD — the sub-threshold paths that regressed after a re-mapping.
+func violatedPaths(d *arch.Design, m arch.Mapping, res *timing.Result, origCPD float64) []*timing.Path {
+	frac := origCPD / res.CPD
+	if frac >= 1 {
+		return nil
+	}
+	cand := timing.EnumeratePaths(d, m, res, timing.EnumerateOptions{
+		ThresholdFrac: frac,
+		MaxPaths:      128,
+		MaxPerContext: 64,
+	})
+	var out []*timing.Path
+	for _, p := range cand {
+		if p.Delay > origCPD+1e-9 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// solveAllBatches re-binds every non-frozen op, one context batch at a
+// time, under the global stress budget st. Returns ok=false if any batch
+// is infeasible.
+func solveAllBatches(d *arch.Design, m0 arch.Mapping, frozenPos map[int]arch.Coord,
+	paths []*timing.Path, st, cpd float64, stress0 arch.StressMap,
+	batchList [][]int, opts Options, rng *rand.Rand, stats *Stats, deadline time.Time) (arch.Mapping, bool, error) {
+
+	f := d.Fabric
+	mCur := m0.Clone()
+	committed := make([]float64, f.NumPEs())
+	for op, pe := range frozenPos {
+		mCur[op] = pe
+		committed[f.Index(pe)] += d.StressRate(op)
+	}
+
+	for _, bctx := range batchList {
+		inBatch := make(map[int]bool, len(bctx))
+		for _, c := range bctx {
+			inBatch[c] = true
+		}
+		var movable []int
+		for op := 0; op < d.NumOps(); op++ {
+			if !inBatch[d.Ctx[op]] {
+				continue
+			}
+			if _, fr := frozenPos[op]; fr {
+				continue
+			}
+			movable = append(movable, op)
+		}
+		cands := candidateSets(d, m0, stress0, frozenPos, movable, opts.CandidatesPerOp, rng)
+		bp := buildBatch(d, mCur, inBatch, frozenPos, cands, paths, st, committed, cpd, opts)
+		if opts.Debug && bp.infeasibleReason != "" {
+			fmt.Printf("[batch %v] construction infeasible: %s\n", bctx, bp.infeasibleReason)
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil, false, nil // probe budget exhausted
+		}
+		asn, ok, err := solveBatch(bp, opts, stats, rng, deadline)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			if opts.Debug && bp.infeasibleReason == "" {
+				fmt.Printf("[batch %v] MILP infeasible (%d movable, %d rows)\n",
+					bctx, len(bp.movable), bp.lp.NumRows())
+			}
+			return nil, false, nil
+		}
+		for op, pe := range asn {
+			mCur[op] = pe
+			committed[f.Index(pe)] += d.StressRate(op)
+		}
+	}
+	if err := arch.ValidateMapping(d, mCur); err != nil {
+		return nil, false, fmt.Errorf("core: batched solution illegal: %w", err)
+	}
+	return mCur, true, nil
+}
+
+// stressLowerBound implements Step 1: binary search for the smallest
+// ST_target admitting a delay-unaware floorplan, between the original
+// floorplan's mean (ST_low) and max (ST_up) accumulated stress.
+func stressLowerBound(d *arch.Design, m0 arch.Mapping, stress0 arch.StressMap,
+	lo, hi float64, batchList [][]int, opts Options, rng *rand.Rand, stats *Stats) (float64, error) {
+
+	// The LPT level is a fast sufficient certificate: any budget at or
+	// above it is feasible without solving a MILP.
+	greedyMax := arch.ComputeStress(d, GreedyLevel(d, nil)).Max()
+
+	feasible := func(st float64) (bool, error) {
+		stats.STProbes++
+		if greedyMax <= st+1e-12 {
+			return true, nil
+		}
+		m, ok, err := solveAllBatches(d, m0, nil, nil, st, 0, stress0, batchList, opts, rng, stats, time.Time{})
+		if err != nil || !ok {
+			return false, err
+		}
+		_ = m
+		return true, nil
+	}
+
+	steps := opts.BinarySearchSteps
+	if steps <= 0 {
+		steps = 7
+	}
+	for i := 0; i < steps; i++ {
+		mid := (lo + hi) / 2
+		ok, err := feasible(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

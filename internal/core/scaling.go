@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/lp"
+	"agingfp/internal/milp"
+	"agingfp/internal/timing"
+)
+
+// buildFullProblem constructs the complete delay-aware formulation (all
+// contexts in one batch, Freeze mode) at the given stress budget; shared
+// by the two scaling-experiment entry points so they solve the identical
+// MILP.
+func buildFullProblem(d *arch.Design, m0 arch.Mapping, stTarget float64, opts Options, rng *rand.Rand) *batchProblem {
+	res0 := timing.Analyze(d, m0)
+	stress0 := arch.ComputeStress(d, m0)
+	crit := timing.CriticalOps(d, m0, res0, opts.CritEpsNs)
+	frozenPos := make(map[int]arch.Coord, len(crit))
+	for op := range crit {
+		frozenPos[op] = m0[op]
+	}
+	paths := timing.EnumeratePaths(d, m0, res0, timing.EnumerateOptions{
+		ThresholdFrac: opts.PathThresholdFrac,
+		MaxPaths:      opts.MaxPaths,
+		MaxPerContext: opts.MaxPathsPerContext,
+	})
+	inBatch := make(map[int]bool, d.NumContexts)
+	for c := 0; c < d.NumContexts; c++ {
+		inBatch[c] = true
+	}
+	var movable []int
+	for op := 0; op < d.NumOps(); op++ {
+		if _, fr := frozenPos[op]; !fr {
+			movable = append(movable, op)
+		}
+	}
+	committed := make([]float64, d.Fabric.NumPEs())
+	for op, pe := range frozenPos {
+		committed[d.Fabric.Index(pe)] += d.StressRate(op)
+	}
+	cands := candidateSets(d, m0, stress0, frozenPos, movable, opts.CandidatesPerOp, rng)
+	return buildBatch(d, m0, inBatch, frozenPos, cands, paths, stTarget, committed, res0.CPD, opts)
+}
+
+// SolveRemapOnce solves one delay-aware re-binding MILP at a fixed
+// ST_target with the production two-step scheme (LP relaxation + rounding
+// dive). It exists for the E4 scaling experiment; the full flow is Remap.
+func SolveRemapOnce(d *arch.Design, m0 arch.Mapping, stTarget float64, opts Options) (arch.Mapping, bool, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	bp := buildFullProblem(d, m0, stTarget, opts, rng)
+	stats := &Stats{}
+	asn, ok, err := solveBatch(bp, opts, stats, rng, time.Time{})
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	m := m0.Clone()
+	for op, pe := range asn {
+		m[op] = pe
+	}
+	return m, true, nil
+}
+
+// SolveRemapMonolithic solves the identical formulation with plain
+// branch-and-bound and no LP pre-mapping — the §V.A monolithic ILP whose
+// poor scaling motivated the paper's two-step MILP. nodeCap bounds the
+// search.
+func SolveRemapMonolithic(d *arch.Design, m0 arch.Mapping, stTarget float64, opts Options, nodeCap int) (*milp.Result, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	bp := buildFullProblem(d, m0, stTarget, opts, rng)
+	if bp.infeasibleReason != "" {
+		return &milp.Result{Status: milp.Infeasible}, nil
+	}
+	return milp.Solve(&milp.Problem{LP: bp.lp, IntVars: bp.ints}, milp.Options{
+		MaxNodes:    nodeCap,
+		StopAtFirst: true,
+		Branching:   milp.MostFractional,
+	})
+}
+
+// Test/diagnostic accessors (used by cmd/profremap and benchmarks).
+
+// BuildFullProblemForTest exposes the single-batch formulation builder.
+func BuildFullProblemForTest(d *arch.Design, m0 arch.Mapping, stTarget float64, opts Options, rng *rand.Rand) interface{} {
+	return buildFullProblem(d, m0, stTarget, opts, rng)
+}
+
+// BPRows returns the row count of a problem built by
+// BuildFullProblemForTest.
+func BPRows(bp interface{}) int { return bp.(*batchProblem).lp.NumRows() }
+
+// BPVars returns the variable count.
+func BPVars(bp interface{}) int { return bp.(*batchProblem).lp.NumVars() }
+
+// BPLP returns the underlying LP.
+func BPLP(bp interface{}) *lp.Problem { return bp.(*batchProblem).lp }

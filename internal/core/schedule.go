@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/nbti"
+	"agingfp/internal/thermal"
+)
+
+// Wear rotation over time: the paper's related work ([Zhang et al.]
+// module diversification, [Srinivasan et al.] periodic re-mapping)
+// extends lifetime by cycling between several configurations so no PE is
+// stressed continuously. This file composes that idea with the
+// aging-aware re-mapper: generate several CPD-safe floorplans with
+// different search seeds and alternate between them; each PE's effective
+// stress becomes the time-weighted average over the schedule.
+
+// WearSchedule is a set of floorplans time-multiplexed at coarse
+// granularity (hours-to-days re-configuration, far above the thermal
+// time constant).
+type WearSchedule struct {
+	// Mappings are the alternated floorplans.
+	Mappings []arch.Mapping
+	// Weights are the time fractions (default: uniform). They must sum
+	// to ~1.
+	Weights []float64
+}
+
+// EffectiveStress returns the schedule's time-averaged per-PE stress map.
+func (ws *WearSchedule) EffectiveStress(d *arch.Design) (arch.StressMap, error) {
+	if len(ws.Mappings) == 0 {
+		return nil, fmt.Errorf("core: empty wear schedule")
+	}
+	weights := ws.Weights
+	if weights == nil {
+		weights = make([]float64, len(ws.Mappings))
+		for i := range weights {
+			weights[i] = 1 / float64(len(ws.Mappings))
+		}
+	}
+	if len(weights) != len(ws.Mappings) {
+		return nil, fmt.Errorf("core: %d weights for %d mappings", len(weights), len(ws.Mappings))
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("core: negative schedule weight %g", w)
+		}
+		sum += w
+	}
+	if sum < 1-1e-6 || sum > 1+1e-6 {
+		return nil, fmt.Errorf("core: schedule weights sum to %g, want 1", sum)
+	}
+	acc := arch.NewStressMap(d.Fabric)
+	for i, m := range ws.Mappings {
+		if err := arch.ValidateMapping(d, m); err != nil {
+			return nil, fmt.Errorf("core: schedule mapping %d: %w", i, err)
+		}
+		s := arch.ComputeStress(d, m)
+		for y := range acc {
+			for x := range acc[y] {
+				acc[y][x] += weights[i] * s[y][x]
+			}
+		}
+	}
+	return acc, nil
+}
+
+// Evaluate computes the MTTF of the schedule: the averaged stress map
+// drives both the thermal solve and the NBTI model.
+func (ws *WearSchedule) Evaluate(d *arch.Design, model nbti.Model, tcfg thermal.Config) (*MTTFReport, error) {
+	stress, err := ws.EffectiveStress(d)
+	if err != nil {
+		return nil, err
+	}
+	power := thermal.PowerFromStress(stress, d.NumContexts, tcfg)
+	temp, err := thermal.Solve(power, tcfg)
+	if err != nil {
+		return nil, err
+	}
+	hours, x, y, err := model.FabricMTTF(stress, temp, d.NumContexts)
+	if err != nil {
+		return nil, err
+	}
+	return &MTTFReport{
+		Hours:      hours,
+		LimitingPE: arch.Coord{X: x, Y: y},
+		MaxStress:  stress.Max(),
+		MaxTempK:   thermal.MaxK(temp),
+		Temp:       temp,
+		Stress:     stress,
+	}, nil
+}
+
+// DiversifiedRemap produces up to k distinct CPD-safe aging-aware
+// floorplans by re-running the re-mapper with different seeds, for use in
+// a wear schedule. Duplicate floorplans are dropped; the result always
+// contains at least one mapping (the best single remap).
+func DiversifiedRemap(d *arch.Design, m0 arch.Mapping, opts Options, k int) (*WearSchedule, error) {
+	if k < 1 {
+		k = 1
+	}
+	seen := map[string]bool{}
+	ws := &WearSchedule{}
+	for i := 0; i < k; i++ {
+		o := opts
+		o.Seed = opts.Seed + int64(i)*7919
+		r, err := Remap(d, m0, o)
+		if err != nil {
+			return nil, err
+		}
+		key := mappingKey(r.Mapping)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		ws.Mappings = append(ws.Mappings, r.Mapping)
+	}
+	return ws, nil
+}
+
+func mappingKey(m arch.Mapping) string {
+	b := make([]byte, 0, len(m)*4)
+	for _, c := range m {
+		b = append(b, byte(c.X), byte(c.X>>8), byte(c.Y), byte(c.Y>>8))
+	}
+	return string(b)
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/dfg"
+	"agingfp/internal/hls"
+	"agingfp/internal/nbti"
+	"agingfp/internal/place"
+	"agingfp/internal/thermal"
+)
+
+func scheduleDesign(t *testing.T) (*arch.Design, arch.Mapping) {
+	t.Helper()
+	d, err := hls.BuildDesign("ws", dfg.FIR(12), arch.Fabric{W: 6, H: 6}, hls.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := place.Place(d, place.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, m
+}
+
+func TestEffectiveStressIsWeightedAverage(t *testing.T) {
+	d, m := scheduleDesign(t)
+	// A second, shifted legal mapping: mirror every op in x per context.
+	m2 := m.Clone()
+	for op := range m2 {
+		m2[op] = arch.Coord{X: d.Fabric.W - 1 - m2[op].X, Y: m2[op].Y}
+	}
+	if err := arch.ValidateMapping(d, m2); err != nil {
+		t.Fatal(err)
+	}
+	ws := &WearSchedule{Mappings: []arch.Mapping{m, m2}, Weights: []float64{0.25, 0.75}}
+	eff, err := ws.EffectiveStress(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := arch.ComputeStress(d, m)
+	s2 := arch.ComputeStress(d, m2)
+	for y := range eff {
+		for x := range eff[y] {
+			want := 0.25*s1[y][x] + 0.75*s2[y][x]
+			if math.Abs(eff[y][x]-want) > 1e-12 {
+				t.Fatalf("(%d,%d): %g, want %g", x, y, eff[y][x], want)
+			}
+		}
+	}
+	// Total stress is conserved by averaging.
+	if math.Abs(eff.Total()-s1.Total()) > 1e-9 {
+		t.Fatalf("total drifted: %g vs %g", eff.Total(), s1.Total())
+	}
+}
+
+func TestWearScheduleReducesMaxStress(t *testing.T) {
+	d, m := scheduleDesign(t)
+	m2 := m.Clone()
+	for op := range m2 {
+		m2[op] = arch.Coord{X: d.Fabric.W - 1 - m2[op].X, Y: d.Fabric.H - 1 - m2[op].Y}
+	}
+	ws := &WearSchedule{Mappings: []arch.Mapping{m, m2}}
+	eff, err := ws.EffectiveStress(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := arch.ComputeStress(d, m)
+	// Corner-packed baseline + its mirrored twin: averaging must strictly
+	// reduce the maximum (the hot corners do not overlap).
+	if eff.Max() >= s1.Max()-1e-12 {
+		t.Fatalf("rotation did not level: %g vs %g", eff.Max(), s1.Max())
+	}
+}
+
+func TestWearScheduleValidation(t *testing.T) {
+	d, m := scheduleDesign(t)
+	if _, err := (&WearSchedule{}).EffectiveStress(d); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+	bad := &WearSchedule{Mappings: []arch.Mapping{m}, Weights: []float64{0.5}}
+	if _, err := bad.EffectiveStress(d); err == nil {
+		t.Fatal("non-normalized weights accepted")
+	}
+	neg := &WearSchedule{Mappings: []arch.Mapping{m, m}, Weights: []float64{1.5, -0.5}}
+	if _, err := neg.EffectiveStress(d); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	short := &WearSchedule{Mappings: []arch.Mapping{m, m}, Weights: []float64{1}}
+	if _, err := short.EffectiveStress(d); err == nil {
+		t.Fatal("weight/mapping mismatch accepted")
+	}
+}
+
+func TestWearScheduleEvaluate(t *testing.T) {
+	d, m := scheduleDesign(t)
+	single := &WearSchedule{Mappings: []arch.Mapping{m}}
+	rep, err := single.Evaluate(d, nbti.DefaultModel(), thermal.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Evaluate(d, m, nbti.DefaultModel(), thermal.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Hours-direct.Hours)/direct.Hours > 1e-9 {
+		t.Fatalf("single-mapping schedule MTTF %g != direct %g", rep.Hours, direct.Hours)
+	}
+}
+
+func TestDiversifiedRemapExtendsLifetime(t *testing.T) {
+	d, m := scheduleDesign(t)
+	opts := DefaultOptions()
+	opts.Mode = Freeze
+	ws, err := DiversifiedRemap(d, m, opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws.Mappings) < 1 {
+		t.Fatal("no mappings")
+	}
+	model, tcfg := nbti.DefaultModel(), thermal.DefaultConfig()
+	sched, err := ws.Evaluate(d, model, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Evaluate(d, ws.Mappings[0], model, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Averaging distinct CPD-safe floorplans never concentrates stress
+	// above the single floorplan's level.
+	if sched.MaxStress > single.MaxStress+1e-9 {
+		t.Fatalf("schedule max stress %g above single %g", sched.MaxStress, single.MaxStress)
+	}
+	if sched.Hours < single.Hours*0.99 {
+		t.Fatalf("schedule MTTF %g below single %g", sched.Hours, single.Hours)
+	}
+}

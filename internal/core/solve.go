@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/lp"
+)
+
+// solveBatch runs the paper's two-step MILP scheme on one batch problem:
+//
+//	Step A: solve the LP relaxation (OP_ijk in [0,1]);
+//	Step B/C: iterative LP rounding with op-level diving — bulk pre-map
+//	        assignments whose LP value clears RoundThreshold (capacity
+//	        rows guarantee at most one op can exceed 0.95 per PE-context
+//	        slot, so pre-mapping never double-books a PE), pin the
+//	        best-scored op otherwise, and backjump on infeasibility.
+//
+// Returns the per-op PE choice, or ok=false if infeasible at this
+// budget. See DESIGN.md §4b.4 for how this implements the paper's
+// LP-relax / round>0.95 / residual-ILP loop.
+func solveBatch(bp *batchProblem, opts Options, stats *Stats, rng *rand.Rand, deadline time.Time) (map[int]arch.Coord, bool, error) {
+	if bp.infeasibleReason != "" {
+		return nil, false, nil
+	}
+	if len(bp.movable) == 0 {
+		return map[int]arch.Coord{}, true, nil
+	}
+
+	// Step A: LP relaxation.
+	stats.LPSolves++
+	rel, err := lp.Solve(bp.lp, lp.Options{})
+	if err != nil {
+		return nil, false, fmt.Errorf("core: relaxation: %w", err)
+	}
+	switch rel.Status {
+	case lp.Infeasible:
+		return nil, false, nil
+	case lp.Optimal:
+	default:
+		return nil, false, fmt.Errorf("core: relaxation ended %v", rel.Status)
+	}
+
+	// A few randomized restarts recover from unlucky pin orders; a
+	// persistent dive failure is treated as infeasibility at this
+	// budget, and the caller relaxes ST_target by Delta exactly as
+	// Algorithm 1 does when "solution does not exist".
+	restarts := 4
+	for r := 0; r < restarts; r++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil, false, nil
+		}
+		asn, ok, frac, err := roundingDive(bp, rel.X, opts, stats, rng, r > 0, deadline)
+		if err != nil || ok {
+			return asn, ok, err
+		}
+		if frac < 0.5 {
+			// The dive failed far from completion: the budget is most
+			// likely genuinely infeasible, so restarts would only burn
+			// LP solves.
+			break
+		}
+	}
+	return nil, false, nil
+}
+
+// softFix records a tentative op pin for backjumping.
+type softFix struct {
+	op   int
+	cand int
+	// saved bounds of the op's variables before pinning.
+	savedLo, savedHi []float64
+}
+
+func roundingDive(bp *batchProblem, rootX []float64, opts Options, stats *Stats, rng *rand.Rand, perturb bool, deadline time.Time) (map[int]arch.Coord, bool, float64, error) {
+	prob := bp.lp.CloneBounds()
+	decided := make(map[int]int, len(bp.movable)) // op -> candidate index
+	var tentative []softFix
+	x := rootX
+	frac := func() float64 { return float64(len(decided)) / float64(len(bp.movable)) }
+
+	// Every pin is recorded so an infeasible LP can backjump through it —
+	// including the bulk 0.95 pre-mappings, whose greediness is otherwise
+	// unrecoverable.
+	pin := func(op, cand int) {
+		vars := bp.varOf[op]
+		fx := softFix{op: op, cand: cand,
+			savedLo: make([]float64, len(vars)),
+			savedHi: make([]float64, len(vars))}
+		for i, v := range vars {
+			fx.savedLo[i], fx.savedHi[i] = prob.Bounds(v)
+			if i == cand {
+				prob.SetBounds(v, 1, 1)
+			} else {
+				prob.SetBounds(v, 0, 0)
+			}
+		}
+		decided[op] = cand
+		tentative = append(tentative, fx)
+	}
+
+	// Each outer round: (1) make the pinned LP feasible, backjumping as
+	// needed; (2) pin at least one more op from the fresh LP solution.
+	// Every round either pins or retracts, and retraction permanently
+	// forbids a candidate, so the loop terminates; the budget below cuts
+	// hopeless instances short.
+	maxLP := 60 + 3*len(bp.movable)
+	lpBudget := maxLP
+	fresh := true // rootX is valid for the unpinned problem
+	for {
+		for !fresh {
+			if lpBudget--; lpBudget < 0 {
+				return nil, false, frac(), nil
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				return nil, false, frac(), nil
+			}
+			stats.LPSolves++
+			sol, err := lp.Solve(prob, lp.Options{})
+			if err != nil {
+				return nil, false, frac(), err
+			}
+			if sol.Status == lp.Optimal {
+				x = sol.X
+				fresh = true
+				break
+			}
+			if !backjump(bp, prob, &tentative, decided) {
+				return nil, false, frac(), nil // infeasible at this budget
+			}
+		}
+		if len(decided) == len(bp.movable) {
+			// All ops pinned under a feasible LP: done.
+			asn, ok, err := extractDecided(bp, decided)
+			return asn, ok, 1, err
+		}
+
+		// Pin round: bulk pre-mapping at the paper's threshold; when no
+		// op qualifies, pin a quantum (1/8) of the undecided ops by
+		// score (see orderBonus for the ordering rationale), with random
+		// perturbation on restarts. Quantum pinning keeps the LP-solve
+		// count O(log) instead of O(ops) on large batches; same-round
+		// pins avoid sharing a PE so they cannot conflict trivially.
+		progress := false
+		type cand struct {
+			op, cand, pe int
+			score        float64
+		}
+		var scored []cand
+		for _, op := range bp.movable {
+			if _, done := decided[op]; done {
+				continue
+			}
+			bestI, bestScore := -1, -1.0
+			bulk := false
+			for i, v := range bp.varOf[op] {
+				lo, hi := prob.Bounds(v)
+				if lo > hi || hi < 0.5 {
+					continue // forbidden by an earlier backjump
+				}
+				val := x[v]
+				if val >= opts.RoundThreshold {
+					pin(op, i)
+					progress = true
+					bulk = true
+					break
+				}
+				score := val + orderBonus*bp.stressOf[op]
+				if perturb {
+					score += rng.Float64() * 0.5
+				}
+				if score > bestScore {
+					bestI, bestScore = i, score
+				}
+			}
+			if !bulk && bestI >= 0 {
+				scored = append(scored, cand{op: op, cand: bestI, pe: bp.candOf[op][bestI], score: bestScore})
+			}
+		}
+		if !progress {
+			if len(scored) == 0 {
+				return nil, false, frac(), nil // every candidate of some op forbidden
+			}
+			sort.Slice(scored, func(a, b int) bool { return scored[a].score > scored[b].score })
+			// Small batches pin one op per round (precision); large
+			// batches pin a quantum to keep LP-solve counts sublinear.
+			quota := 1
+			if len(bp.movable) >= 40 {
+				quota = 1 + len(scored)/8
+			}
+			usedPE := map[int]bool{}
+			pinned := 0
+			for _, c := range scored {
+				if pinned >= quota {
+					break
+				}
+				if usedPE[c.pe] {
+					continue
+				}
+				usedPE[c.pe] = true
+				pin(c.op, c.cand)
+				pinned++
+			}
+		}
+		fresh = false
+	}
+}
+
+// backjump retracts the most recent tentative pin, restoring its op's
+// variable bounds and forbidding the failed candidate. Returns false when
+// there is nothing to retract.
+func backjump(bp *batchProblem, prob *lp.Problem, tentative *[]softFix, decided map[int]int) bool {
+	n := len(*tentative)
+	if n == 0 {
+		return false
+	}
+	fx := (*tentative)[n-1]
+	*tentative = (*tentative)[:n-1]
+	vars := bp.varOf[fx.op]
+	for i, v := range vars {
+		prob.SetBounds(v, fx.savedLo[i], fx.savedHi[i])
+	}
+	// Forbid the candidate that led to infeasibility.
+	prob.SetBounds(vars[fx.cand], 0, 0)
+	delete(decided, fx.op)
+	return true
+}
+
+func extractDecided(bp *batchProblem, decided map[int]int) (map[int]arch.Coord, bool, error) {
+	out := make(map[int]arch.Coord, len(decided))
+	for op, cand := range decided {
+		out[op] = bp.fab.CoordOf(bp.candOf[op][cand])
+	}
+	return out, true, nil
+}
+
+// extractAssignment reads the chosen PE of each movable op from a MILP
+// solution vector.
+func extractAssignment(bp *batchProblem, x []float64) (map[int]arch.Coord, bool, error) {
+	out := make(map[int]arch.Coord, len(bp.movable))
+	for _, op := range bp.movable {
+		chosen := -1
+		for i, v := range bp.varOf[op] {
+			if x[v] > 0.5 {
+				if chosen >= 0 {
+					return nil, false, fmt.Errorf("core: op %d assigned twice", op)
+				}
+				chosen = i
+			}
+		}
+		if chosen < 0 {
+			return nil, false, fmt.Errorf("core: op %d unassigned", op)
+		}
+		out[op] = bp.fab.CoordOf(bp.candOf[op][chosen])
+	}
+	return out, true, nil
+}
+
+// batches partitions contexts [0, C) into chunks of size per (0 or >= C
+// means a single batch).
+func batches(numContexts, per int) [][]int {
+	if per <= 0 || per >= numContexts {
+		all := make([]int, numContexts)
+		for i := range all {
+			all[i] = i
+		}
+		return [][]int{all}
+	}
+	var out [][]int
+	for at := 0; at < numContexts; at += per {
+		end := at + per
+		if end > numContexts {
+			end = numContexts
+		}
+		b := make([]int, 0, end-at)
+		for c := at; c < end; c++ {
+			b = append(b, c)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// autoBatch picks a contexts-per-batch keeping the expected simplex
+// basis below roughly maxRows rows. Per context the formulation carries
+// an assignment row per op, a capacity row per PE, and roughly 1.5
+// distance/path rows per op; the stress rows are shared. Simplex cost
+// grows with m^2 per iteration and ~m iterations, so halving m is nearly
+// an 8x speedup — small batches beat joint solves on wall-clock.
+func autoBatch(d *arch.Design, maxRows int) int {
+	opsPerCtx := float64(d.NumOps()) / float64(d.NumContexts)
+	perCtx := opsPerCtx*2.5 + float64(d.Fabric.NumPEs())
+	fixedRows := float64(d.Fabric.NumPEs())
+	per := int((float64(maxRows) - fixedRows) / math.Max(perCtx, 1))
+	if per < 1 {
+		per = 1
+	}
+	if per > d.NumContexts {
+		per = d.NumContexts
+	}
+	return per
+}
+
+// orderBonus weights the stress-rate term in the dive's pin ordering.
+// It is negative: low-stress operations sit on tightly-budgeted chained
+// paths (their wire slack, not their stress, is the scarce resource), so
+// they are pinned first while the fabric is open, and the heavy but
+// positionally flexible DMU ops fill in afterwards. Determined empirically
+// (see TestOrderingSweep); exposed as a variable for experimentation.
+var orderBonus = -0.3

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/dfg"
+	"agingfp/internal/hls"
+	"agingfp/internal/place"
+)
+
+// TestStep1GreedyVsMILP validates the default Step-1 substitution
+// (DESIGN.md §4b.3): the LPT greedy bound must agree with the paper's
+// delay-unaware binary-search MILP to within one binary-search
+// resolution step on representative workloads.
+func TestStep1GreedyVsMILP(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		g    *dfg.Graph
+	}{
+		{"fir16", dfg.FIR(16)},
+		{"dct8", dfg.DCT8()},
+		{"iir4", dfg.IIR(4)},
+	} {
+		d, err := hls.BuildDesign(mk.name, mk.g, arch.Fabric{W: 6, H: 6}, hls.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m0, err := place.Place(d, place.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		run := func(milpStep1 bool) *Result {
+			opts := DefaultOptions()
+			opts.Mode = Freeze
+			opts.Step1MILP = milpStep1
+			r, err := Remap(d, m0, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		greedy := run(false)
+		milp := run(true)
+
+		stress0 := arch.ComputeStress(d, m0)
+		resolution := (stress0.Max() - stress0.Mean()) / 8 // ~2 bisection steps
+		diff := greedy.STLowerBound - milp.STLowerBound
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > resolution {
+			t.Errorf("%s: greedy LB %.4f vs MILP LB %.4f differ by more than %.4f",
+				mk.name, greedy.STLowerBound, milp.STLowerBound, resolution)
+		}
+		// The binary search returns the smallest feasible budget only up
+		// to its own resolution (range / 2^steps), so the MILP bound may
+		// sit at most one resolution step above the greedy-achievable
+		// point — never more.
+		stepRes := (stress0.Max() - stress0.Mean()) / 128 * 4 // 7 steps, with slack
+		if milp.STLowerBound > greedy.STLowerBound+stepRes {
+			t.Errorf("%s: MILP LB %.4f more than one search step above greedy %.4f",
+				mk.name, milp.STLowerBound, greedy.STLowerBound)
+		}
+	}
+}

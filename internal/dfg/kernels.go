@@ -1,0 +1,231 @@
+package dfg
+
+import "fmt"
+
+// This file provides named arithmetic kernels of the kind the paper's C
+// benchmarks compile to: filters, transforms, and stencils. Each generator
+// returns a pure (unscheduled) data-flow graph; the HLS scheduler in
+// internal/hls folds it into contexts.
+//
+// Multiplications map to the DMU (slow unit); additions, subtractions and
+// comparisons map to the ALU (fast unit), following the PE
+// characterization quoted in §III of the paper.
+
+// FIR builds an n-tap finite-impulse-response filter: n coefficient
+// multiplies feeding a balanced adder tree.
+func FIR(taps int) *Graph {
+	if taps < 1 {
+		panic("dfg: FIR needs at least 1 tap")
+	}
+	g := &Graph{}
+	prods := make([]int, taps)
+	for i := range prods {
+		prods[i] = g.AddOp(DMU, fmt.Sprintf("mul_t%d", i))
+	}
+	reduceTree(g, prods, "acc")
+	return g
+}
+
+// IIR builds a biquad-cascade infinite-impulse-response filter with the
+// given number of second-order sections. Each section is 5 multiplies and
+// 4 adds with a serial dependency between sections (the feedback chain),
+// which produces the long mixed ALU/DMU chains that stress the timing
+// constraints.
+func IIR(sections int) *Graph {
+	if sections < 1 {
+		panic("dfg: IIR needs at least 1 section")
+	}
+	g := &Graph{}
+	prev := -1
+	for s := 0; s < sections; s++ {
+		m := make([]int, 5)
+		for i := range m {
+			m[i] = g.AddOp(DMU, fmt.Sprintf("s%d_mul%d", s, i))
+			if prev >= 0 && i < 2 {
+				// Feed-forward from the previous section's output.
+				g.AddEdge(prev, m[i])
+			}
+		}
+		a1 := g.AddOp(ALU, fmt.Sprintf("s%d_add1", s))
+		g.AddEdge(m[0], a1)
+		g.AddEdge(m[1], a1)
+		a2 := g.AddOp(ALU, fmt.Sprintf("s%d_add2", s))
+		g.AddEdge(m[2], a2)
+		g.AddEdge(m[3], a2)
+		a3 := g.AddOp(ALU, fmt.Sprintf("s%d_add3", s))
+		g.AddEdge(a1, a3)
+		g.AddEdge(a2, a3)
+		out := g.AddOp(ALU, fmt.Sprintf("s%d_out", s))
+		g.AddEdge(a3, out)
+		g.AddEdge(m[4], out)
+		prev = out
+	}
+	return g
+}
+
+// MatMul builds an n x n by n x n matrix multiply: n*n dot products of
+// length n (n*n*n multiplies, each dot product reduced by an adder tree).
+func MatMul(n int) *Graph {
+	if n < 1 {
+		panic("dfg: MatMul needs n >= 1")
+	}
+	g := &Graph{}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			prods := make([]int, n)
+			for k := 0; k < n; k++ {
+				prods[k] = g.AddOp(DMU, fmt.Sprintf("m_%d_%d_%d", i, j, k))
+			}
+			reduceTree(g, prods, fmt.Sprintf("c_%d_%d", i, j))
+		}
+	}
+	return g
+}
+
+// DCT8 builds an 8-point one-dimensional DCT butterfly network (the
+// Loeffler-style structure: stages of add/sub butterflies with rotator
+// multiplies between them).
+func DCT8() *Graph {
+	g := &Graph{}
+	// Stage 1: 4 butterflies on the 8 inputs.
+	in := make([]int, 8)
+	for i := range in {
+		in[i] = g.AddOp(ALU, fmt.Sprintf("in%d", i))
+	}
+	add := func(a, b int, name string) int {
+		v := g.AddOp(ALU, name)
+		g.AddEdge(a, v)
+		g.AddEdge(b, v)
+		return v
+	}
+	mul := func(a int, name string) int {
+		v := g.AddOp(DMU, name)
+		g.AddEdge(a, v)
+		return v
+	}
+	// Butterfly stage 1.
+	s1 := make([]int, 8)
+	for i := 0; i < 4; i++ {
+		s1[i] = add(in[i], in[7-i], fmt.Sprintf("s1a%d", i))
+		s1[7-i] = add(in[i], in[7-i], fmt.Sprintf("s1s%d", i))
+	}
+	// Stage 2: even half butterflies, odd half rotators.
+	s2 := make([]int, 8)
+	s2[0] = add(s1[0], s1[3], "s2a0")
+	s2[3] = add(s1[0], s1[3], "s2s0")
+	s2[1] = add(s1[1], s1[2], "s2a1")
+	s2[2] = add(s1[1], s1[2], "s2s1")
+	for i := 4; i < 8; i++ {
+		s2[i] = mul(s1[i], fmt.Sprintf("rot%d", i))
+	}
+	// Stage 3: final outputs.
+	add(s2[0], s2[1], "X0")
+	add(s2[0], s2[1], "X4")
+	x2 := mul(s2[2], "c2")
+	x6 := mul(s2[3], "c6")
+	add(x2, s2[3], "X2")
+	add(x6, s2[2], "X6")
+	o1 := add(s2[4], s2[6], "o1")
+	o2 := add(s2[5], s2[7], "o2")
+	mul(o1, "X1")
+	mul(o2, "X7")
+	add(o1, s2[5], "X5")
+	add(o2, s2[4], "X3")
+	return g
+}
+
+// Conv3x3 builds a 3x3 convolution (e.g. a Sobel or Gaussian window) over
+// a tile of the given width and height: one 9-tap multiply-accumulate per
+// output pixel.
+func Conv3x3(w, h int) *Graph {
+	if w < 1 || h < 1 {
+		panic("dfg: Conv3x3 needs positive tile size")
+	}
+	g := &Graph{}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			prods := make([]int, 9)
+			for t := range prods {
+				prods[t] = g.AddOp(DMU, fmt.Sprintf("p%d_%d_%d", x, y, t))
+			}
+			reduceTree(g, prods, fmt.Sprintf("px%d_%d", x, y))
+		}
+	}
+	return g
+}
+
+// FFTStage builds one radix-2 butterfly stage over n points (n must be a
+// positive even number): n/2 butterflies, each a twiddle multiply plus an
+// add and a subtract.
+func FFTStage(n int) *Graph {
+	if n < 2 || n%2 != 0 {
+		panic("dfg: FFTStage needs positive even n")
+	}
+	g := &Graph{}
+	for i := 0; i < n/2; i++ {
+		a := g.AddOp(ALU, fmt.Sprintf("ld_a%d", i))
+		b := g.AddOp(ALU, fmt.Sprintf("ld_b%d", i))
+		tw := g.AddOp(DMU, fmt.Sprintf("tw%d", i))
+		g.AddEdge(b, tw)
+		sum := g.AddOp(ALU, fmt.Sprintf("bf_add%d", i))
+		g.AddEdge(a, sum)
+		g.AddEdge(tw, sum)
+		diff := g.AddOp(ALU, fmt.Sprintf("bf_sub%d", i))
+		g.AddEdge(a, diff)
+		g.AddEdge(tw, diff)
+	}
+	return g
+}
+
+// ReduceTree builds a balanced binary adder tree over n leaf values.
+func ReduceTree(n int) *Graph {
+	if n < 1 {
+		panic("dfg: ReduceTree needs n >= 1")
+	}
+	g := &Graph{}
+	leaves := make([]int, n)
+	for i := range leaves {
+		leaves[i] = g.AddOp(ALU, fmt.Sprintf("leaf%d", i))
+	}
+	if n > 1 {
+		reduceTree(g, leaves, "sum")
+	}
+	return g
+}
+
+// reduceTree adds a balanced binary ALU adder tree over the given nodes
+// and returns the root op ID.
+func reduceTree(g *Graph, nodes []int, prefix string) int {
+	level := 0
+	cur := append([]int(nil), nodes...)
+	for len(cur) > 1 {
+		var next []int
+		for i := 0; i+1 < len(cur); i += 2 {
+			v := g.AddOp(ALU, fmt.Sprintf("%s_l%d_%d", prefix, level, i/2))
+			g.AddEdge(cur[i], v)
+			g.AddEdge(cur[i+1], v)
+			next = append(next, v)
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+		level++
+	}
+	return cur[0]
+}
+
+// Kernels maps kernel names to parameterless constructors of
+// representative instances; used by CLI tools and the benchmark suite.
+var Kernels = map[string]func() *Graph{
+	"fir16":    func() *Graph { return FIR(16) },
+	"fir32":    func() *Graph { return FIR(32) },
+	"iir4":     func() *Graph { return IIR(4) },
+	"iir8":     func() *Graph { return IIR(8) },
+	"matmul3":  func() *Graph { return MatMul(3) },
+	"matmul4":  func() *Graph { return MatMul(4) },
+	"dct8":     DCT8,
+	"conv3x3":  func() *Graph { return Conv3x3(3, 3) },
+	"fft16":    func() *Graph { return FFTStage(16) },
+	"reduce32": func() *Graph { return ReduceTree(32) },
+}

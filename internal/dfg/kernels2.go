@@ -1,0 +1,149 @@
+package dfg
+
+import "fmt"
+
+// Additional arithmetic kernels: CORDIC rotators, bitonic sorting
+// networks, Horner-scheme polynomial evaluation, and a complex MAC —
+// workload shapes common in the CGRRA application domain (DSP and
+// communications), with different chain-depth and DMU-density profiles
+// than the filter kernels.
+
+// CORDIC builds n iterations of the CORDIC rotation: each iteration is
+// two shifts (DMU), two add/subs (ALU), and an angle-accumulator add,
+// with serial dependencies between iterations — the deepest chains of
+// any built-in kernel.
+func CORDIC(iters int) *Graph {
+	if iters < 1 {
+		panic("dfg: CORDIC needs iters >= 1")
+	}
+	g := &Graph{}
+	var px, py, pz int = -1, -1, -1
+	for i := 0; i < iters; i++ {
+		shx := g.AddOp(DMU, fmt.Sprintf("i%d_shx", i))
+		shy := g.AddOp(DMU, fmt.Sprintf("i%d_shy", i))
+		if px >= 0 {
+			g.AddEdge(px, shx)
+			g.AddEdge(py, shy)
+		}
+		nx := g.AddOp(ALU, fmt.Sprintf("i%d_x", i))
+		ny := g.AddOp(ALU, fmt.Sprintf("i%d_y", i))
+		g.AddEdge(shy, nx)
+		g.AddEdge(shx, ny)
+		if px >= 0 {
+			g.AddEdge(px, nx)
+			g.AddEdge(py, ny)
+		}
+		nz := g.AddOp(ALU, fmt.Sprintf("i%d_z", i))
+		if pz >= 0 {
+			g.AddEdge(pz, nz)
+		}
+		px, py, pz = nx, ny, nz
+	}
+	return g
+}
+
+// Bitonic builds a bitonic sorting network over n inputs (n must be a
+// power of two): each compare-exchange is one ALU comparator feeding two
+// ALU selects.
+func Bitonic(n int) *Graph {
+	if n < 2 || n&(n-1) != 0 {
+		panic("dfg: Bitonic needs a power-of-two size >= 2")
+	}
+	g := &Graph{}
+	// wire[i] is the op currently producing lane i (-1 = primary input).
+	wire := make([]int, n)
+	for i := range wire {
+		wire[i] = -1
+	}
+	ce := func(i, j int) {
+		cmp := g.AddOp(ALU, fmt.Sprintf("cmp_%d_%d", i, j))
+		if wire[i] >= 0 {
+			g.AddEdge(wire[i], cmp)
+		}
+		if wire[j] >= 0 && wire[j] != wire[i] {
+			g.AddEdge(wire[j], cmp)
+		}
+		lo := g.AddOp(ALU, fmt.Sprintf("lo_%d_%d", i, j))
+		hi := g.AddOp(ALU, fmt.Sprintf("hi_%d_%d", i, j))
+		g.AddEdge(cmp, lo)
+		g.AddEdge(cmp, hi)
+		wire[i], wire[j] = lo, hi
+	}
+	for k := 2; k <= n; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			for i := 0; i < n; i++ {
+				l := i ^ j
+				if l > i {
+					if i&k == 0 {
+						ce(i, l)
+					} else {
+						ce(l, i)
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Horner evaluates a degree-n polynomial by Horner's scheme: a strictly
+// serial multiply-add chain (n DMU + n ALU ops), the worst case for
+// chaining and the best case for stress concentration.
+func Horner(degree int) *Graph {
+	if degree < 1 {
+		panic("dfg: Horner needs degree >= 1")
+	}
+	g := &Graph{}
+	prev := -1
+	for i := 0; i < degree; i++ {
+		mul := g.AddOp(DMU, fmt.Sprintf("h%d_mul", i))
+		if prev >= 0 {
+			g.AddEdge(prev, mul)
+		}
+		add := g.AddOp(ALU, fmt.Sprintf("h%d_add", i))
+		g.AddEdge(mul, add)
+		prev = add
+	}
+	return g
+}
+
+// ComplexMAC builds n complex multiply-accumulates: each is 4 real
+// multiplies, an add and a subtract, plus 2 accumulator adds.
+func ComplexMAC(n int) *Graph {
+	if n < 1 {
+		panic("dfg: ComplexMAC needs n >= 1")
+	}
+	g := &Graph{}
+	accR, accI := -1, -1
+	for i := 0; i < n; i++ {
+		rr := g.AddOp(DMU, fmt.Sprintf("m%d_rr", i))
+		ii := g.AddOp(DMU, fmt.Sprintf("m%d_ii", i))
+		ri := g.AddOp(DMU, fmt.Sprintf("m%d_ri", i))
+		ir := g.AddOp(DMU, fmt.Sprintf("m%d_ir", i))
+		re := g.AddOp(ALU, fmt.Sprintf("m%d_re", i))
+		g.AddEdge(rr, re)
+		g.AddEdge(ii, re)
+		im := g.AddOp(ALU, fmt.Sprintf("m%d_im", i))
+		g.AddEdge(ri, im)
+		g.AddEdge(ir, im)
+		nr := g.AddOp(ALU, fmt.Sprintf("m%d_accr", i))
+		g.AddEdge(re, nr)
+		if accR >= 0 {
+			g.AddEdge(accR, nr)
+		}
+		ni := g.AddOp(ALU, fmt.Sprintf("m%d_acci", i))
+		g.AddEdge(im, ni)
+		if accI >= 0 {
+			g.AddEdge(accI, ni)
+		}
+		accR, accI = nr, ni
+	}
+	return g
+}
+
+func init() {
+	Kernels["cordic8"] = func() *Graph { return CORDIC(8) }
+	Kernels["bitonic8"] = func() *Graph { return Bitonic(8) }
+	Kernels["horner8"] = func() *Graph { return Horner(8) }
+	Kernels["cmac4"] = func() *Graph { return ComplexMAC(4) }
+}

@@ -1,0 +1,92 @@
+package dfg
+
+import "testing"
+
+func TestCORDICShape(t *testing.T) {
+	g := CORDIC(6)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stat()
+	if st.DMUOps != 12 { // 2 shifts per iteration
+		t.Fatalf("%d shifts, want 12", st.DMUOps)
+	}
+	if st.ALUOps != 18 { // x, y, z updates per iteration
+		t.Fatalf("%d ALU ops, want 18", st.ALUOps)
+	}
+	// Serial structure: depth grows with iterations.
+	_, depth := g.Levels()
+	if depth < 11 {
+		t.Fatalf("depth %d too shallow for a serial CORDIC", depth)
+	}
+}
+
+func TestBitonicShape(t *testing.T) {
+	g := Bitonic(8)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A bitonic network over 8 lanes has 24 compare-exchanges; each is 3 ops.
+	if g.NumOps() != 24*3 {
+		t.Fatalf("%d ops, want 72", g.NumOps())
+	}
+	if g.Stat().DMUOps != 0 {
+		t.Fatal("comparators must be ALU-only")
+	}
+}
+
+func TestBitonicRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Bitonic(6)
+}
+
+func TestHornerIsSerial(t *testing.T) {
+	g := Horner(5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumOps() != 10 {
+		t.Fatalf("%d ops, want 10", g.NumOps())
+	}
+	_, depth := g.Levels()
+	if depth != 10 {
+		t.Fatalf("depth %d, want a fully serial 10", depth)
+	}
+	if len(g.Outputs()) != 1 {
+		t.Fatalf("%d outputs", len(g.Outputs()))
+	}
+}
+
+func TestComplexMACShape(t *testing.T) {
+	g := ComplexMAC(3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stat()
+	if st.DMUOps != 12 { // 4 multiplies per element
+		t.Fatalf("%d multiplies, want 12", st.DMUOps)
+	}
+	if st.ALUOps != 12 { // re, im, 2 accumulates per element
+		t.Fatalf("%d adds, want 12", st.ALUOps)
+	}
+	if len(g.Outputs()) != 2 { // final accR, accI
+		t.Fatalf("%d outputs, want 2", len(g.Outputs()))
+	}
+}
+
+func TestNewKernelsRegistered(t *testing.T) {
+	for _, name := range []string{"cordic8", "bitonic8", "horner8", "cmac4"} {
+		mk, ok := Kernels[name]
+		if !ok {
+			t.Errorf("kernel %s not registered", name)
+			continue
+		}
+		if err := mk().Validate(); err != nil {
+			t.Errorf("kernel %s invalid: %v", name, err)
+		}
+	}
+}

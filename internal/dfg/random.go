@@ -1,0 +1,124 @@
+package dfg
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LayeredSpec parameterizes the random layered-DAG generator. The
+// generator is the workhorse behind the synthetic Table-I benchmark suite:
+// it produces DAGs with a controlled op count, depth, fan-in profile, and
+// ALU/DMU mix, which are the only structural properties the re-mapping
+// flow is sensitive to.
+type LayeredSpec struct {
+	// Ops is the total number of operations (must be >= 1).
+	Ops int
+	// Depth is the number of layers (must be >= 1 and <= Ops).
+	Depth int
+	// DMUFrac is the fraction of DMU (slow) operations in (0,1).
+	DMUFrac float64
+	// MaxFanIn bounds the number of predecessors per op (>= 1);
+	// typical arithmetic DFGs have fan-in 2.
+	MaxFanIn int
+	// LocalityBias in [0,1] is the probability that a predecessor is
+	// drawn from the immediately previous layer rather than any earlier
+	// layer. High bias yields chain-heavy graphs (long timing paths).
+	LocalityBias float64
+}
+
+// DefaultLayeredSpec returns a spec resembling the mid-size paper
+// benchmarks: fan-in-2 arithmetic with roughly a third slow ops.
+func DefaultLayeredSpec(ops, depth int) LayeredSpec {
+	return LayeredSpec{
+		Ops:          ops,
+		Depth:        depth,
+		DMUFrac:      0.35,
+		MaxFanIn:     2,
+		LocalityBias: 0.8,
+	}
+}
+
+// NewLayered generates a random layered DAG according to spec, using rng
+// for all randomness (the caller controls determinism via the seed).
+//
+// Layer sizes are balanced with ±50% jitter. Every op in layer l > 0 has
+// at least one predecessor in an earlier layer, so the graph's ASAP depth
+// equals the requested Depth.
+func NewLayered(rng *rand.Rand, spec LayeredSpec) (*Graph, error) {
+	if spec.Ops < 1 {
+		return nil, fmt.Errorf("dfg: LayeredSpec.Ops = %d, need >= 1", spec.Ops)
+	}
+	if spec.Depth < 1 || spec.Depth > spec.Ops {
+		return nil, fmt.Errorf("dfg: LayeredSpec.Depth = %d, need 1..Ops(%d)", spec.Depth, spec.Ops)
+	}
+	if spec.MaxFanIn < 1 {
+		return nil, fmt.Errorf("dfg: LayeredSpec.MaxFanIn = %d, need >= 1", spec.MaxFanIn)
+	}
+	if spec.DMUFrac < 0 || spec.DMUFrac > 1 {
+		return nil, fmt.Errorf("dfg: LayeredSpec.DMUFrac = %g, need [0,1]", spec.DMUFrac)
+	}
+
+	// Partition ops into layers: one op minimum per layer, remainder
+	// distributed with jitter.
+	sizes := make([]int, spec.Depth)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	remaining := spec.Ops - spec.Depth
+	for remaining > 0 {
+		l := rng.Intn(spec.Depth)
+		sizes[l]++
+		remaining--
+	}
+
+	g := &Graph{}
+	layers := make([][]int, spec.Depth)
+	for l := 0; l < spec.Depth; l++ {
+		layers[l] = make([]int, sizes[l])
+		for i := range layers[l] {
+			kind := ALU
+			name := "add"
+			if rng.Float64() < spec.DMUFrac {
+				kind = DMU
+				name = "mul"
+			}
+			layers[l][i] = g.AddOp(kind, fmt.Sprintf("%s_l%d_%d", name, l, i))
+		}
+	}
+
+	// Wire predecessors. Every op gets at least one predecessor from the
+	// immediately previous layer, which pins the graph's ASAP depth to
+	// exactly spec.Depth.
+	for l := 1; l < spec.Depth; l++ {
+		for _, v := range layers[l] {
+			used := map[int]bool{}
+			first := layers[l-1][rng.Intn(len(layers[l-1]))]
+			used[first] = true
+			g.AddEdge(first, v)
+			extra := rng.Intn(spec.MaxFanIn)
+			for f := 0; f < extra; f++ {
+				srcLayer := l - 1
+				if rng.Float64() > spec.LocalityBias && l > 1 {
+					srcLayer = rng.Intn(l)
+				}
+				src := layers[srcLayer][rng.Intn(len(layers[srcLayer]))]
+				if used[src] {
+					continue
+				}
+				used[src] = true
+				g.AddEdge(src, v)
+			}
+		}
+	}
+	return g, nil
+}
+
+// MustNewLayered is NewLayered but panics on spec errors; intended for
+// tests and generators with compile-time-known specs.
+func MustNewLayered(rng *rand.Rand, spec LayeredSpec) *Graph {
+	g, err := NewLayered(rng, spec)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,157 @@
+package frontend
+
+import (
+	"fmt"
+	"sort"
+
+	"agingfp/internal/dfg"
+)
+
+// Unit assignment per operator: multiplies and shift networks execute on
+// the slow DMU, additive and bitwise logic on the fast ALU (§III's PE
+// characterization).
+func unitOf(op string) dfg.OpKind {
+	switch op {
+	case "*", "<<", ">>":
+		return dfg.DMU
+	default:
+		return dfg.ALU
+	}
+}
+
+// CompileResult carries the generated DFG and the program's interface.
+type CompileResult struct {
+	Graph *dfg.Graph
+	// Inputs are the identifiers read but never assigned, sorted.
+	Inputs []string
+	// Outputs are the identifiers assigned but never read, sorted.
+	Outputs []string
+	// OpOf maps each assigned name to the op producing its value, or -1
+	// for pass-through definitions (e.g. y = x; or y = 5;).
+	OpOf map[string]int
+}
+
+// value is the compile-time binding of an expression: either a DFG op
+// (producer >= 0) or a leaf (input variable / constant) with no op.
+type value struct {
+	producer int
+}
+
+// Compile translates a parsed program into a data-flow graph.
+//
+// Semantics:
+//   - each binary operation becomes one typed DFG op;
+//   - operands that are computed values contribute data edges;
+//   - operands that are primary inputs or constants contribute no edge
+//     (they arrive through the PE's input network / configuration);
+//   - reassigning a name shadows the previous value (SSA-style renaming
+//     happens implicitly: earlier consumers keep their producer).
+func Compile(prog *Program) (*CompileResult, error) {
+	g := &dfg.Graph{}
+	env := map[string]value{}     // current binding of each assigned name
+	declared := map[string]bool{} // every assignment target in the program
+	read := map[string]bool{}     // assigned names read after assignment
+	inputs := map[string]bool{}   // free identifiers
+	for _, st := range prog.Stmts {
+		declared[st.Name] = true
+	}
+
+	var genExpr func(e Expr) (value, error)
+	genExpr = func(e Expr) (value, error) {
+		switch n := e.(type) {
+		case *ConstRef:
+			return value{producer: -1}, nil
+		case *VarRef:
+			if v, ok := env[n.Name]; ok {
+				read[n.Name] = true
+				return v, nil
+			}
+			if declared[n.Name] {
+				// Assigned later in the program but not yet here.
+				line, col := n.Pos()
+				return value{}, errAt(line, col, "use of %q before assignment", n.Name)
+			}
+			inputs[n.Name] = true
+			return value{producer: -1}, nil
+		case *BinOp:
+			left, err := genExpr(n.Left)
+			if err != nil {
+				return value{}, err
+			}
+			right, err := genExpr(n.Right)
+			if err != nil {
+				return value{}, err
+			}
+			id := g.AddOp(unitOf(n.Op), opName(n.Op))
+			if left.producer >= 0 {
+				g.AddEdge(left.producer, id)
+			}
+			if right.producer >= 0 && right.producer != left.producer {
+				g.AddEdge(right.producer, id)
+			}
+			return value{producer: id}, nil
+		default:
+			return value{}, fmt.Errorf("frontend: unknown expression node %T", e)
+		}
+	}
+
+	for _, st := range prog.Stmts {
+		v, err := genExpr(st.Value)
+		if err != nil {
+			return nil, err
+		}
+		env[st.Name] = v
+		delete(read, st.Name) // re-assignment revives output candidacy
+	}
+
+	res := &CompileResult{Graph: g, OpOf: map[string]int{}}
+	for name, v := range env {
+		res.OpOf[name] = v.producer
+	}
+	for name := range inputs {
+		res.Inputs = append(res.Inputs, name)
+	}
+	for name := range declared {
+		if !read[name] {
+			res.Outputs = append(res.Outputs, name)
+		}
+	}
+	sort.Strings(res.Inputs)
+	sort.Strings(res.Outputs)
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("frontend: generated graph invalid: %w", err)
+	}
+	return res, nil
+}
+
+// CompileSource parses and compiles in one step.
+func CompileSource(src string) (*CompileResult, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(prog)
+}
+
+func opName(op string) string {
+	switch op {
+	case "+":
+		return "add"
+	case "-":
+		return "sub"
+	case "*":
+		return "mul"
+	case "<<":
+		return "shl"
+	case ">>":
+		return "shr"
+	case "&":
+		return "and"
+	case "|":
+		return "or"
+	case "^":
+		return "xor"
+	default:
+		return op
+	}
+}

@@ -1,0 +1,257 @@
+package frontend
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/dfg"
+	"agingfp/internal/hls"
+)
+
+func compileOK(t *testing.T, src string) *CompileResult {
+	t.Helper()
+	r, err := CompileSource(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return r
+}
+
+func TestSimpleAssignment(t *testing.T) {
+	r := compileOK(t, "y = a + b;")
+	if r.Graph.NumOps() != 1 {
+		t.Fatalf("%d ops, want 1", r.Graph.NumOps())
+	}
+	if r.Graph.Ops[0].Kind != dfg.ALU {
+		t.Fatalf("add on %v, want ALU", r.Graph.Ops[0].Kind)
+	}
+	if len(r.Inputs) != 2 || r.Inputs[0] != "a" || r.Inputs[1] != "b" {
+		t.Fatalf("inputs %v", r.Inputs)
+	}
+	if len(r.Outputs) != 1 || r.Outputs[0] != "y" {
+		t.Fatalf("outputs %v", r.Outputs)
+	}
+}
+
+func TestUnitAssignment(t *testing.T) {
+	cases := map[string]dfg.OpKind{
+		"y = a * b;":  dfg.DMU,
+		"y = a << b;": dfg.DMU,
+		"y = a >> b;": dfg.DMU,
+		"y = a + b;":  dfg.ALU,
+		"y = a - b;":  dfg.ALU,
+		"y = a & b;":  dfg.ALU,
+		"y = a | b;":  dfg.ALU,
+		"y = a ^ b;":  dfg.ALU,
+	}
+	for src, want := range cases {
+		r := compileOK(t, src)
+		if r.Graph.Ops[0].Kind != want {
+			t.Errorf("%s: kind %v, want %v", src, r.Graph.Ops[0].Kind, want)
+		}
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// a + b * c: the multiply feeds the add.
+	r := compileOK(t, "y = a + b * c;")
+	if r.Graph.NumOps() != 2 {
+		t.Fatalf("%d ops", r.Graph.NumOps())
+	}
+	mul, add := -1, -1
+	for _, op := range r.Graph.Ops {
+		if op.Name == "mul" {
+			mul = op.ID
+		}
+		if op.Name == "add" {
+			add = op.ID
+		}
+	}
+	if mul < 0 || add < 0 {
+		t.Fatal("ops missing")
+	}
+	if got := r.Graph.Succs(mul); len(got) != 1 || got[0] != add {
+		t.Fatalf("mul feeds %v, want add", got)
+	}
+	// (a + b) * c flips the dependency.
+	r2 := compileOK(t, "y = (a + b) * c;")
+	var m2, a2 int
+	for _, op := range r2.Graph.Ops {
+		if op.Name == "mul" {
+			m2 = op.ID
+		}
+		if op.Name == "add" {
+			a2 = op.ID
+		}
+	}
+	if got := r2.Graph.Succs(a2); len(got) != 1 || got[0] != m2 {
+		t.Fatalf("add feeds %v, want mul", got)
+	}
+}
+
+func TestPrecedenceLevels(t *testing.T) {
+	// | lowest, then ^, &, shifts, +, * highest.
+	r := compileOK(t, "y = a | b ^ c & d << e + f * g;")
+	// The root (output op) must be the OR.
+	outs := r.Graph.Outputs()
+	if len(outs) != 1 || r.Graph.Ops[outs[0]].Name != "or" {
+		t.Fatalf("root op %v", r.Graph.Ops[outs[0]].Name)
+	}
+}
+
+func TestChainedDependencies(t *testing.T) {
+	src := `
+		t0 = a * b;
+		t1 = t0 + c;
+		t2 = t1 + t0;
+		out = t2 * d;
+	`
+	r := compileOK(t, src)
+	if r.Graph.NumOps() != 4 {
+		t.Fatalf("%d ops, want 4", r.Graph.NumOps())
+	}
+	levels, depth := r.Graph.Levels()
+	if depth != 4 {
+		t.Fatalf("depth %d, want 4 (serial chain)", depth)
+	}
+	_ = levels
+	if len(r.Outputs) != 1 || r.Outputs[0] != "out" {
+		t.Fatalf("outputs %v", r.Outputs)
+	}
+}
+
+func TestConstantsGenerateNoEdges(t *testing.T) {
+	r := compileOK(t, "y = a * 3 + 1;")
+	if r.Graph.NumOps() != 2 {
+		t.Fatalf("%d ops", r.Graph.NumOps())
+	}
+	if len(r.Graph.Edges) != 1 {
+		t.Fatalf("%d edges, want 1 (constants are free)", len(r.Graph.Edges))
+	}
+}
+
+func TestPassThroughAssignment(t *testing.T) {
+	r := compileOK(t, "y = x; z = y + 1;")
+	if r.OpOf["y"] != -1 {
+		t.Fatalf("pass-through produced op %d", r.OpOf["y"])
+	}
+	if len(r.Outputs) != 1 || r.Outputs[0] != "z" {
+		t.Fatalf("outputs %v", r.Outputs)
+	}
+}
+
+func TestReassignmentShadows(t *testing.T) {
+	src := `
+		acc = a * b;
+		acc = acc + c;
+		out = acc + d;
+	`
+	r := compileOK(t, src)
+	if r.Graph.NumOps() != 3 {
+		t.Fatalf("%d ops", r.Graph.NumOps())
+	}
+	if len(r.Outputs) != 1 || r.Outputs[0] != "out" {
+		t.Fatalf("outputs %v (acc must not be an output)", r.Outputs)
+	}
+}
+
+func TestForwardReferenceRejected(t *testing.T) {
+	_, err := CompileSource("y = z + 1; z = a * b;")
+	if err == nil {
+		t.Fatal("forward reference accepted")
+	}
+	if se, ok := err.(*SyntaxError); !ok || se.Line != 1 {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"y = ;",
+		"y = a +;",
+		"= a + b;",
+		"y = (a + b;",
+		"y = a $ b;",
+		"y = a + b",
+		"/* unterminated",
+	}
+	for _, src := range cases {
+		if _, err := CompileSource(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+		// line comment
+		y = a + b; /* block
+		            comment */ z = y * c;
+	`
+	r := compileOK(t, src)
+	if r.Graph.NumOps() != 2 {
+		t.Fatalf("%d ops", r.Graph.NumOps())
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := CompileSource("y = a + b;\nz = a $ b;")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("not a SyntaxError: %v", err)
+	}
+	if se.Line != 2 {
+		t.Fatalf("error at line %d, want 2", se.Line)
+	}
+	if !strings.Contains(se.Error(), "2:") {
+		t.Fatalf("message lacks position: %s", se.Error())
+	}
+}
+
+// TestEndToEndScheduling compiles a small dot-product and pushes it
+// through HLS to a valid design.
+func TestEndToEndScheduling(t *testing.T) {
+	src := `
+		p0 = x0 * c0;
+		p1 = x1 * c1;
+		p2 = x2 * c2;
+		p3 = x3 * c3;
+		s0 = p0 + p1;
+		s1 = p2 + p3;
+		out = s0 + s1;
+	`
+	r := compileOK(t, src)
+	d, err := hls.BuildDesign("dot4", r.Graph, arch.Fabric{W: 4, H: 4}, hls.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumContexts < 2 {
+		t.Fatalf("%d contexts; multiplies and adds cannot chain fully", d.NumContexts)
+	}
+}
+
+func TestFIREquivalence(t *testing.T) {
+	// The textual FIR matches the programmatic dfg.FIR shape.
+	var b strings.Builder
+	for i := 0; i < 8; i++ {
+		b.WriteString(sprintfLine("p%d = x%d * c%d;", i, i, i))
+	}
+	b.WriteString("s0 = p0 + p1; s1 = p2 + p3; s2 = p4 + p5; s3 = p6 + p7;")
+	b.WriteString("t0 = s0 + s1; t1 = s2 + s3; out = t0 + t1;")
+	r := compileOK(t, b.String())
+	want := dfg.FIR(8).Stat()
+	got := r.Graph.Stat()
+	if got.DMUOps != want.DMUOps || got.ALUOps != want.ALUOps || got.Depth != want.Depth {
+		t.Fatalf("shape mismatch: got %+v want %+v", got, want)
+	}
+}
+
+func sprintfLine(format string, args ...interface{}) string {
+	return strings.TrimSpace(fmt.Sprintf(format, args...)) + "\n"
+}

@@ -1,0 +1,211 @@
+// Package frontend compiles a small C-like behavioral language into the
+// data-flow graphs consumed by the HLS flow — the role the paper's
+// "behavioral description for HLS" input plays (§IV: "The input to this
+// flow is a behavioral description").
+//
+// The language is a sequence of assignments over integer expressions:
+//
+//	// 4-tap FIR
+//	acc0 = x0 * c0;
+//	acc1 = x1 * c1;
+//	sum0 = acc0 + acc1;
+//	out  = sum0 + x2 * c2 + x3 * c3;
+//
+// Operators: + - (ALU), * << >> (DMU), & | ^ (ALU), with C precedence
+// and parentheses. Identifiers never assigned are primary inputs;
+// assigned-but-never-read values are primary outputs. Each binary
+// operation becomes one DFG operation typed by the unit that executes it.
+package frontend
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokAssign // =
+	tokSemi   // ;
+	tokLParen
+	tokRParen
+	tokPlus
+	tokMinus
+	tokStar
+	tokShl // <<
+	tokShr // >>
+	tokAnd // &
+	tokOr  // |
+	tokXor // ^
+	tokEOF
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokAssign:
+		return "'='"
+	case tokSemi:
+		return "';'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokShl:
+		return "'<<'"
+	case tokShr:
+		return "'>>'"
+	case tokAnd:
+		return "'&'"
+	case tokOr:
+		return "'|'"
+	case tokXor:
+		return "'^'"
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("tokKind(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// SyntaxError reports a lexing or parsing failure with position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("frontend: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...interface{}) error {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes src.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			start := [2]int{line, col}
+			advance(2)
+			for {
+				if i+1 >= n {
+					return nil, errAt(start[0], start[1], "unterminated block comment")
+				}
+				if src[i] == '*' && src[i+1] == '/' {
+					advance(2)
+					break
+				}
+				advance(1)
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			sl, sc := line, col
+			for i < n && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				advance(1)
+			}
+			toks = append(toks, token{tokIdent, src[start:i], sl, sc})
+		case unicode.IsDigit(rune(c)):
+			start := i
+			sl, sc := line, col
+			for i < n && unicode.IsDigit(rune(src[i])) {
+				advance(1)
+			}
+			toks = append(toks, token{tokNumber, src[start:i], sl, sc})
+		default:
+			sl, sc := line, col
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch {
+			case two == "<<":
+				toks = append(toks, token{tokShl, two, sl, sc})
+				advance(2)
+			case two == ">>":
+				toks = append(toks, token{tokShr, two, sl, sc})
+				advance(2)
+			default:
+				var k tokKind
+				switch c {
+				case '=':
+					k = tokAssign
+				case ';':
+					k = tokSemi
+				case '(':
+					k = tokLParen
+				case ')':
+					k = tokRParen
+				case '+':
+					k = tokPlus
+				case '-':
+					k = tokMinus
+				case '*':
+					k = tokStar
+				case '&':
+					k = tokAnd
+				case '|':
+					k = tokOr
+				case '^':
+					k = tokXor
+				default:
+					return nil, errAt(sl, sc, "unexpected character %q", string(rune(c)))
+				}
+				toks = append(toks, token{k, string(c), sl, sc})
+				advance(1)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line, col})
+	return toks, nil
+}
+
+// describeSource returns a one-line summary for diagnostics.
+func describeSource(src string) string {
+	lines := strings.Count(src, "\n") + 1
+	return fmt.Sprintf("%d lines, %d bytes", lines, len(src))
+}

@@ -1,0 +1,182 @@
+package frontend
+
+import "fmt"
+
+// AST node kinds.
+
+// Expr is an expression tree node.
+type Expr interface {
+	exprNode()
+	// Pos returns the source position.
+	Pos() (line, col int)
+}
+
+// VarRef references a named value (a previously assigned variable or a
+// primary input).
+type VarRef struct {
+	Name      string
+	line, col int
+}
+
+// ConstRef is an integer literal. Constants are free at runtime (they
+// are baked into PE configurations) and generate no DFG operation.
+type ConstRef struct {
+	Text      string
+	line, col int
+}
+
+// BinOp is a binary operation.
+type BinOp struct {
+	Op          string // "+", "-", "*", "<<", ">>", "&", "|", "^"
+	Left, Right Expr
+	line, col   int
+}
+
+func (v *VarRef) exprNode()   {}
+func (c *ConstRef) exprNode() {}
+func (b *BinOp) exprNode()    {}
+
+// Pos implements Expr.
+func (v *VarRef) Pos() (int, int)   { return v.line, v.col }
+func (c *ConstRef) Pos() (int, int) { return c.line, c.col }
+func (b *BinOp) Pos() (int, int)    { return b.line, b.col }
+
+// Assign is one statement: name = expr ;
+type Assign struct {
+	Name      string
+	Value     Expr
+	line, col int
+}
+
+// Program is a parsed behavioral description.
+type Program struct {
+	Stmts []*Assign
+}
+
+// parser is a recursive-descent parser with C-like precedence:
+//
+//	or:    |            (lowest)
+//	xor:   ^
+//	and:   &
+//	shift: << >>
+//	add:   + -
+//	mul:   *            (highest binary)
+//	unary: ( ) ident number
+type parser struct {
+	toks []token
+	at   int
+}
+
+func (p *parser) peek() token { return p.toks[p.at] }
+func (p *parser) next() token { t := p.toks[p.at]; p.at++; return t }
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.peek()
+	if t.kind != k {
+		return t, errAt(t.line, t.col, "expected %v, found %v %q", k, t.kind, t.text)
+	}
+	return p.next(), nil
+}
+
+// Parse parses a behavioral description into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for p.peek().kind != tokEOF {
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = append(prog.Stmts, st)
+	}
+	if len(prog.Stmts) == 0 {
+		return nil, fmt.Errorf("frontend: empty program (%s)", describeSource(src))
+	}
+	return prog, nil
+}
+
+func (p *parser) statement() (*Assign, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokAssign); err != nil {
+		return nil, err
+	}
+	value, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return &Assign{Name: name.text, Value: value, line: name.line, col: name.col}, nil
+}
+
+// binLevel builds a left-associative binary level.
+func (p *parser) binLevel(ops map[tokKind]string, sub func() (Expr, error)) (Expr, error) {
+	left, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		opText, ok := ops[t.kind]
+		if !ok {
+			return left, nil
+		}
+		p.next()
+		right, err := sub()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{Op: opText, Left: left, Right: right, line: t.line, col: t.col}
+	}
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	return p.binLevel(map[tokKind]string{tokOr: "|"}, p.parseXor)
+}
+func (p *parser) parseXor() (Expr, error) {
+	return p.binLevel(map[tokKind]string{tokXor: "^"}, p.parseAnd)
+}
+func (p *parser) parseAnd() (Expr, error) {
+	return p.binLevel(map[tokKind]string{tokAnd: "&"}, p.parseShift)
+}
+func (p *parser) parseShift() (Expr, error) {
+	return p.binLevel(map[tokKind]string{tokShl: "<<", tokShr: ">>"}, p.parseAdd)
+}
+func (p *parser) parseAdd() (Expr, error) {
+	return p.binLevel(map[tokKind]string{tokPlus: "+", tokMinus: "-"}, p.parseMul)
+}
+func (p *parser) parseMul() (Expr, error) {
+	return p.binLevel(map[tokKind]string{tokStar: "*"}, p.parseUnary)
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokIdent:
+		p.next()
+		return &VarRef{Name: t.text, line: t.line, col: t.col}, nil
+	case tokNumber:
+		p.next()
+		return &ConstRef{Text: t.text, line: t.line, col: t.col}, nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, errAt(t.line, t.col, "expected expression, found %v %q", t.kind, t.text)
+	}
+}

@@ -1,0 +1,124 @@
+// Package hls provides the high-level-synthesis front end of the flow:
+// scheduling a data-flow graph into the contexts (clock cycles) of a
+// multi-context CGRRA, with operator chaining.
+//
+// It stands in for the scheduling stage of the commercial Musketeer flow
+// used by the paper: the output — a context assignment per operation such
+// that chained combinational delay fits in the clock period — is exactly
+// the artifact the downstream placer and re-mapper consume.
+package hls
+
+import (
+	"fmt"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/dfg"
+)
+
+// Config tunes the scheduler.
+type Config struct {
+	// ClockPeriodNs is the context cycle time (default
+	// arch.DefaultClockPeriodNs).
+	ClockPeriodNs float64
+	// WireReserveFrac is the fraction of the clock period reserved for
+	// interconnect delay when deciding whether an op can chain in the
+	// same cycle as its predecessor. The placer must then realize the
+	// schedule with wires within this reserve. Default 0.20.
+	WireReserveFrac float64
+	// MaxOpsPerContext optionally bounds context width (fabric
+	// capacity); 0 means unbounded. When a context fills up, ops spill
+	// into later cycles.
+	MaxOpsPerContext int
+}
+
+// DefaultConfig returns the standard 200 MHz configuration.
+func DefaultConfig() Config {
+	return Config{
+		ClockPeriodNs:   arch.DefaultClockPeriodNs,
+		WireReserveFrac: 0.20,
+	}
+}
+
+// Schedule assigns every op of g a context using ASAP list scheduling
+// with operator chaining: an op starts in the cycle where all its
+// operands are available, chaining combinationally after same-cycle
+// predecessors when the accumulated PE delay still fits in the clock
+// period minus the wire reserve.
+//
+// It returns the per-op context assignment and the schedule latency
+// (number of contexts).
+func Schedule(g *dfg.Graph, cfg Config) (ctx []int, numContexts int, err error) {
+	if cfg.ClockPeriodNs <= 0 {
+		return nil, 0, fmt.Errorf("hls: clock period %g must be positive", cfg.ClockPeriodNs)
+	}
+	if cfg.WireReserveFrac < 0 || cfg.WireReserveFrac >= 1 {
+		return nil, 0, fmt.Errorf("hls: wire reserve %g out of [0,1)", cfg.WireReserveFrac)
+	}
+	budget := cfg.ClockPeriodNs * (1 - cfg.WireReserveFrac)
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, op := range g.Ops {
+		if d := arch.OpDelayNs(op.Kind); d > budget {
+			return nil, 0, fmt.Errorf("hls: op %d (%v, %.2f ns) exceeds chaining budget %.2f ns",
+				op.ID, op.Kind, d, budget)
+		}
+	}
+
+	ctx = make([]int, g.NumOps())
+	finish := make([]float64, g.NumOps()) // combinational finish time within its cycle
+	width := map[int]int{}                // ops per context, for capacity spill
+
+	for _, v := range order {
+		d := arch.OpDelayNs(g.Ops[v].Kind)
+		cycle := 0
+		start := 0.0
+		for _, p := range g.Preds(v) {
+			pc, pf := ctx[p], finish[p]
+			var c int
+			var st float64
+			if pf+d <= budget {
+				c, st = pc, pf // can chain in the producer's cycle
+			} else {
+				c, st = pc+1, 0 // must register
+			}
+			if c > cycle {
+				cycle, start = c, st
+			} else if c == cycle && st > start {
+				start = st
+			}
+		}
+		if cfg.MaxOpsPerContext > 0 {
+			for width[cycle] >= cfg.MaxOpsPerContext {
+				cycle++
+				start = 0
+			}
+		}
+		ctx[v] = cycle
+		finish[v] = start + d
+		width[cycle]++
+		if cycle+1 > numContexts {
+			numContexts = cycle + 1
+		}
+	}
+	return ctx, numContexts, nil
+}
+
+// BuildDesign schedules g and wraps it into an arch.Design on the given
+// fabric, validating capacity.
+func BuildDesign(name string, g *dfg.Graph, fabric arch.Fabric, cfg Config) (*arch.Design, error) {
+	if cfg.MaxOpsPerContext == 0 {
+		cfg.MaxOpsPerContext = fabric.NumPEs()
+	}
+	ctx, n, err := Schedule(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := arch.NewDesign(name, fabric, n, g, ctx)
+	d.ClockPeriodNs = cfg.ClockPeriodNs
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("hls: scheduled design invalid: %w", err)
+	}
+	return d, nil
+}

@@ -1,0 +1,176 @@
+package hls
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/dfg"
+)
+
+func TestScheduleChainsALUs(t *testing.T) {
+	// Four chained ALUs (0.87 each = 3.48) fit one 4.0 ns chaining
+	// budget; a fifth must spill to the next cycle.
+	g := &dfg.Graph{}
+	prev := g.AddOp(dfg.ALU, "a0")
+	for i := 1; i < 5; i++ {
+		v := g.AddOp(dfg.ALU, "a")
+		g.AddEdge(prev, v)
+		prev = v
+	}
+	ctx, n, err := Schedule(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("latency %d, want 2", n)
+	}
+	for i := 0; i < 4; i++ {
+		if ctx[i] != 0 {
+			t.Fatalf("op %d in ctx %d, want 0", i, ctx[i])
+		}
+	}
+	if ctx[4] != 1 {
+		t.Fatalf("5th op in ctx %d, want 1", ctx[4])
+	}
+}
+
+func TestScheduleDMUBreaksChain(t *testing.T) {
+	// DMU (3.14) + ALU (0.87) = 4.01 exceeds the 4.0 budget: register.
+	g := &dfg.Graph{}
+	a := g.AddOp(dfg.DMU, "m")
+	b := g.AddOp(dfg.ALU, "a")
+	g.AddEdge(a, b)
+	ctx, n, err := Schedule(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || ctx[0] != 0 || ctx[1] != 1 {
+		t.Fatalf("ctx=%v n=%d, want mul/add split", ctx, n)
+	}
+}
+
+func TestScheduleRespectsCausality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := dfg.MustNewLayered(rng, dfg.DefaultLayeredSpec(10+rng.Intn(60), 2+rng.Intn(6)))
+		ctx, n, err := Schedule(g, DefaultConfig())
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if n < 1 {
+			return false
+		}
+		for _, e := range g.Edges {
+			if ctx[e.From] > ctx[e.To] {
+				t.Logf("seed %d: causality violated on edge %v", seed, e)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleChainDelaysFit(t *testing.T) {
+	// Within each context, every chained path's PE delay must fit the
+	// chaining budget.
+	rng := rand.New(rand.NewSource(17))
+	g := dfg.MustNewLayered(rng, dfg.DefaultLayeredSpec(80, 8))
+	cfg := DefaultConfig()
+	ctx, n, err := Schedule(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := cfg.ClockPeriodNs * (1 - cfg.WireReserveFrac)
+	// Longest PE-delay chain per context via DP.
+	order, _ := g.TopoOrder()
+	finish := make([]float64, g.NumOps())
+	for _, v := range order {
+		start := 0.0
+		for _, p := range g.Preds(v) {
+			if ctx[p] == ctx[v] && finish[p] > start {
+				start = finish[p]
+			}
+		}
+		finish[v] = start + arch.OpDelayNs(g.Ops[v].Kind)
+		if finish[v] > budget+1e-9 {
+			t.Fatalf("op %d chain delay %.3f exceeds budget %.3f", v, finish[v], budget)
+		}
+	}
+	_ = n
+}
+
+func TestScheduleCapacitySpill(t *testing.T) {
+	// 10 independent ops with capacity 4 must spread over 3 cycles.
+	g := &dfg.Graph{}
+	for i := 0; i < 10; i++ {
+		g.AddOp(dfg.ALU, "x")
+	}
+	cfg := DefaultConfig()
+	cfg.MaxOpsPerContext = 4
+	ctx, n, err := Schedule(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("latency %d, want 3", n)
+	}
+	width := map[int]int{}
+	for _, c := range ctx {
+		width[c]++
+		if width[c] > 4 {
+			t.Fatalf("context %d over capacity", c)
+		}
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	g := dfg.FIR(4)
+	if _, _, err := Schedule(g, Config{ClockPeriodNs: 0}); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, _, err := Schedule(g, Config{ClockPeriodNs: 5, WireReserveFrac: 1.0}); err == nil {
+		t.Fatal("full wire reserve accepted")
+	}
+	// Op slower than the whole budget.
+	if _, _, err := Schedule(g, Config{ClockPeriodNs: 3.0, WireReserveFrac: 0.1}); err == nil {
+		t.Fatal("un-schedulable DMU accepted")
+	}
+	cyc := &dfg.Graph{}
+	a := cyc.AddOp(dfg.ALU, "a")
+	b := cyc.AddOp(dfg.ALU, "b")
+	cyc.AddEdge(a, b)
+	cyc.Edges = append(cyc.Edges, dfg.Edge{From: b, To: a})
+	if _, _, err := Schedule(cyc, DefaultConfig()); err == nil {
+		t.Fatal("cyclic graph accepted")
+	}
+}
+
+func TestBuildDesignValidates(t *testing.T) {
+	d, err := BuildDesign("fir8", dfg.FIR(8), arch.Fabric{W: 4, H: 4}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "fir8" || d.NumContexts < 2 {
+		t.Fatalf("unexpected design: %s, %d contexts", d.Name, d.NumContexts)
+	}
+	// A tiny fabric forces capacity spilling into extra contexts.
+	small, err := BuildDesign("big", dfg.FIR(32), arch.Fabric{W: 2, H: 2}, DefaultConfig())
+	if err != nil {
+		t.Fatalf("spilling failed: %v", err)
+	}
+	if small.NumContexts <= d.NumContexts {
+		t.Fatalf("expected capacity spilling to stretch the schedule: %d contexts", small.NumContexts)
+	}
+	if small.MaxContextOps() > 4 {
+		t.Fatalf("context wider than the 2x2 fabric: %d", small.MaxContextOps())
+	}
+}

@@ -1,0 +1,84 @@
+package lp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WriteLP serializes the problem in the (CPLEX) LP text format, the
+// lingua franca of LP debugging: the output loads into any external
+// solver for cross-checking, and diffs cleanly in tests. Variables are
+// named x0..xN-1.
+func WriteLP(w io.Writer, p *Problem) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "Minimize")
+	fmt.Fprint(bw, " obj:")
+	wrote := false
+	for j := 0; j < p.NumVars(); j++ {
+		c := p.Obj(j)
+		if c == 0 {
+			continue
+		}
+		writeTerm(bw, c, j, !wrote)
+		wrote = true
+	}
+	if !wrote {
+		fmt.Fprint(bw, " 0 x0")
+	}
+	fmt.Fprintln(bw)
+
+	fmt.Fprintln(bw, "Subject To")
+	for i, r := range p.Rows() {
+		fmt.Fprintf(bw, " c%d:", i)
+		for k, j := range r.Idx {
+			writeTerm(bw, r.Val[k], j, k == 0)
+		}
+		switch r.Sense {
+		case LE:
+			fmt.Fprintf(bw, " <= %g", r.RHS)
+		case GE:
+			fmt.Fprintf(bw, " >= %g", r.RHS)
+		case EQ:
+			fmt.Fprintf(bw, " = %g", r.RHS)
+		}
+		fmt.Fprintln(bw)
+	}
+
+	fmt.Fprintln(bw, "Bounds")
+	for j := 0; j < p.NumVars(); j++ {
+		lo, hi := p.Bounds(j)
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			fmt.Fprintf(bw, " x%d free\n", j)
+		case math.IsInf(hi, 1):
+			fmt.Fprintf(bw, " x%d >= %g\n", j, lo)
+		case math.IsInf(lo, -1):
+			fmt.Fprintf(bw, " x%d <= %g\n", j, hi)
+		default:
+			fmt.Fprintf(bw, " %g <= x%d <= %g\n", lo, j, hi)
+		}
+	}
+	fmt.Fprintln(bw, "End")
+	return bw.Flush()
+}
+
+func writeTerm(w io.Writer, c float64, j int, first bool) {
+	switch {
+	case first && c == 1:
+		fmt.Fprintf(w, " x%d", j)
+	case first && c == -1:
+		fmt.Fprintf(w, " - x%d", j)
+	case first:
+		fmt.Fprintf(w, " %g x%d", c, j)
+	case c == 1:
+		fmt.Fprintf(w, " + x%d", j)
+	case c == -1:
+		fmt.Fprintf(w, " - x%d", j)
+	case c < 0:
+		fmt.Fprintf(w, " - %g x%d", -c, j)
+	default:
+		fmt.Fprintf(w, " + %g x%d", c, j)
+	}
+}

@@ -1,0 +1,54 @@
+package lp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteLP(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(1, 0, 3)
+	y := p.AddVar(-2.5, math.Inf(-1), Inf)
+	z := p.AddVar(0, 0, Inf)
+	p.MustAddRow(LE, 4, []int{x, y}, []float64{1, 1})
+	p.MustAddRow(GE, -1, []int{y, z}, []float64{-1, 2})
+	p.MustAddRow(EQ, 2, []int{x}, []float64{1})
+
+	var buf bytes.Buffer
+	if err := WriteLP(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Minimize",
+		"obj: x0 - 2.5 x1",
+		"Subject To",
+		"c0: x0 + x1 <= 4",
+		"c1: - x1 + 2 x2 >= -1",
+		"c2: x0 = 2",
+		"Bounds",
+		"0 <= x0 <= 3",
+		"x1 free",
+		"x2 >= 0",
+		"End",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteLPZeroObjective(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, 0, 1)
+	p.MustAddRow(LE, 1, []int{x}, []float64{1})
+	var buf bytes.Buffer
+	if err := WriteLP(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "obj: 0 x0") {
+		t.Fatalf("zero objective rendered wrong:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,233 @@
+// Package lp implements a bounded-variable revised-simplex linear
+// programming solver. It is the foundation of the MILP machinery that
+// replaces the commercial CPLEX solver used by the paper.
+//
+// Problems are stated as
+//
+//	minimize    c'x
+//	subject to  a_i'x  (<=|=|>=)  b_i      for each row i
+//	            l <= x <= u                 (bounds may be infinite)
+//
+// The solver works on the computational standard form Ax + s = b with one
+// slack per row (slack bounds encode the row sense), uses artificial
+// variables only for rows whose initial residual a feasible slack cannot
+// absorb, and runs a textbook two-phase bounded simplex with an explicit
+// basis inverse, eta-style pivot updates, periodic primal refresh for
+// numerical hygiene, and a Bland's-rule fallback that guarantees
+// termination under degeneracy.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is a row's comparison sense.
+type Sense int
+
+// Row senses.
+const (
+	LE Sense = iota // a'x <= b
+	GE              // a'x >= b
+	EQ              // a'x == b
+)
+
+// String implements fmt.Stringer.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// Inf is positive infinity, for unbounded variable bounds.
+var Inf = math.Inf(1)
+
+// Row is one linear constraint in sparse form.
+type Row struct {
+	Sense Sense
+	RHS   float64
+	Idx   []int
+	Val   []float64
+}
+
+// Problem is a linear program under construction. The zero value is an
+// empty problem ready for AddVar/AddRow.
+type Problem struct {
+	c      []float64
+	lb, ub []float64
+	rows   []Row
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// AddVar appends a variable with objective coefficient c and bounds
+// [lb, ub], returning its index.
+func (p *Problem) AddVar(c, lb, ub float64) int {
+	p.c = append(p.c, c)
+	p.lb = append(p.lb, lb)
+	p.ub = append(p.ub, ub)
+	return len(p.c) - 1
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return len(p.c) }
+
+// NumRows returns the number of constraints.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// AddRow appends the constraint sum(val[k]*x[idx[k]]) sense rhs.
+// Duplicate indices within one row are rejected.
+func (p *Problem) AddRow(sense Sense, rhs float64, idx []int, val []float64) error {
+	if len(idx) != len(val) {
+		return fmt.Errorf("lp: AddRow index/value length mismatch (%d vs %d)", len(idx), len(val))
+	}
+	seen := make(map[int]bool, len(idx))
+	for _, j := range idx {
+		if j < 0 || j >= len(p.c) {
+			return fmt.Errorf("lp: AddRow variable %d out of range [0,%d)", j, len(p.c))
+		}
+		if seen[j] {
+			return fmt.Errorf("lp: AddRow duplicate variable %d", j)
+		}
+		seen[j] = true
+	}
+	p.rows = append(p.rows, Row{
+		Sense: sense,
+		RHS:   rhs,
+		Idx:   append([]int(nil), idx...),
+		Val:   append([]float64(nil), val...),
+	})
+	return nil
+}
+
+// MustAddRow is AddRow panicking on error; for construction code whose
+// indices are correct by construction.
+func (p *Problem) MustAddRow(sense Sense, rhs float64, idx []int, val []float64) {
+	if err := p.AddRow(sense, rhs, idx, val); err != nil {
+		panic(err)
+	}
+}
+
+// Rows exposes the constraint rows (shared storage; callers must not
+// modify). Used by diagnostics and solution checkers.
+func (p *Problem) Rows() []Row { return p.rows }
+
+// SetObj overwrites variable j's objective coefficient.
+func (p *Problem) SetObj(j int, c float64) { p.c[j] = c }
+
+// Obj returns variable j's objective coefficient.
+func (p *Problem) Obj(j int) float64 { return p.c[j] }
+
+// Bounds returns variable j's bounds.
+func (p *Problem) Bounds(j int) (lb, ub float64) { return p.lb[j], p.ub[j] }
+
+// SetBounds overwrites variable j's bounds; used by branch-and-bound.
+func (p *Problem) SetBounds(j int, lb, ub float64) {
+	p.lb[j], p.ub[j] = lb, ub
+}
+
+// CloneBounds returns a copy of the problem that shares the (immutable)
+// rows and objective but owns its bound arrays, so branch-and-bound nodes
+// can tighten bounds independently.
+func (p *Problem) CloneBounds() *Problem {
+	return &Problem{
+		c:    p.c,
+		lb:   append([]float64(nil), p.lb...),
+		ub:   append([]float64(nil), p.ub...),
+		rows: p.rows,
+	}
+}
+
+// Status is a solve outcome.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal: an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible: the constraints admit no solution.
+	Infeasible
+	// Unbounded: the objective decreases without bound.
+	Unbounded
+	// IterLimit: the iteration budget was exhausted.
+	IterLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is a solve result.
+type Solution struct {
+	Status Status
+	// Obj is the objective value (meaningful for Optimal).
+	Obj float64
+	// X holds the variable values (meaningful for Optimal).
+	X []float64
+	// Iters is the total simplex iteration count across both phases.
+	Iters int
+}
+
+// Options tunes the solver.
+type Options struct {
+	// MaxIter bounds total simplex iterations; 0 selects a default
+	// proportional to the problem size.
+	MaxIter int
+	// Tol is the feasibility/optimality tolerance; 0 selects 1e-9.
+	Tol float64
+}
+
+// Solve optimizes the problem. The problem itself is not modified.
+func Solve(p *Problem, opt Options) (*Solution, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	s := newSolver(p, opt)
+	return s.run()
+}
+
+func validate(p *Problem) error {
+	for j := range p.c {
+		if p.lb[j] > p.ub[j] {
+			return fmt.Errorf("lp: variable %d has lb %g > ub %g", j, p.lb[j], p.ub[j])
+		}
+		if math.IsNaN(p.c[j]) || math.IsNaN(p.lb[j]) || math.IsNaN(p.ub[j]) {
+			return fmt.Errorf("lp: variable %d has NaN data", j)
+		}
+	}
+	for i, r := range p.rows {
+		if math.IsNaN(r.RHS) || math.IsInf(r.RHS, 0) {
+			return fmt.Errorf("lp: row %d has invalid rhs %g", i, r.RHS)
+		}
+		for _, v := range r.Val {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("lp: row %d has invalid coefficient %g", i, v)
+			}
+		}
+	}
+	if len(p.rows) == 0 {
+		return errors.New("lp: problem has no rows")
+	}
+	return nil
+}

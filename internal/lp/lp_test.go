@@ -1,0 +1,479 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const testTol = 1e-6
+
+// checkFeasible asserts x satisfies every row and bound of p.
+func checkFeasible(t *testing.T, p *Problem, x []float64) {
+	t.Helper()
+	for j := 0; j < p.NumVars(); j++ {
+		lb, ub := p.Bounds(j)
+		if x[j] < lb-testTol || x[j] > ub+testTol {
+			t.Fatalf("var %d = %g outside [%g, %g]", j, x[j], lb, ub)
+		}
+	}
+	for i, r := range p.rows {
+		v := 0.0
+		for k, j := range r.Idx {
+			v += r.Val[k] * x[j]
+		}
+		switch r.Sense {
+		case LE:
+			if v > r.RHS+testTol {
+				t.Fatalf("row %d: %g > %g", i, v, r.RHS)
+			}
+		case GE:
+			if v < r.RHS-testTol {
+				t.Fatalf("row %d: %g < %g", i, v, r.RHS)
+			}
+		case EQ:
+			if math.Abs(v-r.RHS) > testTol {
+				t.Fatalf("row %d: %g != %g", i, v, r.RHS)
+			}
+		}
+	}
+}
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatalf("Solve error: %v", err)
+	}
+	return sol
+}
+
+func TestSimpleLE(t *testing.T) {
+	// max x+y s.t. x+y <= 4, x <= 3, y <= 3  => min -(x+y) = -4.
+	p := NewProblem()
+	x := p.AddVar(-1, 0, 3)
+	y := p.AddVar(-1, 0, 3)
+	p.MustAddRow(LE, 4, []int{x, y}, []float64{1, 1})
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Obj-(-4)) > testTol {
+		t.Fatalf("obj = %g, want -4", sol.Obj)
+	}
+	checkFeasible(t, p, sol.X)
+}
+
+func TestEqualityRow(t *testing.T) {
+	// min x+2y s.t. x+y = 5, x <= 3 => x=3, y=2, obj 7.
+	p := NewProblem()
+	x := p.AddVar(1, 0, 3)
+	y := p.AddVar(2, 0, Inf)
+	p.MustAddRow(EQ, 5, []int{x, y}, []float64{1, 1})
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Obj-7) > testTol {
+		t.Fatalf("obj = %g, want 7", sol.Obj)
+	}
+	checkFeasible(t, p, sol.X)
+}
+
+func TestGERow(t *testing.T) {
+	// min 3x+2y s.t. x+y >= 4, x >= 0, y >= 0 => y=4, obj 8.
+	p := NewProblem()
+	x := p.AddVar(3, 0, Inf)
+	y := p.AddVar(2, 0, Inf)
+	p.MustAddRow(GE, 4, []int{x, y}, []float64{1, 1})
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Obj-8) > testTol {
+		t.Fatalf("obj = %g, want 8", sol.Obj)
+	}
+	checkFeasible(t, p, sol.X)
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(1, 0, 1)
+	p.MustAddRow(GE, 3, []int{x}, []float64{1})
+	sol := solveOK(t, p)
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestInfeasibleEqualitySystem(t *testing.T) {
+	// x+y=1 and x+y=2 cannot both hold.
+	p := NewProblem()
+	x := p.AddVar(0, 0, Inf)
+	y := p.AddVar(0, 0, Inf)
+	p.MustAddRow(EQ, 1, []int{x, y}, []float64{1, 1})
+	p.MustAddRow(EQ, 2, []int{x, y}, []float64{1, 1})
+	sol := solveOK(t, p)
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(-1, 0, Inf)
+	y := p.AddVar(0, 0, 1)
+	p.MustAddRow(GE, 0, []int{x, y}, []float64{1, 1})
+	sol := solveOK(t, p)
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -3  (i.e. x >= 3), x in [0,10] => 3.
+	p := NewProblem()
+	x := p.AddVar(1, 0, 10)
+	p.MustAddRow(LE, -3, []int{x}, []float64{-1})
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Obj-3) > testTol {
+		t.Fatalf("got %v obj %g, want optimal 3", sol.Status, sol.Obj)
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min x s.t. x >= -5 via row; x free => -5.
+	p := NewProblem()
+	x := p.AddVar(1, math.Inf(-1), Inf)
+	p.MustAddRow(GE, -5, []int{x}, []float64{1})
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Obj-(-5)) > testTol {
+		t.Fatalf("got %v obj %g, want optimal -5", sol.Status, sol.Obj)
+	}
+}
+
+func TestUpperBoundFlip(t *testing.T) {
+	// max sum x_i with sum <= n-0.5 exercises bound flips.
+	p := NewProblem()
+	n := 8
+	idx := make([]int, n)
+	val := make([]float64, n)
+	for i := 0; i < n; i++ {
+		idx[i] = p.AddVar(-1, 0, 1)
+		val[i] = 1
+	}
+	p.MustAddRow(LE, float64(n)-0.5, idx, val)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Obj-(-(float64(n)-0.5))) > testTol {
+		t.Fatalf("got %v obj %g", sol.Status, sol.Obj)
+	}
+	checkFeasible(t, p, sol.X)
+}
+
+// bruteAssignment finds the optimal assignment cost by permutation
+// enumeration.
+func bruteAssignment(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	used := make([]bool, n)
+	best := math.Inf(1)
+	var rec func(i int, acc float64)
+	rec = func(i int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if i == n {
+			best = acc
+			return
+		}
+		for j := 0; j < n; j++ {
+			if !used[j] {
+				used[j] = true
+				perm[i] = j
+				rec(i+1, acc+cost[i][j])
+				used[j] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// TestAssignmentLP checks LP optimality against brute force on random
+// assignment problems; the assignment polytope is integral, so the LP
+// optimum equals the combinatorial optimum.
+func TestAssignmentLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(5)
+		cost := make([][]float64, n)
+		p := NewProblem()
+		vars := make([][]int, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			vars[i] = make([]int, n)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(50)) / 5
+				vars[i][j] = p.AddVar(cost[i][j], 0, 1)
+			}
+		}
+		for i := 0; i < n; i++ {
+			idx := make([]int, n)
+			val := make([]float64, n)
+			for j := 0; j < n; j++ {
+				idx[j] = vars[i][j]
+				val[j] = 1
+			}
+			p.MustAddRow(EQ, 1, idx, val) // each worker assigned
+		}
+		for j := 0; j < n; j++ {
+			idx := make([]int, n)
+			val := make([]float64, n)
+			for i := 0; i < n; i++ {
+				idx[i] = vars[i][j]
+				val[i] = 1
+			}
+			p.MustAddRow(EQ, 1, idx, val) // each task covered
+		}
+		sol := solveOK(t, p)
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		want := bruteAssignment(cost)
+		if math.Abs(sol.Obj-want) > 1e-5 {
+			t.Fatalf("trial %d: LP obj %g, brute %g", trial, sol.Obj, want)
+		}
+		checkFeasible(t, p, sol.X)
+	}
+}
+
+// TestKnapsackRelaxation compares against the closed-form greedy optimum
+// of the fractional knapsack.
+func TestKnapsackRelaxation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(8)
+		w := make([]float64, n)
+		v := make([]float64, n)
+		p := NewProblem()
+		idx := make([]int, n)
+		for i := 0; i < n; i++ {
+			w[i] = 1 + float64(rng.Intn(9))
+			v[i] = 1 + float64(rng.Intn(20))
+			idx[i] = p.AddVar(-v[i], 0, 1)
+		}
+		capacity := 1 + rng.Float64()*20
+		p.MustAddRow(LE, capacity, idx, w)
+		sol := solveOK(t, p)
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		// Greedy fractional optimum.
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		for i := range order {
+			for j := i + 1; j < n; j++ {
+				if v[order[j]]/w[order[j]] > v[order[i]]/w[order[i]] {
+					order[i], order[j] = order[j], order[i]
+				}
+			}
+		}
+		rem, val := capacity, 0.0
+		for _, i := range order {
+			take := math.Min(1, rem/w[i])
+			val += take * v[i]
+			rem -= take * w[i]
+			if rem <= 0 {
+				break
+			}
+		}
+		if math.Abs(-sol.Obj-val) > 1e-6 {
+			t.Fatalf("trial %d: LP %g, greedy %g", trial, -sol.Obj, val)
+		}
+	}
+}
+
+// TestRandomFeasibility property: on random LPs built around a known
+// feasible point, the solver never reports infeasible, and its solution
+// is feasible with objective no worse than the seed point.
+func TestRandomFeasibility(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		m := 1 + rng.Intn(8)
+		p := NewProblem()
+		x0 := make([]float64, n)
+		for j := 0; j < n; j++ {
+			x0[j] = rng.Float64() * 4
+			p.AddVar(rng.Float64()*4-2, 0, 5)
+		}
+		for i := 0; i < m; i++ {
+			var idx []int
+			var val []float64
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.6 {
+					c := rng.Float64()*4 - 2
+					idx = append(idx, j)
+					val = append(val, c)
+					sum += c * x0[j]
+				}
+			}
+			if len(idx) == 0 {
+				continue
+			}
+			// Build the row to be satisfied by x0 with margin.
+			switch rng.Intn(3) {
+			case 0:
+				p.MustAddRow(LE, sum+rng.Float64(), idx, val)
+			case 1:
+				p.MustAddRow(GE, sum-rng.Float64(), idx, val)
+			default:
+				p.MustAddRow(EQ, sum, idx, val)
+			}
+		}
+		if p.NumRows() == 0 {
+			return true
+		}
+		sol, err := Solve(p, Options{})
+		if err != nil {
+			t.Logf("seed %d: error %v", seed, err)
+			return false
+		}
+		if sol.Status == Infeasible {
+			t.Logf("seed %d: reported infeasible but x0 feasible", seed)
+			return false
+		}
+		if sol.Status != Optimal {
+			return true // unbounded is possible with random costs
+		}
+		// Objective must be <= objective at x0.
+		obj0 := 0.0
+		for j := 0; j < n; j++ {
+			obj0 += p.Obj(j) * x0[j]
+		}
+		if sol.Obj > obj0+1e-6 {
+			t.Logf("seed %d: obj %g worse than seed point %g", seed, sol.Obj, obj0)
+			return false
+		}
+		// And the solution must actually be feasible.
+		for i, r := range p.rows {
+			v := 0.0
+			for k, j := range r.Idx {
+				v += r.Val[k] * sol.X[j]
+			}
+			switch r.Sense {
+			case LE:
+				if v > r.RHS+testTol {
+					t.Logf("seed %d row %d violated", seed, i)
+					return false
+				}
+			case GE:
+				if v < r.RHS-testTol {
+					t.Logf("seed %d row %d violated", seed, i)
+					return false
+				}
+			case EQ:
+				if math.Abs(v-r.RHS) > testTol {
+					t.Logf("seed %d row %d violated", seed, i)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegenerateTransportation(t *testing.T) {
+	// A degenerate transportation problem (supplies equal demands with
+	// many ties) exercises anti-cycling.
+	p := NewProblem()
+	n := 4
+	vars := make([][]int, n)
+	for i := 0; i < n; i++ {
+		vars[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			vars[i][j] = p.AddVar(1, 0, Inf) // all costs equal: fully degenerate
+		}
+	}
+	for i := 0; i < n; i++ {
+		idx := make([]int, n)
+		val := make([]float64, n)
+		for j := 0; j < n; j++ {
+			idx[j], val[j] = vars[i][j], 1
+		}
+		p.MustAddRow(EQ, 1, idx, val)
+	}
+	for j := 0; j < n; j++ {
+		idx := make([]int, n)
+		val := make([]float64, n)
+		for i := 0; i < n; i++ {
+			idx[i], val[i] = vars[i][j], 1
+		}
+		p.MustAddRow(EQ, 1, idx, val)
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Obj-float64(n)) > testTol {
+		t.Fatalf("got %v obj %g, want optimal %d", sol.Status, sol.Obj, n)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(1, 0, 1)
+	if err := p.AddRow(LE, 1, []int{x, x}, []float64{1, 1}); err == nil {
+		t.Fatal("duplicate variable accepted")
+	}
+	if err := p.AddRow(LE, 1, []int{x + 5}, []float64{1}); err == nil {
+		t.Fatal("out-of-range variable accepted")
+	}
+	if err := p.AddRow(LE, 1, []int{x}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	p2 := NewProblem()
+	p2.AddVar(1, 2, 1) // lb > ub
+	p2.MustAddRow(LE, 1, []int{0}, []float64{1})
+	if _, err := Solve(p2, Options{}); err == nil {
+		t.Fatal("lb > ub accepted")
+	}
+	p3 := NewProblem()
+	p3.AddVar(1, 0, 1)
+	if _, err := Solve(p3, Options{}); err == nil {
+		t.Fatal("empty row set accepted")
+	}
+}
+
+func TestCloneBoundsIsolation(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(1, 0, 5)
+	p.MustAddRow(LE, 10, []int{x}, []float64{1})
+	q := p.CloneBounds()
+	q.SetBounds(x, 2, 3)
+	if lb, ub := p.Bounds(x); lb != 0 || ub != 5 {
+		t.Fatalf("clone mutated parent bounds: [%g,%g]", lb, ub)
+	}
+	if lb, ub := q.Bounds(x); lb != 2 || ub != 3 {
+		t.Fatalf("clone bounds wrong: [%g,%g]", lb, ub)
+	}
+}
+
+func TestFixedVariables(t *testing.T) {
+	// Fixed vars (lb == ub) must be respected, as used by B&B.
+	p := NewProblem()
+	x := p.AddVar(-1, 1, 1) // fixed at 1
+	y := p.AddVar(-1, 0, 5)
+	p.MustAddRow(LE, 4, []int{x, y}, []float64{1, 1})
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if math.Abs(sol.X[x]-1) > testTol || math.Abs(sol.X[y]-3) > testTol {
+		t.Fatalf("x=%g y=%g, want 1,3", sol.X[x], sol.X[y])
+	}
+}

@@ -1,0 +1,107 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestIterLimitStatus(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := NewProblem()
+	n := 30
+	vars := make([]int, n)
+	val := make([]float64, n)
+	for j := 0; j < n; j++ {
+		vars[j] = p.AddVar(-rng.Float64(), 0, 1)
+		val[j] = 1
+	}
+	p.MustAddRow(LE, 10, vars, val)
+	p.MustAddRow(GE, 2, vars, val)
+	sol, err := Solve(p, Options{MaxIter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != IterLimit {
+		t.Fatalf("status %v, want iteration-limit", sol.Status)
+	}
+}
+
+// TestLargeTransportation exercises the refresh path (hundreds of
+// iterations) and checks optimality against the analytic optimum of a
+// cost-structured transportation problem.
+func TestLargeTransportation(t *testing.T) {
+	n := 40 // 40x40: ~1600 vars, 80 rows, several hundred pivots
+	p := NewProblem()
+	vars := make([][]int, n)
+	for i := range vars {
+		vars[i] = make([]int, n)
+		for j := range vars[i] {
+			// Cost |i-j|: optimal is the identity assignment, cost 0.
+			cost := math.Abs(float64(i - j))
+			vars[i][j] = p.AddVar(cost, 0, Inf)
+		}
+	}
+	ones := make([]float64, n)
+	for k := range ones {
+		ones[k] = 1
+	}
+	for i := 0; i < n; i++ {
+		p.MustAddRow(EQ, 1, vars[i], ones)
+		col := make([]int, n)
+		for k := 0; k < n; k++ {
+			col[k] = vars[k][i]
+		}
+		p.MustAddRow(EQ, 1, col, ones)
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if math.Abs(sol.Obj) > 1e-6 {
+		t.Fatalf("objective %g, want 0 (identity assignment)", sol.Obj)
+	}
+}
+
+// TestManyBoundFlips: a problem whose solution path is dominated by
+// bound-to-bound flips rather than pivots.
+func TestManyBoundFlips(t *testing.T) {
+	p := NewProblem()
+	n := 50
+	idx := make([]int, n)
+	val := make([]float64, n)
+	for j := 0; j < n; j++ {
+		idx[j] = p.AddVar(-1, 0, 1)
+		val[j] = 1
+	}
+	p.MustAddRow(LE, float64(n), idx, val) // non-binding: all flip to 1
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Obj+float64(n)) > 1e-6 {
+		t.Fatalf("got %v obj %g, want -%d", sol.Status, sol.Obj, n)
+	}
+}
+
+// TestEqualityOnlySystem: a pure equality system with a unique solution.
+func TestEqualityOnlySystem(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, math.Inf(-1), Inf)
+	y := p.AddVar(0, math.Inf(-1), Inf)
+	p.MustAddRow(EQ, 5, []int{x, y}, []float64{1, 1})
+	p.MustAddRow(EQ, 1, []int{x, y}, []float64{1, -1})
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if math.Abs(sol.X[x]-3) > 1e-9 || math.Abs(sol.X[y]-2) > 1e-9 {
+		t.Fatalf("x=%g y=%g, want 3,2", sol.X[x], sol.X[y])
+	}
+}

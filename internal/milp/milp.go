@@ -1,0 +1,274 @@
+// Package milp solves mixed-integer linear programs by LP-based branch
+// and bound over the simplex solver in internal/lp. Together the two
+// packages replace the commercial CPLEX solver used by the paper.
+//
+// The solver is a depth-first branch-and-bound with most-fractional
+// branching, nearest-value child ordering (a "dive" that finds feasible
+// assignments quickly on the near-integral LPs produced by the paper's
+// formulation), bound-based pruning against the incumbent, and node/time
+// budgets. For pure feasibility problems (zero objective), the search
+// stops at the first integral solution.
+package milp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"agingfp/internal/lp"
+)
+
+// Problem is a MILP: an LP plus a set of integer-constrained variables.
+type Problem struct {
+	// LP holds the constraints, bounds and objective.
+	LP *lp.Problem
+	// IntVars lists the variables constrained to integer values.
+	IntVars []int
+}
+
+// Options tunes the search.
+type Options struct {
+	// MaxNodes bounds the number of branch-and-bound nodes (LP solves);
+	// 0 selects 100000.
+	MaxNodes int
+	// TimeLimit bounds wall-clock time; 0 means no limit.
+	TimeLimit time.Duration
+	// IntTol is the integrality tolerance; 0 selects 1e-6.
+	IntTol float64
+	// LP tunes the relaxation solves.
+	LP lp.Options
+	// StopAtFirst stops at the first integer-feasible solution even for
+	// problems with a non-zero objective.
+	StopAtFirst bool
+	// Branching selects the branching rule.
+	Branching Branching
+}
+
+// Branching selects how the search picks and orders branches.
+type Branching int
+
+const (
+	// MostFractional branches on the variable farthest from an integer,
+	// nearest-value child first. Good for proving optimality.
+	MostFractional Branching = iota
+	// Dive branches on the fractional variable with the largest value,
+	// rounding it up first. This plunges toward integer-feasible points
+	// quickly and suits the feasibility problems of the re-mapping flow,
+	// whose LP relaxations are near-integral.
+	Dive
+)
+
+// Status is a search outcome.
+type Status int
+
+// Search outcomes.
+const (
+	// Optimal: proven optimal integer solution (or first feasible, for
+	// feasibility problems / StopAtFirst).
+	Optimal Status = iota
+	// Infeasible: no integer solution exists.
+	Infeasible
+	// Feasible: budget exhausted with an incumbent in hand.
+	Feasible
+	// Limit: budget exhausted with no incumbent.
+	Limit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Feasible:
+		return "feasible"
+	case Limit:
+		return "limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	Status Status
+	// Obj and X describe the incumbent (valid for Optimal/Feasible).
+	Obj float64
+	X   []float64
+	// Nodes is the number of LP relaxations solved.
+	Nodes int
+	// RootObj is the root LP relaxation objective (a lower bound),
+	// NaN if the root was infeasible.
+	RootObj float64
+}
+
+type searcher struct {
+	base     *lp.Problem
+	intVars  []int
+	opts     Options
+	deadline time.Time
+	hasDL    bool
+
+	incumbent []float64
+	incObj    float64
+	hasInc    bool
+	nodes     int
+	pureFeas  bool
+}
+
+// Solve runs branch and bound. The problem's bound arrays are cloned; the
+// caller's problem is not modified.
+func Solve(p *Problem, opts Options) (*Result, error) {
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = 100000
+	}
+	if opts.IntTol <= 0 {
+		opts.IntTol = 1e-6
+	}
+	s := &searcher{
+		base:    p.LP.CloneBounds(),
+		intVars: p.IntVars,
+		opts:    opts,
+		incObj:  math.Inf(1),
+	}
+	if opts.TimeLimit > 0 {
+		s.deadline = time.Now().Add(opts.TimeLimit)
+		s.hasDL = true
+	}
+	s.pureFeas = true
+	for j := 0; j < p.LP.NumVars(); j++ {
+		if p.LP.Obj(j) != 0 {
+			s.pureFeas = false
+			break
+		}
+	}
+
+	rootObj := math.NaN()
+	st, err := s.dfs(0, &rootObj)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Nodes: s.nodes, RootObj: rootObj}
+	switch {
+	case s.hasInc && (st == searchDone || st == searchExhausted):
+		res.Status = Optimal
+		res.Obj = s.incObj
+		res.X = s.incumbent
+	case s.hasInc:
+		res.Status = Feasible
+		res.Obj = s.incObj
+		res.X = s.incumbent
+	case st == searchExhausted:
+		res.Status = Infeasible
+	default:
+		res.Status = Limit
+	}
+	return res, nil
+}
+
+type searchState int
+
+const (
+	searchExhausted searchState = iota // subtree fully explored
+	searchDone                         // stopping condition met (first feasible)
+	searchBudget                       // node/time budget hit
+)
+
+func (s *searcher) dfs(depth int, rootObj *float64) (searchState, error) {
+	if s.nodes >= s.opts.MaxNodes {
+		return searchBudget, nil
+	}
+	if s.hasDL && time.Now().After(s.deadline) {
+		return searchBudget, nil
+	}
+	s.nodes++
+	sol, err := lp.Solve(s.base, s.opts.LP)
+	if err != nil {
+		return searchExhausted, err
+	}
+	if depth == 0 && sol.Status == lp.Optimal {
+		*rootObj = sol.Obj
+	}
+	switch sol.Status {
+	case lp.Infeasible:
+		return searchExhausted, nil
+	case lp.Unbounded:
+		return searchExhausted, fmt.Errorf("milp: LP relaxation unbounded at depth %d", depth)
+	case lp.IterLimit:
+		// Treat as unexplorable; conservative (cannot prune optimality
+		// claims below, so report budget).
+		return searchBudget, nil
+	}
+	if s.hasInc && sol.Obj >= s.incObj-1e-9 {
+		return searchExhausted, nil // bound-dominated
+	}
+
+	// Pick the branching variable.
+	branch, score := -1, 0.0
+	for _, j := range s.intVars {
+		v := sol.X[j]
+		f := math.Abs(v - math.Round(v))
+		if f <= s.opts.IntTol {
+			continue
+		}
+		var sc float64
+		if s.opts.Branching == Dive {
+			sc = v - math.Floor(v) // prefer values closest to the ceiling
+		} else {
+			sc = f
+		}
+		if sc > score {
+			branch, score = j, sc
+		}
+	}
+	if branch == -1 {
+		// Integral: new incumbent.
+		s.incumbent = roundInts(sol.X, s.intVars)
+		s.incObj = sol.Obj
+		s.hasInc = true
+		if s.pureFeas || s.opts.StopAtFirst {
+			return searchDone, nil
+		}
+		return searchExhausted, nil
+	}
+
+	v := sol.X[branch]
+	lo, hi := s.base.Bounds(branch)
+	floorV, ceilV := math.Floor(v), math.Ceil(v)
+
+	// Child order: dive always rounds up first; otherwise take the
+	// nearest value first.
+	type child struct{ lb, ub float64 }
+	up := child{lb: ceilV, ub: hi}
+	down := child{lb: lo, ub: floorV}
+	order := []child{down, up}
+	if s.opts.Branching == Dive || v-floorV > 0.5 {
+		order = []child{up, down}
+	}
+	for _, ch := range order {
+		if ch.lb > ch.ub {
+			continue
+		}
+		s.base.SetBounds(branch, ch.lb, ch.ub)
+		st, err := s.dfs(depth+1, rootObj)
+		s.base.SetBounds(branch, lo, hi)
+		if err != nil {
+			return searchExhausted, err
+		}
+		if st == searchDone || st == searchBudget {
+			return st, nil
+		}
+	}
+	return searchExhausted, nil
+}
+
+// roundInts snaps integer variables to the nearest integer, returning a
+// copy.
+func roundInts(x []float64, intVars []int) []float64 {
+	out := append([]float64(nil), x...)
+	for _, j := range intVars {
+		out[j] = math.Round(out[j])
+	}
+	return out
+}

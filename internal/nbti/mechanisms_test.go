@@ -1,0 +1,162 @@
+package nbti
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHCICalibration(t *testing.T) {
+	h := DefaultHCI()
+	got := h.MTTFHours(0.5, 330)
+	want := 12.0 * 365 * 24
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("HCI calibration %g, want %g", got, want)
+	}
+}
+
+func TestEMCalibration(t *testing.T) {
+	e := DefaultEM()
+	got := e.MTTFHours(0.5, 330)
+	want := 20.0 * 365 * 24
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("EM calibration %g, want %g", got, want)
+	}
+}
+
+func TestTDDBCalibration(t *testing.T) {
+	d := DefaultTDDB()
+	got := d.MTTFHours(1.0, 330)
+	want := 25.0 * 365 * 24
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("TDDB calibration %g, want %g", got, want)
+	}
+}
+
+// Every mechanism must be monotone: more activity and more heat never
+// extend life.
+func TestMechanismMonotonicity(t *testing.T) {
+	mechs := []Mechanism{
+		NBTIMechanism{Model: DefaultModel()},
+		DefaultHCI(),
+		DefaultEM(),
+		DefaultTDDB(),
+		DefaultCombined(),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sr := 0.05 + rng.Float64()*0.9
+		temp := 310 + rng.Float64()*40
+		dsr := rng.Float64() * (0.99 - sr)
+		dt := rng.Float64() * 20
+		for _, m := range mechs {
+			base := m.MTTFHours(sr, temp)
+			if m.MTTFHours(sr+dsr, temp) > base+1e-6 {
+				t.Logf("%s: more activity extended life", m.Name())
+				return false
+			}
+			if m.MTTFHours(sr, temp+dt) > base+1e-6 {
+				t.Logf("%s: more heat extended life", m.Name())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdlePELivesForeverUnderActivityMechanisms(t *testing.T) {
+	for _, m := range []Mechanism{NBTIMechanism{Model: DefaultModel()}, DefaultHCI(), DefaultEM()} {
+		if !math.IsInf(m.MTTFHours(0, 340), 1) {
+			t.Errorf("%s: idle PE has finite MTTF", m.Name())
+		}
+	}
+	// TDDB with DutyWeight 1 also spares idle PEs.
+	if !math.IsInf(DefaultTDDB().MTTFHours(0, 340), 1) {
+		t.Error("TDDB: idle PE has finite MTTF at full duty weighting")
+	}
+}
+
+// Combined risk is never better than the weakest single mechanism and
+// never worse than the sum-of-rates bound.
+func TestCombinedBounds(t *testing.T) {
+	c := DefaultCombined()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sr := 0.05 + rng.Float64()*0.9
+		temp := 310 + rng.Float64()*40
+		total := c.MTTFHours(sr, temp)
+		minSingle := math.Inf(1)
+		for _, m := range c.Mechs {
+			if v := m.MTTFHours(sr, temp); v < minSingle {
+				minSingle = v
+			}
+		}
+		if total > minSingle+1e-6 {
+			t.Logf("combined %g beats weakest %g", total, minSingle)
+			return false
+		}
+		if total < minSingle/float64(len(c.Mechs))-1e-6 {
+			t.Logf("combined %g below rate-sum bound", total)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombinedName(t *testing.T) {
+	c := DefaultCombined()
+	if c.Name() != "combined(NBTI+HCI+EM+TDDB)" {
+		t.Fatalf("name %q", c.Name())
+	}
+	if (Combined{}).Name() != "combined()" {
+		t.Fatal("empty combined name")
+	}
+	if !math.IsInf((Combined{}).MTTFHours(0.5, 330), 1) {
+		t.Fatal("empty combined should never fail")
+	}
+}
+
+func TestFabricMTTFUnder(t *testing.T) {
+	stress := [][]float64{{0.4, 2.0}, {0.8, 0.1}}
+	temp := [][]float64{{330, 330}, {330, 330}}
+	h, x, y, err := FabricMTTFUnder(DefaultCombined(), stress, temp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 1 || y != 0 {
+		t.Fatalf("limiting PE (%d,%d), want (1,0)", x, y)
+	}
+	// Combined lifetime is below the NBTI-only lifetime.
+	m := DefaultModel()
+	nb, _, _, _ := m.FabricMTTF(stress, temp, 4)
+	if h >= nb {
+		t.Fatalf("combined %g not below NBTI-only %g", h, nb)
+	}
+	if _, _, _, err := FabricMTTFUnder(nil, stress, temp, 4); err == nil {
+		t.Fatal("nil mechanism accepted")
+	}
+	if _, _, _, err := FabricMTTFUnder(DefaultHCI(), stress, nil, 4); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, _, _, err := FabricMTTFUnder(DefaultHCI(), stress, temp, 0); err == nil {
+		t.Fatal("zero contexts accepted")
+	}
+}
+
+// Leveling stress still pays off under the combined model — the paper's
+// optimization remains valid when all four mechanisms act at once.
+func TestLevelingPaysOffCombined(t *testing.T) {
+	c := DefaultCombined()
+	before := c.MTTFHours(0.5, 334)
+	after := c.MTTFHours(0.25, 331)
+	if after/before < 1.5 {
+		t.Fatalf("combined leveling payoff %g too small", after/before)
+	}
+}

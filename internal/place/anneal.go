@@ -1,0 +1,149 @@
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/timing"
+)
+
+// AnnealConfig tunes the simulated-annealing placer — the refinement
+// stage commercial flows run after a constructive seed. It optimizes the
+// same objective as the greedy baseline (timing-feasible packed
+// placements with short wires) but escapes local minima, and it uses the
+// incremental STA so each move is priced in microseconds.
+type AnnealConfig struct {
+	// Seed drives the random walk.
+	Seed int64
+	// Moves is the total move budget; 0 derives one from the design size.
+	Moves int
+	// StartTemp/EndTemp bound the geometric cooling schedule, in cost
+	// units; zero selects defaults.
+	StartTemp, EndTemp float64
+	// WirelenWeight and CPDPenalty weight the two cost terms.
+	WirelenWeight, CPDPenalty float64
+}
+
+// DefaultAnnealConfig returns the standard schedule.
+func DefaultAnnealConfig() AnnealConfig {
+	return AnnealConfig{
+		Seed:          1,
+		StartTemp:     4.0,
+		EndTemp:       0.02,
+		WirelenWeight: 1.0,
+		CPDPenalty:    200.0,
+	}
+}
+
+// Anneal refines a placement by simulated annealing: random relocations
+// and same-context swaps, accepted by the Metropolis criterion on
+//
+//	cost = WirelenWeight * total wirelength + CPDPenalty * max(0, CPD - clock)
+//
+// It starts from the greedy baseline placement and always returns a legal
+// mapping that meets the clock period (falling back to the seed if the
+// walk never found a feasible improvement).
+func Anneal(d *arch.Design, cfg AnnealConfig) (arch.Mapping, error) {
+	seedMap, err := Place(d, DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Moves == 0 {
+		cfg.Moves = 400 * d.NumOps()
+	}
+	if cfg.StartTemp <= 0 {
+		cfg.StartTemp = 4
+	}
+	if cfg.EndTemp <= 0 || cfg.EndTemp >= cfg.StartTemp {
+		cfg.EndTemp = cfg.StartTemp / 200
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	inc := timing.NewIncremental(d, seedMap)
+
+	// Occupancy per context.
+	occ := make([]map[arch.Coord]int, d.NumContexts)
+	for c := range occ {
+		occ[c] = map[arch.Coord]int{}
+	}
+	for op, pe := range inc.Mapping() {
+		occ[d.Ctx[op]][pe] = op
+	}
+
+	wirelen := func(m arch.Mapping) int {
+		t := 0
+		for _, e := range d.Graph.Edges {
+			t += m[e.From].Dist(m[e.To])
+		}
+		return t
+	}
+	cost := func(wl int, cpd float64) float64 {
+		c := cfg.WirelenWeight * float64(wl)
+		if over := cpd - d.ClockPeriodNs; over > 0 {
+			c += cfg.CPDPenalty * over
+		}
+		return c
+	}
+
+	curWL := wirelen(inc.Mapping())
+	curCost := cost(curWL, inc.CPD())
+	best := inc.Mapping().Clone()
+	bestCost := curCost
+	bestFeasible := inc.CPD() <= d.ClockPeriodNs+1e-9
+
+	cool := math.Pow(cfg.EndTemp/cfg.StartTemp, 1/math.Max(1, float64(cfg.Moves)))
+	temp := cfg.StartTemp
+	n := d.Fabric.NumPEs()
+
+	for move := 0; move < cfg.Moves; move++ {
+		op := rng.Intn(d.NumOps())
+		c := d.Ctx[op]
+		from := inc.Mapping()[op]
+		to := d.Fabric.CoordOf(rng.Intn(n))
+		if to == from {
+			temp *= cool
+			continue
+		}
+		other, occupied := occ[c][to]
+
+		// Apply tentatively.
+		inc.MoveOp(op, to)
+		if occupied {
+			inc.MoveOp(other, from)
+		}
+		newWL := wirelen(inc.Mapping())
+		newCost := cost(newWL, inc.CPD())
+		accept := newCost <= curCost ||
+			rng.Float64() < math.Exp((curCost-newCost)/math.Max(temp, 1e-9))
+		if accept {
+			delete(occ[c], from)
+			occ[c][to] = op
+			if occupied {
+				occ[c][from] = other
+			}
+			curWL, curCost = newWL, newCost
+			feasible := inc.CPD() <= d.ClockPeriodNs+1e-9
+			if feasible && (!bestFeasible || newCost < bestCost) {
+				best = inc.Mapping().Clone()
+				bestCost = newCost
+				bestFeasible = true
+			}
+		} else {
+			// Revert.
+			if occupied {
+				inc.MoveOp(other, to)
+			}
+			inc.MoveOp(op, from)
+		}
+		temp *= cool
+	}
+
+	if !bestFeasible {
+		return nil, fmt.Errorf("place: annealing never reached timing feasibility")
+	}
+	if err := arch.ValidateMapping(d, best); err != nil {
+		return nil, fmt.Errorf("place: annealer produced illegal mapping: %w", err)
+	}
+	return best, nil
+}

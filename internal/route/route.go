@@ -1,0 +1,210 @@
+// Package route materializes the flow's abstract Manhattan wires as
+// explicit L-shaped grid routes and accounts for routing congestion —
+// the placement-and-routing half of the commercial flow the paper builds
+// on. The re-mapper itself prices wires by Manhattan distance (§V.B's
+// buffered-wire model); this package verifies that the distances are
+// realizable and quantifies how evenly the re-mapped floorplans load the
+// interconnect.
+package route
+
+import (
+	"fmt"
+
+	"agingfp/internal/arch"
+)
+
+// Segment is one unit hop between adjacent cells.
+type Segment struct {
+	From, To arch.Coord
+}
+
+// Route is a wire: an ordered list of unit segments from the driver PE to
+// the load PE.
+type Route struct {
+	// Ctx is the context whose configuration carries this wire.
+	Ctx int
+	// Driver and Load are the endpoints (op IDs).
+	Driver, Load int
+	Segments     []Segment
+}
+
+// Len returns the route's wire length in hops.
+func (r *Route) Len() int { return len(r.Segments) }
+
+// lRoute builds an L-shaped route from a to b. bendFirstX selects the
+// bend orientation (x-then-y or y-then-x).
+func lRoute(a, b arch.Coord, bendFirstX bool) []Segment {
+	var segs []Segment
+	cur := a
+	stepX := func() {
+		for cur.X != b.X {
+			next := cur
+			if b.X > cur.X {
+				next.X++
+			} else {
+				next.X--
+			}
+			segs = append(segs, Segment{From: cur, To: next})
+			cur = next
+		}
+	}
+	stepY := func() {
+		for cur.Y != b.Y {
+			next := cur
+			if b.Y > cur.Y {
+				next.Y++
+			} else {
+				next.Y--
+			}
+			segs = append(segs, Segment{From: cur, To: next})
+			cur = next
+		}
+	}
+	if bendFirstX {
+		stepX()
+		stepY()
+	} else {
+		stepY()
+		stepX()
+	}
+	return segs
+}
+
+// Congestion tracks per-cell interconnect usage, accumulated over all
+// contexts (the fabric's wiring is shared; each context programs its own
+// subset).
+type Congestion struct {
+	Fabric arch.Fabric
+	// Use[y][x] counts route segments entering or leaving the cell.
+	Use [][]int
+}
+
+// NewCongestion allocates a zero map.
+func NewCongestion(f arch.Fabric) *Congestion {
+	c := &Congestion{Fabric: f, Use: make([][]int, f.H)}
+	for y := range c.Use {
+		c.Use[y] = make([]int, f.W)
+	}
+	return c
+}
+
+func (c *Congestion) add(seg Segment) {
+	c.Use[seg.From.Y][seg.From.X]++
+	c.Use[seg.To.Y][seg.To.X]++
+}
+
+// Max returns the most-used cell's load.
+func (c *Congestion) Max() int {
+	m := 0
+	for _, row := range c.Use {
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// Total returns the summed segment-endpoint usage (2x total wirelength).
+func (c *Congestion) Total() int {
+	t := 0
+	for _, row := range c.Use {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// Result is the outcome of routing a whole design.
+type Result struct {
+	Routes     []*Route
+	Congestion *Congestion
+	// TotalWireLen is the summed route length in hops.
+	TotalWireLen int
+	// MaxRouteLen is the longest single route.
+	MaxRouteLen int
+}
+
+// RouteAll routes every data edge of the design under mapping m: chained
+// edges within their context, registered edges in the consumer's context
+// (the wire runs from the producer's output register to the consumer).
+// Each wire picks the L-bend that currently crosses less congestion —
+// a one-pass greedy router in the spirit of the commercial flow's
+// detailed router.
+func RouteAll(d *arch.Design, m arch.Mapping) (*Result, error) {
+	if err := arch.ValidateMapping(d, m); err != nil {
+		return nil, fmt.Errorf("route: %w", err)
+	}
+	res := &Result{Congestion: NewCongestion(d.Fabric)}
+	for _, e := range d.Graph.Edges {
+		ctx := d.Ctx[e.To]
+		a, b := m[e.From], m[e.To]
+		if a == b {
+			// Same PE across contexts: the register feeds the local
+			// input network; no fabric wire.
+			continue
+		}
+		segsX := lRoute(a, b, true)
+		segsY := lRoute(a, b, false)
+		segs := segsX
+		if congestionCost(res.Congestion, segsY) < congestionCost(res.Congestion, segsX) {
+			segs = segsY
+		}
+		r := &Route{Ctx: ctx, Driver: e.From, Load: e.To, Segments: segs}
+		for _, s := range segs {
+			res.Congestion.add(s)
+		}
+		res.Routes = append(res.Routes, r)
+		res.TotalWireLen += r.Len()
+		if r.Len() > res.MaxRouteLen {
+			res.MaxRouteLen = r.Len()
+		}
+	}
+	return res, nil
+}
+
+// congestionCost prices a candidate route by the squared usage of the
+// cells it would cross (quadratic: hot cells repel harder).
+func congestionCost(c *Congestion, segs []Segment) int {
+	cost := 0
+	for _, s := range segs {
+		u := c.Use[s.To.Y][s.To.X]
+		cost += (u + 1) * (u + 1)
+	}
+	return cost
+}
+
+// Validate checks every route's structural invariants: unit steps,
+// contiguity, endpoints matching the mapping, and length equal to the
+// Manhattan distance (L-routes are always shortest).
+func Validate(d *arch.Design, m arch.Mapping, res *Result) error {
+	for i, r := range res.Routes {
+		if len(r.Segments) == 0 {
+			return fmt.Errorf("route %d: empty", i)
+		}
+		if r.Segments[0].From != m[r.Driver] {
+			return fmt.Errorf("route %d: starts at %v, driver at %v", i, r.Segments[0].From, m[r.Driver])
+		}
+		last := r.Segments[len(r.Segments)-1].To
+		if last != m[r.Load] {
+			return fmt.Errorf("route %d: ends at %v, load at %v", i, last, m[r.Load])
+		}
+		for k, s := range r.Segments {
+			if s.From.Dist(s.To) != 1 {
+				return fmt.Errorf("route %d segment %d: non-unit step %v -> %v", i, k, s.From, s.To)
+			}
+			if k > 0 && r.Segments[k-1].To != s.From {
+				return fmt.Errorf("route %d: discontinuous at segment %d", i, k)
+			}
+			if !d.Fabric.Contains(s.From) || !d.Fabric.Contains(s.To) {
+				return fmt.Errorf("route %d: off fabric", i)
+			}
+		}
+		if r.Len() != m[r.Driver].Dist(m[r.Load]) {
+			return fmt.Errorf("route %d: length %d != Manhattan %d", i, r.Len(), m[r.Driver].Dist(m[r.Load]))
+		}
+	}
+	return nil
+}

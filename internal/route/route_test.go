@@ -1,0 +1,158 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/bench"
+	"agingfp/internal/dfg"
+	"agingfp/internal/place"
+)
+
+func TestLRouteShapes(t *testing.T) {
+	a := arch.Coord{X: 1, Y: 1}
+	b := arch.Coord{X: 4, Y: 3}
+	sx := lRoute(a, b, true)
+	sy := lRoute(a, b, false)
+	if len(sx) != 5 || len(sy) != 5 {
+		t.Fatalf("lengths %d/%d, want Manhattan 5", len(sx), len(sy))
+	}
+	// x-first bends at (4,1); y-first bends at (1,3).
+	if sx[2].To != (arch.Coord{X: 4, Y: 1}) {
+		t.Fatalf("x-first corner %v", sx[2].To)
+	}
+	if sy[1].To != (arch.Coord{X: 1, Y: 3}) {
+		t.Fatalf("y-first corner %v", sy[1].To)
+	}
+	// Degenerate: same cell.
+	if got := lRoute(a, a, true); len(got) != 0 {
+		t.Fatalf("self route %v", got)
+	}
+}
+
+func TestRouteAllOnBenchmark(t *testing.T) {
+	spec, _ := bench.SpecByName("B4")
+	d, err := bench.Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := place.Place(d, place.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RouteAll(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(d, m, res); err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWireLen <= 0 || res.Congestion.Max() <= 0 {
+		t.Fatalf("degenerate routing: total %d, max congestion %d", res.TotalWireLen, res.Congestion.Max())
+	}
+	// Endpoint accounting: total congestion entries = 2 x total hops.
+	if res.Congestion.Total() != 2*res.TotalWireLen {
+		t.Fatalf("congestion total %d != 2x wirelen %d", res.Congestion.Total(), res.TotalWireLen)
+	}
+}
+
+// Property: every route is a shortest path regardless of mapping.
+func TestRoutesAreShortest(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := dfg.MustNewLayered(rng, dfg.DefaultLayeredSpec(18, 4))
+		levels, nl := g.Levels()
+		ctx := make([]int, g.NumOps())
+		copy(ctx, levels)
+		d := arch.NewDesign("r", arch.Fabric{W: 5, H: 5}, nl, g, ctx)
+		if d.Validate() != nil {
+			return true
+		}
+		m := make(arch.Mapping, d.NumOps())
+		for c := 0; c < d.NumContexts; c++ {
+			perm := rng.Perm(25)
+			for i, op := range d.ContextOps(c) {
+				m[op] = d.Fabric.CoordOf(perm[i])
+			}
+		}
+		res, err := RouteAll(d, m)
+		if err != nil {
+			return false
+		}
+		return Validate(d, m, res) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCongestionAwareBendChoice: routing many parallel wires through a
+// shared corridor, the greedy bend choice must spread load versus a
+// naive all-x-first router.
+func TestCongestionAwareBendChoice(t *testing.T) {
+	g := &dfg.Graph{}
+	n := 6
+	for i := 0; i < n; i++ {
+		a := g.AddOp(dfg.ALU, "src")
+		b := g.AddOp(dfg.ALU, "dst")
+		g.AddEdge(a, b)
+	}
+	ctx := make([]int, 2*n)
+	for i := range ctx {
+		ctx[i] = i % 2 // sources ctx0, sinks ctx1
+	}
+	d := arch.NewDesign("cong", arch.Fabric{W: 8, H: 8}, 2, g, ctx)
+	m := make(arch.Mapping, 2*n)
+	for i := 0; i < n; i++ {
+		m[2*i] = arch.Coord{X: 0, Y: i}   // column of drivers
+		m[2*i+1] = arch.Coord{X: 7, Y: i} // column of loads (same rows)
+	}
+	res, err := RouteAll(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-row pairs: both bends degenerate to the same straight route,
+	// so this just validates; now offset the loads to force bends.
+	for i := 0; i < n; i++ {
+		m[2*i+1] = arch.Coord{X: 7, Y: (i + 3) % 8}
+	}
+	res, err = RouteAll(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(d, m, res); err != nil {
+		t.Fatal(err)
+	}
+	// A naive all-x-first router would funnel every bend into column 7.
+	naive := NewCongestion(d.Fabric)
+	for i := 0; i < n; i++ {
+		for _, s := range lRoute(m[2*i], m[2*i+1], true) {
+			naive.add(s)
+		}
+	}
+	if res.Congestion.Max() > naive.Max() {
+		t.Fatalf("greedy router more congested (%d) than naive (%d)",
+			res.Congestion.Max(), naive.Max())
+	}
+}
+
+// TestRemapDoesNotExplodeCongestion: the re-mapped floorplan's congestion
+// stays within a small factor of the baseline's (spreading ops spreads
+// wires too).
+func TestSamePECrossContextEdgeHasNoWire(t *testing.T) {
+	g := &dfg.Graph{}
+	a := g.AddOp(dfg.ALU, "a")
+	b := g.AddOp(dfg.ALU, "b")
+	g.AddEdge(a, b)
+	d := arch.NewDesign("x", arch.Fabric{W: 3, H: 3}, 2, g, []int{0, 1})
+	m := arch.Mapping{{X: 1, Y: 1}, {X: 1, Y: 1}} // same PE, consecutive contexts
+	res, err := RouteAll(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Routes) != 0 {
+		t.Fatalf("%d routes for a register-local edge", len(res.Routes))
+	}
+}

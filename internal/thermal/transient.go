@@ -1,0 +1,169 @@
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Transient simulation: HotSpot's second operating mode. Each thermal
+// node gets a heat capacity; temperatures then evolve as
+//
+//	C dT/dt = P - (T - Tamb)/Rv - sum_n (T - Tn)/Rl
+//
+// integrated with forward Euler under a stability-bounded step. The
+// re-mapping flow itself only needs steady state (context switching at
+// 5 ns is far below the fabric's thermal time constant, so per-context
+// power averages out), but the transient solver verifies that
+// assumption and supports duty-cycled workload studies.
+
+// TransientConfig extends Config with dynamics.
+type TransientConfig struct {
+	Config
+	// CapacityJPerK is the per-node heat capacity (joules per kelvin).
+	CapacityJPerK float64
+	// DtSeconds is the integration step; 0 picks a stable default.
+	DtSeconds float64
+}
+
+// DefaultTransientConfig returns dynamics giving a time constant
+// tau = C * R of a few milliseconds, typical for silicon at PE-block
+// granularity.
+func DefaultTransientConfig() TransientConfig {
+	return TransientConfig{
+		Config:        DefaultConfig(),
+		CapacityJPerK: 5e-4,
+	}
+}
+
+// stableDt returns a forward-Euler-stable step for the configuration:
+// dt < C / G_total with margin.
+func (tc TransientConfig) stableDt() float64 {
+	g := 1/tc.RVertical + 4/tc.RLateral
+	return 0.25 * tc.CapacityJPerK / g
+}
+
+// TransientState is an evolving thermal simulation.
+type TransientState struct {
+	cfg  TransientConfig
+	temp [][]float64
+	w, h int
+	dt   float64
+	// ElapsedS is the simulated time.
+	ElapsedS float64
+}
+
+// NewTransient creates a simulation starting at ambient.
+func NewTransient(w, h int, cfg TransientConfig) (*TransientState, error) {
+	if w < 1 || h < 1 {
+		return nil, errors.New("thermal: empty fabric")
+	}
+	if cfg.RVertical <= 0 || cfg.RLateral <= 0 || cfg.CapacityJPerK <= 0 {
+		return nil, fmt.Errorf("thermal: invalid transient config %+v", cfg)
+	}
+	dt := cfg.DtSeconds
+	if dt <= 0 {
+		dt = cfg.stableDt()
+	}
+	if dt > cfg.stableDt() {
+		return nil, fmt.Errorf("thermal: dt %g exceeds stability bound %g", dt, cfg.stableDt())
+	}
+	st := &TransientState{cfg: cfg, w: w, h: h, dt: dt}
+	st.temp = make([][]float64, h)
+	for y := range st.temp {
+		st.temp[y] = make([]float64, w)
+		for x := range st.temp[y] {
+			st.temp[y][x] = cfg.AmbientK
+		}
+	}
+	return st, nil
+}
+
+// Temp returns the current temperature map (live storage; copy before
+// mutating).
+func (s *TransientState) Temp() [][]float64 { return s.temp }
+
+// Step advances the simulation by duration seconds under the given power
+// map.
+func (s *TransientState) Step(power [][]float64, duration float64) error {
+	if len(power) != s.h || len(power[0]) != s.w {
+		return fmt.Errorf("thermal: power map %dx%d, want %dx%d", len(power[0]), len(power), s.w, s.h)
+	}
+	if duration < 0 {
+		return errors.New("thermal: negative duration")
+	}
+	gv := 1 / s.cfg.RVertical
+	gl := 1 / s.cfg.RLateral
+	invC := 1 / s.cfg.CapacityJPerK
+	next := make([][]float64, s.h)
+	for y := range next {
+		next[y] = make([]float64, s.w)
+	}
+	steps := int(math.Ceil(duration / s.dt))
+	for k := 0; k < steps; k++ {
+		dt := s.dt
+		if rem := duration - float64(k)*s.dt; rem < dt {
+			dt = rem
+		}
+		for y := 0; y < s.h; y++ {
+			for x := 0; x < s.w; x++ {
+				t := s.temp[y][x]
+				flux := power[y][x] - (t-s.cfg.AmbientK)*gv
+				if x > 0 {
+					flux -= (t - s.temp[y][x-1]) * gl
+				}
+				if x < s.w-1 {
+					flux -= (t - s.temp[y][x+1]) * gl
+				}
+				if y > 0 {
+					flux -= (t - s.temp[y-1][x]) * gl
+				}
+				if y < s.h-1 {
+					flux -= (t - s.temp[y+1][x]) * gl
+				}
+				next[y][x] = t + dt*flux*invC
+			}
+		}
+		s.temp, next = next, s.temp
+	}
+	s.ElapsedS += duration
+	return nil
+}
+
+// SettleTime estimates how long the fabric takes to come within tol
+// kelvin of steady state under constant power, by simulating until the
+// largest per-step drift falls below tol per time constant. Returns the
+// simulated time and the final map.
+func SettleTime(power [][]float64, cfg TransientConfig, tol float64, maxSeconds float64) (float64, [][]float64, error) {
+	h := len(power)
+	if h == 0 {
+		return 0, nil, errors.New("thermal: empty power map")
+	}
+	w := len(power[0])
+	st, err := NewTransient(w, h, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	steady, err := Solve(power, cfg.Config)
+	if err != nil {
+		return 0, nil, err
+	}
+	chunk := cfg.stableDt() * 50
+	for st.ElapsedS < maxSeconds {
+		if err := st.Step(power, chunk); err != nil {
+			return 0, nil, err
+		}
+		worst := 0.0
+		for y := range steady {
+			for x := range steady[y] {
+				if d := math.Abs(st.temp[y][x] - steady[y][x]); d > worst {
+					worst = d
+				}
+			}
+		}
+		if worst < tol {
+			return st.ElapsedS, st.temp, nil
+		}
+	}
+	return st.ElapsedS, st.temp, fmt.Errorf("thermal: not settled after %g s", maxSeconds)
+}

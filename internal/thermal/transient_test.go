@@ -1,0 +1,132 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTransientStartsAtAmbient(t *testing.T) {
+	cfg := DefaultTransientConfig()
+	st, err := NewTransient(4, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range st.Temp() {
+		for _, v := range row {
+			if v != cfg.AmbientK {
+				t.Fatalf("initial temp %g", v)
+			}
+		}
+	}
+}
+
+func TestTransientConvergesToSteadyState(t *testing.T) {
+	cfg := DefaultTransientConfig()
+	p := uniformPower(5, 5, 0)
+	p[2][2] = 1.5
+	steady, err := Solve(p, cfg.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewTransient(5, 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate for many time constants.
+	tau := cfg.CapacityJPerK * cfg.RVertical
+	if err := st.Step(p, 30*tau); err != nil {
+		t.Fatal(err)
+	}
+	for y := range steady {
+		for x := range steady[y] {
+			if d := math.Abs(st.Temp()[y][x] - steady[y][x]); d > 0.05 {
+				t.Fatalf("(%d,%d): transient %g vs steady %g", x, y, st.Temp()[y][x], steady[y][x])
+			}
+		}
+	}
+}
+
+func TestTransientMonotoneHeating(t *testing.T) {
+	cfg := DefaultTransientConfig()
+	p := uniformPower(3, 3, 1.0)
+	st, _ := NewTransient(3, 3, cfg)
+	prev := cfg.AmbientK
+	tau := cfg.CapacityJPerK * cfg.RVertical
+	for i := 0; i < 8; i++ {
+		if err := st.Step(p, tau/2); err != nil {
+			t.Fatal(err)
+		}
+		now := st.Temp()[1][1]
+		if now < prev-1e-9 {
+			t.Fatalf("temperature dropped under constant heating: %g -> %g", prev, now)
+		}
+		prev = now
+	}
+}
+
+func TestTransientCoolsAfterPowerOff(t *testing.T) {
+	cfg := DefaultTransientConfig()
+	hot := uniformPower(3, 3, 2.0)
+	off := uniformPower(3, 3, 0)
+	st, _ := NewTransient(3, 3, cfg)
+	tau := cfg.CapacityJPerK * cfg.RVertical
+	if err := st.Step(hot, 20*tau); err != nil {
+		t.Fatal(err)
+	}
+	peak := st.Temp()[1][1]
+	if err := st.Step(off, 20*tau); err != nil {
+		t.Fatal(err)
+	}
+	cooled := st.Temp()[1][1]
+	if cooled >= peak {
+		t.Fatalf("no cooling: %g -> %g", peak, cooled)
+	}
+	if math.Abs(cooled-cfg.AmbientK) > 0.05 {
+		t.Fatalf("did not return to ambient: %g", cooled)
+	}
+}
+
+func TestSettleTime(t *testing.T) {
+	cfg := DefaultTransientConfig()
+	p := uniformPower(4, 4, 1.0)
+	secs, final, err := SettleTime(p, cfg, 0.05, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secs <= 0 {
+		t.Fatal("zero settle time")
+	}
+	// The fabric's thermal time constant is milliseconds — vastly longer
+	// than the 5 ns context period, which justifies using time-averaged
+	// power for the MTTF model (see package comment).
+	if secs < 1e-4 || secs > 1 {
+		t.Fatalf("settle time %g s outside the millisecond regime", secs)
+	}
+	if MaxK(final) <= cfg.AmbientK {
+		t.Fatal("settled map not above ambient")
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	cfg := DefaultTransientConfig()
+	if _, err := NewTransient(0, 3, cfg); err == nil {
+		t.Fatal("empty fabric accepted")
+	}
+	bad := cfg
+	bad.CapacityJPerK = 0
+	if _, err := NewTransient(3, 3, bad); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	tooBig := cfg
+	tooBig.DtSeconds = 1
+	if _, err := NewTransient(3, 3, tooBig); err == nil {
+		t.Fatal("unstable dt accepted")
+	}
+	st, _ := NewTransient(3, 3, cfg)
+	if err := st.Step(uniformPower(2, 2, 0), 0.01); err == nil {
+		t.Fatal("mismatched power map accepted")
+	}
+	if err := st.Step(uniformPower(3, 3, 0), -1); err == nil {
+		t.Fatal("negative duration accepted")
+	}
+}

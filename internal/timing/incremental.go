@@ -1,0 +1,130 @@
+package timing
+
+import (
+	"container/heap"
+
+	"agingfp/internal/arch"
+)
+
+// Incremental maintains arrival times under single-op moves, recomputing
+// only the moved op's fan-out cone — the classic incremental-STA trick
+// that makes move-based optimizers (annealers, local search) affordable.
+// Results match a from-scratch Analyze exactly (asserted by property
+// tests).
+type Incremental struct {
+	d *arch.Design
+	m arch.Mapping
+	// arrival mirrors Result.Arrival.
+	arrival []float64
+	order   []int // topological order
+	rank    []int // op -> position in order
+}
+
+// NewIncremental builds the initial analysis. The mapping is copied.
+func NewIncremental(d *arch.Design, m arch.Mapping) *Incremental {
+	order, err := d.Graph.TopoOrder()
+	if err != nil {
+		panic("timing: " + err.Error())
+	}
+	inc := &Incremental{
+		d:     d,
+		m:     m.Clone(),
+		order: order,
+		rank:  make([]int, d.NumOps()),
+	}
+	for i, op := range order {
+		inc.rank[op] = i
+	}
+	res := Analyze(d, inc.m)
+	inc.arrival = res.Arrival
+	return inc
+}
+
+// Arrival returns op's current completion time within its context.
+func (inc *Incremental) Arrival(op int) float64 { return inc.arrival[op] }
+
+// Mapping returns the current mapping (live storage; do not mutate).
+func (inc *Incremental) Mapping() arch.Mapping { return inc.m }
+
+// CPD returns the current critical path delay (max arrival).
+func (inc *Incremental) CPD() float64 {
+	cpd := 0.0
+	for _, a := range inc.arrival {
+		if a > cpd {
+			cpd = a
+		}
+	}
+	return cpd
+}
+
+// rankHeap orders ops by topological rank for monotone propagation.
+type rankHeap struct {
+	items []int
+	rank  []int
+	in    map[int]bool
+}
+
+func (h *rankHeap) Len() int           { return len(h.items) }
+func (h *rankHeap) Less(i, j int) bool { return h.rank[h.items[i]] < h.rank[h.items[j]] }
+func (h *rankHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *rankHeap) Push(x interface{}) { h.items = append(h.items, x.(int)) }
+func (h *rankHeap) Pop() interface{} {
+	v := h.items[len(h.items)-1]
+	h.items = h.items[:len(h.items)-1]
+	return v
+}
+func (h *rankHeap) add(op int) {
+	if !h.in[op] {
+		h.in[op] = true
+		heap.Push(h, op)
+	}
+}
+func (h *rankHeap) take() int { v := heap.Pop(h).(int); delete(h.in, v); return v }
+
+// MoveOp relocates op to pe and incrementally updates arrival times.
+// Legality (no same-context collision) is the caller's responsibility;
+// use arch.ValidateMapping for full checks.
+func (inc *Incremental) MoveOp(op int, pe arch.Coord) {
+	inc.m[op] = pe
+	// Seed the propagation front with every op whose inputs changed:
+	// op itself (its input wires moved with it) and all its consumers
+	// (their wire from op changed).
+	h := &rankHeap{rank: inc.rank, in: map[int]bool{}}
+	h.add(op)
+	for _, s := range inc.d.Graph.Succs(op) {
+		h.add(s)
+	}
+	for h.Len() > 0 {
+		v := h.take()
+		old := inc.arrival[v]
+		nv := inc.recompute(v)
+		if nv == old {
+			continue
+		}
+		inc.arrival[v] = nv
+		for _, s := range inc.d.Graph.Succs(v) {
+			if inc.d.Ctx[s] == inc.d.Ctx[v] {
+				h.add(s) // chained: arrival change propagates
+			}
+		}
+	}
+}
+
+// recompute evaluates one op's arrival from its predecessors.
+func (inc *Incremental) recompute(op int) float64 {
+	uw := inc.d.UnitWireDelayNs
+	start := 0.0
+	for _, p := range inc.d.Graph.Preds(op) {
+		w := uw * float64(inc.m[p].Dist(inc.m[op]))
+		var t float64
+		if inc.d.Ctx[p] == inc.d.Ctx[op] {
+			t = inc.arrival[p] + w
+		} else {
+			t = w
+		}
+		if t > start {
+			start = t
+		}
+	}
+	return start + arch.OpDelayNs(inc.d.Graph.Ops[op].Kind)
+}

@@ -1,0 +1,119 @@
+package timing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/dfg"
+)
+
+// TestIncrementalMatchesFullSTA: after arbitrary sequences of moves the
+// incremental arrival times equal a from-scratch analysis.
+func TestIncrementalMatchesFullSTA(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := dfg.MustNewLayered(rng, dfg.DefaultLayeredSpec(20+rng.Intn(20), 3+rng.Intn(3)))
+		levels, nl := g.Levels()
+		ctx := make([]int, g.NumOps())
+		for i := range ctx {
+			ctx[i] = levels[i] / 2
+		}
+		d := arch.NewDesign("inc", arch.Fabric{W: 6, H: 6}, (nl+1)/2, g, ctx)
+		if d.Validate() != nil {
+			return true
+		}
+		m := make(arch.Mapping, d.NumOps())
+		occupied := make([]map[arch.Coord]bool, d.NumContexts)
+		for c := range occupied {
+			occupied[c] = map[arch.Coord]bool{}
+		}
+		for c := 0; c < d.NumContexts; c++ {
+			perm := rng.Perm(36)
+			for i, op := range d.ContextOps(c) {
+				co := d.Fabric.CoordOf(perm[i])
+				m[op] = co
+				occupied[c][co] = true
+			}
+		}
+		inc := NewIncremental(d, m)
+		for move := 0; move < 12; move++ {
+			op := rng.Intn(d.NumOps())
+			c := d.Ctx[op]
+			// Pick a free cell in the op's context.
+			var target arch.Coord
+			for {
+				target = d.Fabric.CoordOf(rng.Intn(36))
+				if !occupied[c][target] {
+					break
+				}
+			}
+			delete(occupied[c], inc.Mapping()[op])
+			occupied[c][target] = true
+			inc.MoveOp(op, target)
+
+			full := Analyze(d, inc.Mapping())
+			for i := range full.Arrival {
+				if math.Abs(full.Arrival[i]-inc.Arrival(i)) > 1e-9 {
+					t.Logf("seed %d move %d: op %d arrival %g vs %g",
+						seed, move, i, inc.Arrival(i), full.Arrival[i])
+					return false
+				}
+			}
+			if math.Abs(full.CPD-inc.CPD()) > 1e-9 {
+				t.Logf("seed %d: CPD %g vs %g", seed, inc.CPD(), full.CPD)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalMoveBackRestores(t *testing.T) {
+	g := &dfg.Graph{}
+	a := g.AddOp(dfg.ALU, "a")
+	b := g.AddOp(dfg.ALU, "b")
+	c := g.AddOp(dfg.DMU, "c")
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	d := arch.NewDesign("x", arch.Fabric{W: 4, H: 4}, 2, g, []int{0, 0, 1})
+	m := arch.Mapping{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}}
+	inc := NewIncremental(d, m)
+	origCPD := inc.CPD()
+	origArr := inc.Arrival(c)
+	inc.MoveOp(b, arch.Coord{X: 3, Y: 3})
+	if inc.CPD() <= origCPD {
+		t.Fatal("stretching the chain should raise the CPD")
+	}
+	inc.MoveOp(b, arch.Coord{X: 1, Y: 0})
+	if math.Abs(inc.CPD()-origCPD) > 1e-12 || math.Abs(inc.Arrival(c)-origArr) > 1e-12 {
+		t.Fatalf("move-back did not restore: CPD %g vs %g", inc.CPD(), origCPD)
+	}
+}
+
+func TestIncrementalCrossContextConsumer(t *testing.T) {
+	// Moving a producer changes the registered wire seen by its consumer
+	// in the next context.
+	g := &dfg.Graph{}
+	a := g.AddOp(dfg.ALU, "a")
+	b := g.AddOp(dfg.DMU, "b")
+	g.AddEdge(a, b)
+	d := arch.NewDesign("x", arch.Fabric{W: 5, H: 5}, 2, g, []int{0, 1})
+	m := arch.Mapping{{X: 0, Y: 0}, {X: 0, Y: 1}}
+	inc := NewIncremental(d, m)
+	before := inc.Arrival(b)
+	inc.MoveOp(a, arch.Coord{X: 4, Y: 4})
+	after := inc.Arrival(b)
+	if after <= before {
+		t.Fatalf("consumer arrival did not grow: %g -> %g", before, after)
+	}
+	full := Analyze(d, inc.Mapping())
+	if math.Abs(full.Arrival[b]-after) > 1e-12 {
+		t.Fatalf("incremental %g vs full %g", after, full.Arrival[b])
+	}
+}

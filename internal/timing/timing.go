@@ -1,0 +1,286 @@
+// Package timing performs static timing analysis on a placed multi-context
+// CGRRA design.
+//
+// Each context is one clock cycle: its operations form a combinational
+// DAG whose register-to-register paths must fit in the clock period. A
+// timing path starts either at a registered input — the register sits at
+// the PE of the producing operation in an earlier context, so the path
+// begins with a wire from that PE — or at a primary input (assumed
+// register at the consuming PE itself), and ends at an operation whose
+// result is registered (no chained successor).
+//
+// Path delay = sum of PE-internal delays + unit wire delay x Manhattan
+// wire length, per the buffered-wire model of §V.B of the paper.
+//
+// The package provides both an arrival-time DP (for the critical path
+// delay, CPD) and explicit enumeration of near-critical paths (for the
+// MILP's path wire-length constraints; the paper retains paths whose
+// delay is within 20% of the CPD).
+package timing
+
+import (
+	"fmt"
+	"sort"
+
+	"agingfp/internal/arch"
+)
+
+// Arc is one hop of a timing path: data travels from the PE of op From to
+// the PE of op To. From == -1 denotes a primary-input start (no wire).
+type Arc struct {
+	From, To int
+}
+
+// Path is a register-to-register timing path inside one context.
+type Path struct {
+	// Context is the clock cycle this path belongs to.
+	Context int
+	// Source is the cross-context producer op whose output register
+	// feeds the path, or -1 for a primary-input path.
+	Source int
+	// Ops is the chained op sequence, in data-flow order.
+	Ops []int
+	// Delay is the total path delay (ns) under the analyzed mapping.
+	Delay float64
+	// PEDelaySum is the mapping-independent part: the sum of PE-internal
+	// delays along Ops. The wire-length budget of the MILP is
+	// (CPD - PEDelaySum) / unitWireDelay.
+	PEDelaySum float64
+	// WireLen is the total Manhattan wire length under the analyzed
+	// mapping.
+	WireLen int
+}
+
+// Arcs returns the path's wire hops: the source arc (if any) followed by
+// each chained hop.
+func (p *Path) Arcs() []Arc {
+	var arcs []Arc
+	if p.Source >= 0 {
+		arcs = append(arcs, Arc{From: p.Source, To: p.Ops[0]})
+	}
+	for i := 0; i+1 < len(p.Ops); i++ {
+		arcs = append(arcs, Arc{From: p.Ops[i], To: p.Ops[i+1]})
+	}
+	return arcs
+}
+
+// Result is the output of a full-design analysis.
+type Result struct {
+	// CPD is the critical path delay: the longest path delay over all
+	// contexts (ns).
+	CPD float64
+	// CriticalContext is a context achieving the CPD.
+	CriticalContext int
+	// Arrival[op] is the completion time of op within its context (ns).
+	Arrival []float64
+	// PerContextCPD[c] is the longest path delay of context c.
+	PerContextCPD []float64
+}
+
+// Analyze computes arrival times and the critical path delay of design d
+// under mapping m.
+func Analyze(d *arch.Design, m arch.Mapping) *Result {
+	n := d.NumOps()
+	res := &Result{
+		Arrival:       make([]float64, n),
+		PerContextCPD: make([]float64, d.NumContexts),
+	}
+	order, err := d.Graph.TopoOrder()
+	if err != nil {
+		// Designs are validated before analysis; a cycle here is a
+		// programming error.
+		panic("timing: " + err.Error())
+	}
+	uw := d.UnitWireDelayNs
+	for _, op := range order {
+		start := 0.0
+		for _, p := range d.Graph.Preds(op) {
+			var t float64
+			w := uw * float64(m[p].Dist(m[op]))
+			if d.Ctx[p] == d.Ctx[op] {
+				t = res.Arrival[p] + w
+			} else {
+				// Registered input: launched at cycle start from the
+				// producer's output register.
+				t = w
+			}
+			if t > start {
+				start = t
+			}
+		}
+		res.Arrival[op] = start + arch.OpDelayNs(d.Graph.Ops[op].Kind)
+		c := d.Ctx[op]
+		if res.Arrival[op] > res.PerContextCPD[c] {
+			res.PerContextCPD[c] = res.Arrival[op]
+		}
+	}
+	for c, v := range res.PerContextCPD {
+		if v > res.CPD {
+			res.CPD = v
+			res.CriticalContext = c
+		}
+	}
+	return res
+}
+
+// CriticalOps returns the set of ops lying on a design-critical path —
+// a path achieving the design-wide CPD within eps. These are the ops the
+// re-mapper freezes (§V.B.1). Paths of contexts whose own longest delay
+// is below the CPD carry positive slack, so their ops stay movable and
+// are protected by wire-length budget constraints instead (Fig. 4:
+// path3 is frozen, paths 1-2 get budgets).
+func CriticalOps(d *arch.Design, m arch.Mapping, res *Result, eps float64) map[int]bool {
+	req := requiredTimes(d, m, res)
+	crit := make(map[int]bool)
+	for op := 0; op < d.NumOps(); op++ {
+		// slack = required - arrival, where required was initialized at
+		// the op's own context CPD; an op is design-critical when its
+		// context achieves the CPD and its slack there is ~zero.
+		if res.PerContextCPD[d.Ctx[op]] >= res.CPD-eps && req[op]-res.Arrival[op] <= eps {
+			crit[op] = true
+		}
+	}
+	return crit
+}
+
+// requiredTimes computes, for each op, the latest completion time that
+// keeps every downstream path within its context's CPD.
+func requiredTimes(d *arch.Design, m arch.Mapping, res *Result) []float64 {
+	n := d.NumOps()
+	req := make([]float64, n)
+	order, _ := d.Graph.TopoOrder()
+	uw := d.UnitWireDelayNs
+	// Initialize at the context CPD, then tighten in reverse topo order.
+	for op := 0; op < n; op++ {
+		req[op] = res.PerContextCPD[d.Ctx[op]]
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		op := order[i]
+		for _, s := range d.Graph.Succs(op) {
+			if d.Ctx[s] != d.Ctx[op] {
+				continue
+			}
+			w := uw * float64(m[op].Dist(m[s]))
+			t := req[s] - arch.OpDelayNs(d.Graph.Ops[s].Kind) - w
+			if t < req[op] {
+				req[op] = t
+			}
+		}
+	}
+	return req
+}
+
+// EnumerateOptions controls near-critical path enumeration.
+type EnumerateOptions struct {
+	// ThresholdFrac keeps paths with Delay >= ThresholdFrac * CPD.
+	// The paper's default monitors paths within 20% of the CPD, i.e.
+	// ThresholdFrac = 0.8.
+	ThresholdFrac float64
+	// MaxPaths caps the number of returned paths (the paper's "M longest
+	// timing paths" filter); <= 0 means no cap. When the cap binds, the
+	// longest paths are kept.
+	MaxPaths int
+	// MaxPerContext optionally caps paths per context; <= 0 disables.
+	MaxPerContext int
+}
+
+// DefaultEnumerateOptions mirrors the paper's defaults.
+func DefaultEnumerateOptions() EnumerateOptions {
+	return EnumerateOptions{ThresholdFrac: 0.8, MaxPaths: 4096, MaxPerContext: 512}
+}
+
+// EnumeratePaths lists register-to-register paths of d under m whose delay
+// meets the near-critical threshold, sorted by decreasing delay.
+//
+// Enumeration is exact up to the caps: a branch is pruned only when its
+// best possible completion provably misses the threshold.
+func EnumeratePaths(d *arch.Design, m arch.Mapping, res *Result, opts EnumerateOptions) []*Path {
+	if opts.ThresholdFrac <= 0 || opts.ThresholdFrac > 1 {
+		panic(fmt.Sprintf("timing: ThresholdFrac %g out of (0,1]", opts.ThresholdFrac))
+	}
+	threshold := opts.ThresholdFrac * res.CPD
+	uw := d.UnitWireDelayNs
+
+	// Downstream potential: max additional delay achievable from op
+	// (inclusive of op's own PE delay) to any sink of its context.
+	n := d.NumOps()
+	down := make([]float64, n)
+	order, _ := d.Graph.TopoOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		op := order[i]
+		best := 0.0
+		for _, s := range d.IntraSuccs(op) {
+			t := uw*float64(m[op].Dist(m[s])) + down[s]
+			if t > best {
+				best = t
+			}
+		}
+		down[op] = arch.OpDelayNs(d.Graph.Ops[op].Kind) + best
+	}
+
+	var all []*Path
+	perCtx := make([]int, d.NumContexts)
+
+	var dfs func(chain []int, delay, peSum float64, wire int, source, ctx int)
+	dfs = func(chain []int, delay, peSum float64, wire int, source, ctx int) {
+		if opts.MaxPaths > 0 && len(all) >= opts.MaxPaths*4 {
+			return // hard safety cap before final trim
+		}
+		if opts.MaxPerContext > 0 && perCtx[ctx] >= opts.MaxPerContext {
+			return
+		}
+		last := chain[len(chain)-1]
+		succs := d.IntraSuccs(last)
+		if len(succs) == 0 {
+			if delay >= threshold {
+				p := &Path{
+					Context:    ctx,
+					Source:     source,
+					Ops:        append([]int(nil), chain...),
+					Delay:      delay,
+					PEDelaySum: peSum,
+					WireLen:    wire,
+				}
+				all = append(all, p)
+				perCtx[ctx]++
+			}
+			return
+		}
+		for _, s := range succs {
+			w := m[last].Dist(m[s])
+			next := delay + uw*float64(w) + down[s]
+			if next < threshold {
+				continue // cannot reach threshold through s
+			}
+			dfs(append(chain, s),
+				delay+uw*float64(w)+arch.OpDelayNs(d.Graph.Ops[s].Kind),
+				peSum+arch.OpDelayNs(d.Graph.Ops[s].Kind),
+				wire+w, source, ctx)
+		}
+	}
+
+	for op := 0; op < n; op++ {
+		ctx := d.Ctx[op]
+		pe := arch.OpDelayNs(d.Graph.Ops[op].Kind)
+		// Primary-input or intra-sourced start.
+		if len(d.IntraPreds(op)) == 0 && len(d.CrossPreds(op)) == 0 {
+			if down[op] >= threshold {
+				dfs([]int{op}, pe, pe, 0, -1, ctx)
+			}
+		}
+		// Registered starts: one per cross-context producer.
+		for _, src := range d.CrossPreds(op) {
+			w := m[src].Dist(m[op])
+			start := uw*float64(w) + pe
+			if start-pe+down[op] >= threshold {
+				dfs([]int{op}, start, pe, w, src, ctx)
+			}
+		}
+	}
+
+	sort.Slice(all, func(i, j int) bool { return all[i].Delay > all[j].Delay })
+	if opts.MaxPaths > 0 && len(all) > opts.MaxPaths {
+		all = all[:opts.MaxPaths]
+	}
+	return all
+}

@@ -1,0 +1,319 @@
+package timing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/dfg"
+)
+
+// paperExample reproduces the §V.B.2 worked example (Fig. 4b): a single
+// context with three 3-op chains placed in rows of a 5x3 region, where
+// PE-internal delay is 2 ns, unit wire delay 1 ns, and adjacent-PE wires
+// are length 1.
+//
+// We model "normalized delay 2" with a custom clock so numbers match:
+// here we just check relative path arithmetic using ALU ops and scaled
+// constants.
+func chain3x3() (*arch.Design, arch.Mapping) {
+	g := &dfg.Graph{}
+	// path1: 0->1->2 ; path3 (critical): 3->4->5->6->7->8 (6 ops).
+	for i := 0; i < 9; i++ {
+		g.AddOp(dfg.ALU, "op")
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	for i := 3; i < 8; i++ {
+		g.AddEdge(i, i+1)
+	}
+	ctx := make([]int, 9)
+	d := arch.NewDesign("fig4", arch.Fabric{W: 8, H: 8}, 1, g, ctx)
+	d.UnitWireDelayNs = 1.0
+	d.ClockPeriodNs = 1000 // irrelevant here
+	m := make(arch.Mapping, 9)
+	// path1 on row 0 (adjacent), path3 on row 1 (adjacent).
+	m[0], m[1], m[2] = arch.Coord{X: 0, Y: 0}, arch.Coord{X: 1, Y: 0}, arch.Coord{X: 2, Y: 0}
+	for i := 0; i < 6; i++ {
+		m[3+i] = arch.Coord{X: i, Y: 1}
+	}
+	return d, m
+}
+
+func TestAnalyzeWorkedExample(t *testing.T) {
+	d, m := chain3x3()
+	res := Analyze(d, m)
+	alu := arch.ALUDelayNs
+	// path1: 3 PEs + 2 unit wires; path3: 6 PEs + 5 unit wires.
+	want1 := 3*alu + 2
+	want3 := 6*alu + 5
+	if !closeF(res.PerContextCPD[0], want3) {
+		t.Fatalf("CPD %g, want %g", res.PerContextCPD[0], want3)
+	}
+	if !closeF(res.Arrival[2], want1) {
+		t.Fatalf("arrival(2) = %g, want %g", res.Arrival[2], want1)
+	}
+	if res.CPD != res.PerContextCPD[0] {
+		t.Fatalf("design CPD mismatch")
+	}
+}
+
+func TestCrossContextSourceWire(t *testing.T) {
+	// Producer in ctx0 at (0,0); consumer in ctx1 at (3,0): the
+	// registered input pays a 3-hop wire before the consumer's PE delay.
+	g := &dfg.Graph{}
+	a := g.AddOp(dfg.ALU, "a")
+	b := g.AddOp(dfg.DMU, "b")
+	g.AddEdge(a, b)
+	d := arch.NewDesign("x", arch.Fabric{W: 4, H: 4}, 2, g, []int{0, 1})
+	m := arch.Mapping{{X: 0, Y: 0}, {X: 3, Y: 0}}
+	res := Analyze(d, m)
+	want := d.UnitWireDelayNs*3 + arch.DMUDelayNs
+	if !closeF(res.PerContextCPD[1], want) {
+		t.Fatalf("ctx1 CPD %g, want %g", res.PerContextCPD[1], want)
+	}
+}
+
+func TestCriticalOpsWorkedExample(t *testing.T) {
+	d, m := chain3x3()
+	res := Analyze(d, m)
+	crit := CriticalOps(d, m, res, 1e-6)
+	for i := 3; i < 9; i++ {
+		if !crit[i] {
+			t.Fatalf("op %d on the critical chain not marked critical", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if crit[i] {
+			t.Fatalf("op %d (short chain) wrongly critical", i)
+		}
+	}
+}
+
+func TestCriticalOnlyInCriticalContexts(t *testing.T) {
+	// Two contexts: ctx0 short chain, ctx1 long chain. Only ctx1's ops
+	// are design-critical.
+	g := &dfg.Graph{}
+	a := g.AddOp(dfg.ALU, "a")
+	b := g.AddOp(dfg.DMU, "b")
+	c := g.AddOp(dfg.DMU, "c")
+	g.AddEdge(b, c)
+	d := arch.NewDesign("x", arch.Fabric{W: 4, H: 4}, 2, g, []int{0, 1, 1})
+	m := arch.Mapping{{X: 0, Y: 0}, {X: 0, Y: 0}, {X: 1, Y: 0}}
+	res := Analyze(d, m)
+	crit := CriticalOps(d, m, res, 1e-6)
+	if crit[a] {
+		t.Fatal("short-context op marked critical")
+	}
+	if !crit[b] || !crit[c] {
+		t.Fatal("critical chain not frozen")
+	}
+}
+
+// brutePaths enumerates all register-to-register paths by brute force.
+func brutePaths(d *arch.Design, m arch.Mapping) []*Path {
+	var all []*Path
+	uw := d.UnitWireDelayNs
+	var extend func(chain []int)
+	extend = func(chain []int) {
+		last := chain[len(chain)-1]
+		succs := d.IntraSuccs(last)
+		if len(succs) == 0 {
+			// Materialize paths for every source variant of chain[0].
+			head := chain[0]
+			mk := func(src int) *Path {
+				p := &Path{
+					Context: d.Ctx[head],
+					Source:  src,
+					Ops:     append([]int(nil), chain...),
+				}
+				for _, op := range chain {
+					p.PEDelaySum += arch.OpDelayNs(d.Graph.Ops[op].Kind)
+				}
+				for _, a := range p.Arcs() {
+					if a.From >= 0 {
+						p.WireLen += m[a.From].Dist(m[a.To])
+					}
+				}
+				p.Delay = p.PEDelaySum + uw*float64(p.WireLen)
+				return p
+			}
+			if len(d.IntraPreds(head)) == 0 && len(d.CrossPreds(head)) == 0 {
+				all = append(all, mk(-1))
+			}
+			for _, src := range d.CrossPreds(head) {
+				all = append(all, mk(src))
+			}
+			return
+		}
+		for _, s := range succs {
+			extend(append(chain, s))
+		}
+	}
+	for op := 0; op < d.NumOps(); op++ {
+		if len(d.IntraPreds(op)) == 0 {
+			extend([]int{op})
+		} else if len(d.CrossPreds(op)) > 0 {
+			// Mid-chain op with an additional registered input: its own
+			// chains start here too.
+			extendFromMid(d, m, op, &all)
+		}
+	}
+	return all
+}
+
+// extendFromMid enumerates downstream chains from op for its registered
+// sources only.
+func extendFromMid(d *arch.Design, m arch.Mapping, op int, all *[]*Path) {
+	uw := d.UnitWireDelayNs
+	var extend func(chain []int)
+	extend = func(chain []int) {
+		last := chain[len(chain)-1]
+		succs := d.IntraSuccs(last)
+		if len(succs) == 0 {
+			for _, src := range d.CrossPreds(chain[0]) {
+				p := &Path{Context: d.Ctx[chain[0]], Source: src, Ops: append([]int(nil), chain...)}
+				for _, o := range chain {
+					p.PEDelaySum += arch.OpDelayNs(d.Graph.Ops[o].Kind)
+				}
+				for _, a := range p.Arcs() {
+					if a.From >= 0 {
+						p.WireLen += m[a.From].Dist(m[a.To])
+					}
+				}
+				p.Delay = p.PEDelaySum + uw*float64(p.WireLen)
+				*all = append(*all, p)
+			}
+			return
+		}
+		for _, s := range succs {
+			extend(append(chain, s))
+		}
+	}
+	extend([]int{op})
+}
+
+func pathKey(p *Path) string {
+	k := fmt.Sprintf("%d|%d", p.Context, p.Source)
+	for _, o := range p.Ops {
+		k += fmt.Sprintf(",%d", o)
+	}
+	return k
+}
+
+// TestEnumerateMatchesBruteForce: with threshold small enough to keep
+// everything, enumeration must equal the brute-force path listing.
+func TestEnumerateMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := dfg.MustNewLayered(rng, dfg.LayeredSpec{
+			Ops: 12 + rng.Intn(14), Depth: 3 + rng.Intn(3),
+			DMUFrac: 0.3, MaxFanIn: 2, LocalityBias: 0.9,
+		})
+		levels, nl := g.Levels()
+		ctx := make([]int, g.NumOps())
+		for i := range ctx {
+			ctx[i] = levels[i] / 2 // two levels chained per context
+		}
+		d := arch.NewDesign("p", arch.Fabric{W: 6, H: 6}, (nl+1)/2, g, ctx)
+		if d.Validate() != nil {
+			return true
+		}
+		m := make(arch.Mapping, d.NumOps())
+		for c := 0; c < d.NumContexts; c++ {
+			perm := rng.Perm(36)
+			for i, op := range d.ContextOps(c) {
+				m[op] = d.Fabric.CoordOf(perm[i])
+			}
+		}
+		res := Analyze(d, m)
+		got := EnumeratePaths(d, m, res, EnumerateOptions{ThresholdFrac: 1e-9, MaxPaths: 0, MaxPerContext: 0})
+		want := brutePaths(d, m)
+		if len(got) != len(want) {
+			t.Logf("seed %d: %d paths enumerated, brute force %d", seed, len(got), len(want))
+			return false
+		}
+		wk := map[string]float64{}
+		for _, p := range want {
+			wk[pathKey(p)] = p.Delay
+		}
+		for _, p := range got {
+			wd, ok := wk[pathKey(p)]
+			if !ok {
+				t.Logf("seed %d: path not in brute force set", seed)
+				return false
+			}
+			if math.Abs(wd-p.Delay) > 1e-9 {
+				t.Logf("seed %d: delay mismatch %g vs %g", seed, p.Delay, wd)
+				return false
+			}
+		}
+		// The maximum enumerated delay must equal the CPD.
+		maxD := 0.0
+		for _, p := range got {
+			if p.Delay > maxD {
+				maxD = p.Delay
+			}
+		}
+		if math.Abs(maxD-res.CPD) > 1e-9 {
+			t.Logf("seed %d: max path %g != CPD %g", seed, maxD, res.CPD)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnumerateThresholdFilters(t *testing.T) {
+	d, m := chain3x3()
+	res := Analyze(d, m)
+	paths := EnumeratePaths(d, m, res, EnumerateOptions{ThresholdFrac: 0.8, MaxPaths: 100, MaxPerContext: 100})
+	for _, p := range paths {
+		if p.Delay < 0.8*res.CPD-1e-9 {
+			t.Fatalf("path below threshold returned: %g < %g", p.Delay, 0.8*res.CPD)
+		}
+	}
+	// The 3-op chain (delay ~4.6) is under 80% of ~10.2 and must be gone.
+	for _, p := range paths {
+		if p.Ops[0] == 0 {
+			t.Fatalf("short path not filtered")
+		}
+	}
+}
+
+func TestEnumerateMaxPathsKeepsLongest(t *testing.T) {
+	d, m := chain3x3()
+	res := Analyze(d, m)
+	paths := EnumeratePaths(d, m, res, EnumerateOptions{ThresholdFrac: 0.01, MaxPaths: 1, MaxPerContext: 0})
+	if len(paths) != 1 {
+		t.Fatalf("%d paths, want 1", len(paths))
+	}
+	if !closeF(paths[0].Delay, res.CPD) {
+		t.Fatalf("kept path %g, want the critical one %g", paths[0].Delay, res.CPD)
+	}
+}
+
+func TestArcs(t *testing.T) {
+	p := &Path{Source: 7, Ops: []int{1, 2, 3}}
+	arcs := p.Arcs()
+	want := []Arc{{7, 1}, {1, 2}, {2, 3}}
+	if len(arcs) != len(want) {
+		t.Fatalf("arcs %v", arcs)
+	}
+	for i := range want {
+		if arcs[i] != want[i] {
+			t.Fatalf("arc %d = %v, want %v", i, arcs[i], want[i])
+		}
+	}
+	p2 := &Path{Source: -1, Ops: []int{4, 5}}
+	if got := p2.Arcs(); len(got) != 1 || got[0] != (Arc{4, 5}) {
+		t.Fatalf("PI path arcs %v", got)
+	}
+}
+
+func closeF(a, b float64) bool { return math.Abs(a-b) < 1e-9 }

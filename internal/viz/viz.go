@@ -1,0 +1,176 @@
+// Package viz renders floorplans, stress maps and thermal maps as
+// standalone SVG documents — the visual artifacts (Fig. 2(a)-style fabric
+// diagrams) of the flow.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"agingfp/internal/arch"
+)
+
+const (
+	cellPx = 44
+	padPx  = 8
+	gapPx  = 4
+)
+
+// heatColor maps a normalized value in [0,1] to a cold-to-hot fill.
+func heatColor(v float64) string {
+	if math.IsNaN(v) {
+		v = 0
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	// Blend white (idle) -> amber -> red (hot).
+	var r, g, b int
+	if v < 0.5 {
+		t := v / 0.5
+		r = 255
+		g = int(255 - 60*t)
+		b = int(255 - 200*t)
+	} else {
+		t := (v - 0.5) / 0.5
+		r = 255
+		g = int(195 - 160*t)
+		b = int(55 - 55*t)
+	}
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}
+
+// StressSVG renders a per-PE accumulated stress map: one cell per PE,
+// color by stress (normalized to the map maximum), value printed in the
+// cell.
+func StressSVG(title string, s arch.StressMap) string {
+	h := len(s)
+	w := 0
+	if h > 0 {
+		w = len(s[0])
+	}
+	max := s.Max()
+	var b strings.Builder
+	width := padPx*2 + w*cellPx
+	height := padPx*2 + h*cellPx + 24
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace">`, width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13">%s (max %.3f)</text>`, padPx, escape(title), max)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := s[y][x]
+			norm := 0.0
+			if max > 0 {
+				norm = v / max
+			}
+			// SVG y grows downward; draw row 0 at the bottom like the
+			// ASCII renderers.
+			px := padPx + x*cellPx
+			py := 24 + padPx + (h-1-y)*cellPx
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#888"/>`,
+				px, py, cellPx-gapPx, cellPx-gapPx, heatColor(norm))
+			if v > 0 {
+				fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" text-anchor="middle">%.2f</text>`,
+					px+(cellPx-gapPx)/2, py+(cellPx-gapPx)/2+4, v)
+			}
+		}
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// HeatSVG renders an arbitrary float grid (e.g. a temperature map),
+// normalized between its own min and max.
+func HeatSVG(title string, grid [][]float64) string {
+	h := len(grid)
+	w := 0
+	if h > 0 {
+		w = len(grid[0])
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range grid {
+		for _, v := range row {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	span := hi - lo
+	var b strings.Builder
+	width := padPx*2 + w*cellPx
+	height := padPx*2 + h*cellPx + 24
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace">`, width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13">%s (%.2f..%.2f)</text>`, padPx, escape(title), lo, hi)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			norm := 0.0
+			if span > 0 {
+				norm = (grid[y][x] - lo) / span
+			}
+			px := padPx + x*cellPx
+			py := 24 + padPx + (h-1-y)*cellPx
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#888"/>`,
+				px, py, cellPx-gapPx, cellPx-gapPx, heatColor(norm))
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="9" text-anchor="middle">%.1f</text>`,
+				px+(cellPx-gapPx)/2, py+(cellPx-gapPx)/2+3, grid[y][x])
+		}
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// ContextSVG renders one context's floorplan: occupied PEs labelled with
+// their op id, chained data edges drawn as arrows.
+func ContextSVG(d *arch.Design, m arch.Mapping, ctx int) string {
+	f := d.Fabric
+	var b strings.Builder
+	width := padPx*2 + f.W*cellPx
+	height := padPx*2 + f.H*cellPx + 24
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace">`, width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13">%s — context %d</text>`, padPx, escape(d.Name), ctx)
+	center := func(c arch.Coord) (int, int) {
+		return padPx + c.X*cellPx + (cellPx-gapPx)/2,
+			24 + padPx + (f.H-1-c.Y)*cellPx + (cellPx-gapPx)/2
+	}
+	// Grid.
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			px := padPx + x*cellPx
+			py := 24 + padPx + (f.H-1-y)*cellPx
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#f8f8f8" stroke="#bbb"/>`,
+				px, py, cellPx-gapPx, cellPx-gapPx)
+		}
+	}
+	// Occupied cells.
+	for _, op := range d.ContextOps(ctx) {
+		c := m[op]
+		px := padPx + c.X*cellPx
+		py := 24 + padPx + (f.H-1-c.Y)*cellPx
+		fill := "#cfe8ff" // ALU
+		if arch.OpDelayNs(d.Graph.Ops[op].Kind) == arch.DMUDelayNs {
+			fill = "#ffd9b0" // DMU
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#444"/>`,
+			px, py, cellPx-gapPx, cellPx-gapPx, fill)
+		cx, cy := center(c)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" text-anchor="middle">%d</text>`, cx, cy+3, op)
+	}
+	// Chained edges.
+	for _, e := range d.IntraEdges(ctx) {
+		x1, y1 := center(m[e.From])
+		x2, y2 := center(m[e.To])
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#3366cc" stroke-width="1.5" opacity="0.7"/>`,
+			x1, y1, x2, y2)
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}

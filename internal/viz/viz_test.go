@@ -1,0 +1,80 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/dfg"
+)
+
+func vizDesign() (*arch.Design, arch.Mapping) {
+	g := &dfg.Graph{}
+	a := g.AddOp(dfg.ALU, "a")
+	b := g.AddOp(dfg.DMU, "b")
+	c := g.AddOp(dfg.ALU, "c")
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	d := arch.NewDesign("viz", arch.Fabric{W: 3, H: 3}, 2, g, []int{0, 0, 1})
+	m := arch.Mapping{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 2}}
+	return d, m
+}
+
+func TestStressSVGWellFormed(t *testing.T) {
+	d, m := vizDesign()
+	svg := StressSVG("stress", arch.ComputeStress(d, m))
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatal("not an svg document")
+	}
+	if strings.Count(svg, "<rect") != 9 {
+		t.Fatalf("%d rects, want 9 cells", strings.Count(svg, "<rect"))
+	}
+	if !strings.Contains(svg, "stress") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestHeatSVG(t *testing.T) {
+	grid := [][]float64{{318, 320}, {325, 330}}
+	svg := HeatSVG("temp", grid)
+	if strings.Count(svg, "<rect") != 4 {
+		t.Fatalf("%d rects", strings.Count(svg, "<rect"))
+	}
+	if !strings.Contains(svg, "318.0") || !strings.Contains(svg, "330.0") {
+		t.Fatal("cell values missing")
+	}
+}
+
+func TestContextSVG(t *testing.T) {
+	d, m := vizDesign()
+	svg := ContextSVG(d, m, 0)
+	// 9 grid cells + 2 occupied overlays.
+	if got := strings.Count(svg, "<rect"); got != 11 {
+		t.Fatalf("%d rects, want 11", got)
+	}
+	if strings.Count(svg, "<line") != 1 {
+		t.Fatalf("%d chained edges, want 1", strings.Count(svg, "<line"))
+	}
+	// The DMU op must use the DMU fill.
+	if !strings.Contains(svg, "#ffd9b0") {
+		t.Fatal("DMU styling missing")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if escape(`a<b>&c`) != "a&lt;b&gt;&amp;c" {
+		t.Fatalf("escape broken: %q", escape(`a<b>&c`))
+	}
+}
+
+func TestHeatColorRange(t *testing.T) {
+	for _, v := range []float64{-1, 0, 0.25, 0.5, 0.75, 1, 2} {
+		c := heatColor(v)
+		if len(c) != 7 || c[0] != '#' {
+			t.Fatalf("bad color %q for %g", c, v)
+		}
+	}
+	if heatColor(0) != "#ffffff" {
+		t.Fatalf("idle cell not white: %s", heatColor(0))
+	}
+}
