@@ -38,6 +38,7 @@ func benchSpec(b *testing.B, name string) bench.Spec {
 // fabric: B1/B10/B19 across the three usage bands), Freeze and Rotate.
 func BenchmarkTableIRow4x4(b *testing.B) {
 	cfg := bench.DefaultConfig()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, name := range []string{"B1", "B10", "B19"} {
 			r, err := bench.Run(benchSpec(b, name), cfg)
@@ -141,6 +142,7 @@ func BenchmarkScalingTwoStep(b *testing.B) {
 func BenchmarkGreedyVsMILP(b *testing.B) {
 	spec := benchSpec(b, "B10")
 	cfg := bench.DefaultConfig()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g, err := bench.RunGreedy(spec, cfg)
 		if err != nil {
@@ -178,6 +180,7 @@ func BenchmarkSimplexAssignment(b *testing.B) {
 		}
 		p.MustAddRow(lp.EQ, 1, col, ones)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sol, err := lp.Solve(p, lp.Options{})
@@ -185,6 +188,69 @@ func BenchmarkSimplexAssignment(b *testing.B) {
 			b.Fatalf("solve: %v %v", err, sol.Status)
 		}
 	}
+}
+
+// BenchmarkWarmVsColdSimplex replays the Step-1 probe workload — the
+// full-design re-binding LP solved at a descending sequence of stress
+// budgets (only the budget-row RHS changes between probes) — once from
+// scratch at every budget and once reusing the previous probe's basis.
+// The warm arm must reach the same objective at every budget; the
+// speedup between the two sub-benchmarks is the payoff of basis reuse.
+func BenchmarkWarmVsColdSimplex(b *testing.B) {
+	spec := benchSpec(b, "B10")
+	d, err := bench.Synthesize(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m0, err := place.Place(d, place.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s0 := arch.ComputeStress(d, m0)
+	opts := core.DefaultOptions()
+	base := s0.Max()
+	var probes []*lp.Problem
+	for k := 0; k < 6; k++ {
+		target := base * (1 - 0.01*float64(k))
+		rng := rand.New(rand.NewSource(11)) // same seed: identical candidate sets, so identical LP structure
+		probes = append(probes, core.BPLP(core.BuildFullProblemForTest(d, m0, target, opts, rng)))
+	}
+	want := make([]float64, len(probes))
+	for k, p := range probes {
+		sol, err := lp.Solve(p, lp.Options{})
+		if err != nil || sol.Status != lp.Optimal {
+			b.Fatalf("probe %d cold solve: %v %v", k, err, sol.Status)
+		}
+		want[k] = sol.Obj
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for k, p := range probes {
+				sol, err := lp.Solve(p, lp.Options{})
+				if err != nil || sol.Status != lp.Optimal {
+					b.Fatalf("probe %d: %v %v", k, err, sol.Status)
+				}
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var basis *lp.Basis
+			for k, p := range probes {
+				sol, err := lp.Solve(p, lp.Options{WarmStart: basis})
+				if err != nil || sol.Status != lp.Optimal {
+					b.Fatalf("probe %d: %v %v", k, err, sol.Status)
+				}
+				if diff := sol.Obj - want[k]; diff > 1e-6 || diff < -1e-6 {
+					b.Fatalf("probe %d: warm objective %g != cold %g", k, sol.Obj, want[k])
+				}
+				basis = sol.Basis
+			}
+		}
+	})
 }
 
 // BenchmarkPathEnumeration measures near-critical path extraction.

@@ -36,6 +36,7 @@ func main() {
 		mode   = flag.String("mode", "rotate", "re-mapping mode: freeze or rotate")
 		seed   = flag.Int64("seed", 1, "random seed")
 		debug  = flag.Bool("debug", false, "trace Algorithm 1")
+		warmH  = flag.Bool("warm-heuristics", false, "reuse simplex bases inside the LP-rounding heuristics (faster; floorplans may differ from cold runs)")
 		save   = flag.String("save", "", "write the design + both floorplans as JSON to this file")
 	)
 	flag.Parse()
@@ -64,6 +65,7 @@ func main() {
 	opts := core.DefaultOptions()
 	opts.Seed = *seed
 	opts.Debug = *debug
+	opts.WarmHeuristics = *warmH
 	switch *mode {
 	case "freeze":
 		opts.Mode = core.Freeze
@@ -83,6 +85,9 @@ func main() {
 	s1 := arch.ComputeStress(d, r.Mapping)
 	fmt.Printf("\naging-aware floorplan (%v, %v): ST_target %.3f (lower bound %.3f)\n",
 		opts.Mode, time.Since(start).Round(time.Millisecond), r.STTarget, r.STLowerBound)
+	if r.FallbackToFreeze {
+		fmt.Println("note: rotation found nothing better; the Freeze floorplan was substituted")
+	}
 	fmt.Printf("max stress %.3f -> %.3f, CPD %.3f -> %.3f ns\n",
 		r.OrigMaxStress, r.NewMaxStress, r.OrigCPD, r.NewCPD)
 	fmt.Println("re-mapped stress map:")
@@ -98,6 +103,8 @@ func main() {
 		before.Hours/8760, before.Hours*ratio/8760, ratio)
 	fmt.Printf("solver effort: %d LP solves, %d ILP solves, %d B&B nodes, %d ST probes\n",
 		r.Stats.LPSolves, r.Stats.ILPSolves, r.Stats.ILPNodes, r.Stats.STProbes)
+	fmt.Printf("simplex: %d iterations, %d warm starts (%d rejected)\n",
+		r.Stats.SimplexIters, r.Stats.WarmStarts, r.Stats.WarmStartRejects)
 
 	if *save != "" {
 		f, err := os.Create(*save)

@@ -16,6 +16,7 @@ package arch
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"agingfp/internal/dfg"
 )
@@ -110,7 +111,8 @@ type Design struct {
 	// DefaultUnitWireDelayNs).
 	UnitWireDelayNs float64
 
-	ctxOps  [][]int // per-context op lists, built lazily
+	ctxMu   sync.Mutex // guards the lazy caches below
+	ctxOps  [][]int    // per-context op lists, built lazily
 	ctxOpsV bool
 }
 
@@ -129,20 +131,42 @@ func NewDesign(name string, f Fabric, numContexts int, g *dfg.Graph, ctx []int) 
 }
 
 // ContextOps returns the op IDs scheduled in context c. The slice is
-// shared; callers must not modify it.
+// shared; callers must not modify it. Safe for concurrent use.
 func (d *Design) ContextOps(c int) []int {
+	d.ctxMu.Lock()
 	if !d.ctxOpsV {
-		d.ctxOps = make([][]int, d.NumContexts)
-		for op, cx := range d.Ctx {
-			d.ctxOps[cx] = append(d.ctxOps[cx], op)
-		}
-		d.ctxOpsV = true
+		d.buildCtxOpsLocked()
 	}
-	return d.ctxOps[c]
+	ops := d.ctxOps[c]
+	d.ctxMu.Unlock()
+	return ops
+}
+
+// Precompute forces the lazy per-context caches to be built now. Callers
+// that fan a Design out to several goroutines call this first so the
+// workers share one copy instead of racing to build their own.
+func (d *Design) Precompute() {
+	d.ctxMu.Lock()
+	if !d.ctxOpsV {
+		d.buildCtxOpsLocked()
+	}
+	d.ctxMu.Unlock()
+}
+
+func (d *Design) buildCtxOpsLocked() {
+	d.ctxOps = make([][]int, d.NumContexts)
+	for op, cx := range d.Ctx {
+		d.ctxOps[cx] = append(d.ctxOps[cx], op)
+	}
+	d.ctxOpsV = true
 }
 
 // InvalidateCaches drops derived data after in-place schedule edits.
-func (d *Design) InvalidateCaches() { d.ctxOpsV = false }
+func (d *Design) InvalidateCaches() {
+	d.ctxMu.Lock()
+	d.ctxOpsV = false
+	d.ctxMu.Unlock()
+}
 
 // NumOps returns the number of operations in the design.
 func (d *Design) NumOps() int { return d.Graph.NumOps() }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"agingfp/internal/arch"
@@ -178,6 +179,8 @@ func Run(spec Spec, cfg Config) (*Result, error) {
 
 // RunSuite runs a list of specs, returning results in spec order. With
 // cfg.Parallel > 1 the benchmarks run concurrently on a worker pool.
+// The first failure stops dispatching (in-flight benchmarks finish), and
+// the returned error names the spec that failed.
 func RunSuite(specs []Spec, cfg Config) ([]*Result, error) {
 	workers := cfg.Parallel
 	if workers <= 1 {
@@ -185,7 +188,7 @@ func RunSuite(specs []Spec, cfg Config) ([]*Result, error) {
 		for _, s := range specs {
 			r, err := Run(s, cfg)
 			if err != nil {
-				return out, err
+				return out, fmt.Errorf("bench: spec %s: %w", s.Name, err)
 			}
 			out = append(out, r)
 		}
@@ -194,22 +197,36 @@ func RunSuite(specs []Spec, cfg Config) ([]*Result, error) {
 	out := make([]*Result, len(specs))
 	errs := make([]error, len(specs))
 	jobs := make(chan int)
-	done := make(chan struct{})
+	failed := make(chan struct{})
+	var failOnce sync.Once
+	var wg sync.WaitGroup
+	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
+			defer wg.Done()
 			for i := range jobs {
-				out[i], errs[i] = Run(specs[i], cfg)
+				r, err := Run(specs[i], cfg)
+				if err != nil {
+					errs[i] = fmt.Errorf("bench: spec %s: %w", specs[i].Name, err)
+					failOnce.Do(func() { close(failed) })
+					continue
+				}
+				out[i] = r
 			}
-			done <- struct{}{}
 		}()
 	}
+dispatch:
 	for i := range specs {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-failed:
+			break dispatch
+		}
 	}
 	close(jobs)
-	for w := 0; w < workers; w++ {
-		<-done
-	}
+	wg.Wait()
+	// Report the earliest failure in spec order, so reruns and error
+	// messages are deterministic even when several workers failed.
 	for _, err := range errs {
 		if err != nil {
 			return out, err

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"agingfp/internal/arch"
+	"agingfp/internal/lp"
 	"agingfp/internal/nbti"
 	"agingfp/internal/thermal"
 )
@@ -129,6 +130,18 @@ type Options struct {
 	// percent of the MILP bound on these assignment-structured
 	// instances (tested in TestStep1GreedyVsMILP).
 	Step1MILP bool
+	// WarmHeuristics enables simplex basis reuse inside the LP-rounding
+	// heuristics: the per-batch relaxation warm-starts from the previous
+	// probe's basis, and the rounding dive's re-solves reuse the last
+	// optimal basis across pin rounds. This cuts simplex iterations
+	// substantially, but a warm-started solve can land on a different
+	// (equally optimal) LP vertex than a cold one, and the dive's pin
+	// decisions read the vertex — so the produced floorplans may differ
+	// from (and occasionally round worse than) the cold defaults, while
+	// always remaining budget- and CPD-valid. Off by default so results
+	// stay reproducible; the exact branch-and-bound layer (internal/milp)
+	// always reuses bases, where it provably cannot change results.
+	WarmHeuristics bool
 	// PathRepairRounds bounds the lazy-constraint loop per ST_target:
 	// when the re-timed floorplan's CPD regressed through a path that was
 	// below the monitoring threshold, the violating paths are added to
@@ -174,8 +187,44 @@ type Stats struct {
 	STProbes int
 	// OuterIterations counts Algorithm-1 ST_target relaxations.
 	OuterIterations int
+	// SimplexIters is the total simplex iteration count (primal and
+	// dual) across every LP solve — the flow's true unit of work, and
+	// the quantity warm starting reduces.
+	SimplexIters int
+	// WarmStarts / WarmStartRejects count LP solves that reused a prior
+	// basis snapshot versus snapshots the LP layer rejected (cold
+	// fallback). Their ratio is the health metric of the basis-reuse
+	// plumbing: rejects should be rare.
+	WarmStarts, WarmStartRejects int
 	// Elapsed is total wall-clock re-mapping time.
 	Elapsed time.Duration
+}
+
+// noteLP folds one LP solve into the counters. warmTried reports whether
+// a warm-start basis was offered to the solver.
+func (st *Stats) noteLP(sol *lp.Solution, warmTried bool) {
+	st.LPSolves++
+	st.SimplexIters += sol.Iters
+	if warmTried {
+		if sol.Warm {
+			st.WarmStarts++
+		} else {
+			st.WarmStartRejects++
+		}
+	}
+}
+
+// add accumulates other into st (Elapsed excluded: wall-clock totals are
+// kept by each run's own timer).
+func (st *Stats) add(other Stats) {
+	st.LPSolves += other.LPSolves
+	st.ILPSolves += other.ILPSolves
+	st.ILPNodes += other.ILPNodes
+	st.STProbes += other.STProbes
+	st.OuterIterations += other.OuterIterations
+	st.SimplexIters += other.SimplexIters
+	st.WarmStarts += other.WarmStarts
+	st.WarmStartRejects += other.WarmStartRejects
 }
 
 // Result is the outcome of a re-mapping run.
@@ -195,6 +244,12 @@ type Result struct {
 	OrigCPD, NewCPD float64
 	// Improved reports whether the mapping changed.
 	Improved bool
+	// FallbackToFreeze reports that this result was produced in Rotate
+	// mode but the rotated search found nothing better, so the Freeze
+	// floorplan was substituted. Table-I "rotate" columns carrying this
+	// flag are really freeze solutions and must not be read as evidence
+	// that rotation helped.
+	FallbackToFreeze bool
 	// Stats records solver effort.
 	Stats Stats
 }

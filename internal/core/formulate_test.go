@@ -98,7 +98,7 @@ func TestOriginalAssignmentSatisfiesFormulation(t *testing.T) {
 
 	// And the solver must find some solution at this budget.
 	stats := &Stats{}
-	asn, ok, err := solveBatch(bp, DefaultOptions(), stats, rand.New(rand.NewSource(9)), time.Time{})
+	asn, ok, err := solveBatch(bp, DefaultOptions(), stats, rand.New(rand.NewSource(9)), time.Time{}, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -70,6 +70,7 @@ func TestRemapPropertyRandomDesigns(t *testing.T) {
 // TestRemapIdempotentOnLevelDesign: re-running the flow on an already
 // leveled floorplan must not regress anything.
 func TestRemapIdempotentOnLevelDesign(t *testing.T) {
+	skipUnderRace(t)
 	d, err := hls.BuildDesign("fir", dfg.FIR(16), arch.Fabric{W: 6, H: 6}, hls.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)

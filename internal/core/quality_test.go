@@ -42,6 +42,7 @@ func TestRemapQuality(t *testing.T) {
 // TestRemapBothRotateNeverWorse asserts the Table-I shape Rotate >=
 // Freeze on a couple of workloads.
 func TestRemapBothRotateNeverWorse(t *testing.T) {
+	skipUnderRace(t)
 	for _, mk := range []func() *dfg.Graph{func() *dfg.Graph { return dfg.FIR(16) }, dfg.DCT8} {
 		d, err := hls.BuildDesign("x", mk(), arch.Fabric{W: 6, H: 6}, hls.DefaultConfig())
 		if err != nil {

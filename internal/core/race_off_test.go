@@ -1,0 +1,10 @@
+//go:build !race
+
+package core
+
+// raceDetectorEnabled reports whether the test binary was built with
+// -race. The full remap flows run ~15x slower under the race scheduler,
+// so the heaviest quality tests skip themselves there (they contain no
+// concurrency; the -race run keeps the tests that actually fork
+// goroutines, on shrunk instances).
+const raceDetectorEnabled = false

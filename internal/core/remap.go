@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"agingfp/internal/arch"
@@ -137,6 +138,17 @@ func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 		pathSeen[pathIdent(p)] = true
 	}
 
+	// Basis snapshots shared across ST_target probes (consecutive probes
+	// rebuild the same per-batch LPs with only the stress budget and lazy
+	// path rows changed). Only with Options.WarmHeuristics: the relaxation
+	// vertex seeds the rounding dive's pin decisions, and a warm-started
+	// relaxation lands on a different (equally optimal) vertex than a cold
+	// one, so reuse here trades bit-identical floorplans for speed.
+	var probeCache *warmCache
+	if opts.WarmHeuristics {
+		probeCache = newWarmCache(len(batchList))
+	}
+
 	// probe attempts one ST_target: MILP solve (with lazy-path repair
 	// rounds) followed by the Algorithm-1 CPD verification. Each probe
 	// runs under a wall-clock budget (Options.TimeLimit) so a single
@@ -155,7 +167,7 @@ func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 				}
 				return nil, 0, false, nil
 			}
-			mNew, ok, err := solveAllBatches(d, m0, frozenPos, paths, st, budget, stress0, batchList, opts, rng, &result.Stats, deadline)
+			mNew, ok, err := solveAllBatches(d, m0, frozenPos, paths, st, budget, stress0, batchList, opts, rng, &result.Stats, deadline, probeCache)
 			if err != nil {
 				return nil, 0, false, err
 			}
@@ -294,12 +306,9 @@ func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		fr.Stats.LPSolves += result.Stats.LPSolves
-		fr.Stats.ILPSolves += result.Stats.ILPSolves
-		fr.Stats.ILPNodes += result.Stats.ILPNodes
-		fr.Stats.STProbes += result.Stats.STProbes
-		fr.Stats.OuterIterations += result.Stats.OuterIterations
+		fr.Stats.add(result.Stats)
 		if betterResult(fr, result) {
+			fr.FallbackToFreeze = true
 			return fr, nil
 		}
 		return result, nil
@@ -317,25 +326,44 @@ func betterResult(a, b *Result) bool {
 }
 
 // RemapBoth runs the Freeze ablation and the complete Rotate method on
-// the same baseline, sharing work: Table I reports both columns, and a
-// deployed flow keeps the better floorplan, so the Rotate result is
-// never allowed to fall below the Freeze result.
+// the same baseline: Table I reports both columns, and a deployed flow
+// keeps the better floorplan, so the Rotate result is never allowed to
+// fall below the Freeze result. The two arms share no mutable state
+// (each Remap derives its own rng from Options.Seed and clones the
+// mapping), so they run concurrently.
 func RemapBoth(d *arch.Design, m0 arch.Mapping, opts Options) (freeze, rotate *Result, err error) {
-	fo := opts
-	fo.Mode = Freeze
-	freeze, err = Remap(d, m0, fo)
-	if err != nil {
-		return nil, nil, err
+	// Precompute the design's lazily-built caches before the arms fork so
+	// both reuse one copy instead of racing to build their own.
+	d.Precompute()
+
+	var (
+		wg                sync.WaitGroup
+		freezeErr, rotErr error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		fo := opts
+		fo.Mode = Freeze
+		freeze, freezeErr = Remap(d, m0, fo)
+	}()
+	go func() {
+		defer wg.Done()
+		ro := opts
+		ro.Mode = Rotate
+		rotate, rotErr = Remap(d, m0, ro)
+	}()
+	wg.Wait()
+	if freezeErr != nil {
+		return nil, nil, freezeErr
 	}
-	ro := opts
-	ro.Mode = Rotate
-	rotate, err = Remap(d, m0, ro)
-	if err != nil {
-		return nil, nil, err
+	if rotErr != nil {
+		return nil, nil, rotErr
 	}
 	if betterResult(freeze, rotate) {
 		r := *freeze
 		r.Stats = rotate.Stats
+		r.FallbackToFreeze = true
 		rotate = &r
 	}
 	return freeze, rotate, nil
@@ -377,7 +405,8 @@ func violatedPaths(d *arch.Design, m arch.Mapping, res *timing.Result, origCPD f
 // is infeasible.
 func solveAllBatches(d *arch.Design, m0 arch.Mapping, frozenPos map[int]arch.Coord,
 	paths []*timing.Path, st, cpd float64, stress0 arch.StressMap,
-	batchList [][]int, opts Options, rng *rand.Rand, stats *Stats, deadline time.Time) (arch.Mapping, bool, error) {
+	batchList [][]int, opts Options, rng *rand.Rand, stats *Stats, deadline time.Time,
+	cache *warmCache) (arch.Mapping, bool, error) {
 
 	f := d.Fabric
 	mCur := m0.Clone()
@@ -387,7 +416,7 @@ func solveAllBatches(d *arch.Design, m0 arch.Mapping, frozenPos map[int]arch.Coo
 		committed[f.Index(pe)] += d.StressRate(op)
 	}
 
-	for _, bctx := range batchList {
+	for bi, bctx := range batchList {
 		inBatch := make(map[int]bool, len(bctx))
 		for _, c := range bctx {
 			inBatch[c] = true
@@ -410,7 +439,7 @@ func solveAllBatches(d *arch.Design, m0 arch.Mapping, frozenPos map[int]arch.Coo
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			return nil, false, nil // probe budget exhausted
 		}
-		asn, ok, err := solveBatch(bp, opts, stats, rng, deadline)
+		asn, ok, err := solveBatch(bp, opts, stats, rng, deadline, cache, bi)
 		if err != nil {
 			return nil, false, err
 		}
@@ -442,12 +471,20 @@ func stressLowerBound(d *arch.Design, m0 arch.Mapping, stress0 arch.StressMap,
 	// above it is feasible without solving a MILP.
 	greedyMax := arch.ComputeStress(d, GreedyLevel(d, nil)).Max()
 
+	// Consecutive probes solve the same batch LPs with only the budget
+	// changed; with Options.WarmHeuristics each batch warm-starts from the
+	// previous probe's basis (see the option's caveats).
+	var cache *warmCache
+	if opts.WarmHeuristics {
+		cache = newWarmCache(len(batchList))
+	}
+
 	feasible := func(st float64) (bool, error) {
 		stats.STProbes++
 		if greedyMax <= st+1e-12 {
 			return true, nil
 		}
-		m, ok, err := solveAllBatches(d, m0, nil, nil, st, 0, stress0, batchList, opts, rng, stats, time.Time{})
+		m, ok, err := solveAllBatches(d, m0, nil, nil, st, 0, stress0, batchList, opts, rng, stats, time.Time{}, cache)
 		if err != nil || !ok {
 			return false, err
 		}

@@ -13,6 +13,17 @@ import (
 	"agingfp/internal/timing"
 )
 
+// skipUnderRace skips multi-second full-flow tests when the race
+// detector is on: they contain no goroutines of their own and the
+// ~15x scheduler slowdown would push the package past any sane CI
+// timeout. The -race run keeps the tests that do fork goroutines.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceDetectorEnabled {
+		t.Skip("skipping heavyweight sequential flow test under -race")
+	}
+}
+
 // buildSmall builds a placed small design for flow tests.
 func buildSmall(t *testing.T, g *dfg.Graph, w, h int) (*arch.Design, arch.Mapping) {
 	t.Helper()
@@ -67,6 +78,7 @@ func TestRemapFIRFreeze(t *testing.T) {
 }
 
 func TestRemapFIRRotate(t *testing.T) {
+	skipUnderRace(t)
 	d, m0 := buildSmall(t, dfg.FIR(16), 6, 6)
 	opts := DefaultOptions()
 	r, err := Remap(d, m0, opts)
@@ -100,6 +112,7 @@ func TestRemapChunkedMatchesInvariants(t *testing.T) {
 }
 
 func TestRemapMTTFRatioAtLeastOne(t *testing.T) {
+	skipUnderRace(t)
 	d, m0 := buildSmall(t, dfg.FIR(16), 6, 6)
 	r, err := Remap(d, m0, DefaultOptions())
 	if err != nil {

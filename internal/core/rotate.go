@@ -2,9 +2,14 @@ package core
 
 import (
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"agingfp/internal/arch"
 )
+
+// maxParallelism bounds the worker fan-out of CPU-bound scoring loops.
+var maxParallelism = runtime.GOMAXPROCS(0)
 
 // A path (as a set of grid points) has 8 unique orientations on a square
 // fabric: the 4 rotations and their x-mirrors (§V.B.1, Fig. 4a). All 8
@@ -132,12 +137,41 @@ func rotateFrozen(d *arch.Design, m arch.Mapping, frozen map[int]bool, opts Opti
 	if restarts < 1 {
 		restarts = 1
 	}
-	var best []int
-	bestScore := 0.0
+	// Candidate pools are drawn serially (the rng sequence fixes them, so
+	// results stay reproducible for a given seed); scoring — the expensive
+	// part, O(frozen ops + cross arcs) per pool — fans out over a bounded
+	// worker set. The argmin below runs serially in pool order with a
+	// strict <, so ties resolve exactly as the sequential loop did.
+	assigns := make([][]int, restarts)
+	for r := range assigns {
+		assigns[r] = orientationPool(orients, d.NumContexts, rng)
+	}
+	scores := make([]float64, restarts)
+	workers := maxParallelism
+	if workers > restarts {
+		workers = restarts
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for r := range next {
+				scores[r] = evalAssign(assigns[r])
+			}
+		}()
+	}
 	for r := 0; r < restarts; r++ {
-		assign := orientationPool(orients, d.NumContexts, rng)
-		if sc := evalAssign(assign); best == nil || sc < bestScore {
-			best, bestScore = assign, sc
+		next <- r
+	}
+	close(next)
+	wg.Wait()
+
+	best, bestScore := assigns[0], scores[0]
+	for r := 1; r < restarts; r++ {
+		if scores[r] < bestScore {
+			best, bestScore = assigns[r], scores[r]
 		}
 	}
 	for op := range frozen {

@@ -52,7 +52,7 @@ func SolveRemapOnce(d *arch.Design, m0 arch.Mapping, stTarget float64, opts Opti
 	rng := rand.New(rand.NewSource(opts.Seed))
 	bp := buildFullProblem(d, m0, stTarget, opts, rng)
 	stats := &Stats{}
-	asn, ok, err := solveBatch(bp, opts, stats, rng, time.Time{})
+	asn, ok, err := solveBatch(bp, opts, stats, rng, time.Time{}, nil, 0)
 	if err != nil || !ok {
 		return nil, false, err
 	}

@@ -111,6 +111,7 @@ func TestWearScheduleEvaluate(t *testing.T) {
 }
 
 func TestDiversifiedRemapExtendsLifetime(t *testing.T) {
+	skipUnderRace(t)
 	d, m := scheduleDesign(t)
 	opts := DefaultOptions()
 	opts.Mode = Freeze

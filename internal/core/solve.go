@@ -11,6 +11,31 @@ import (
 	"agingfp/internal/lp"
 )
 
+// warmCache holds one LP basis snapshot per context batch, reused across
+// Step-1 budget probes and Step-2.3 ST_target probes: consecutive probes
+// rebuild each batch's LP with the same shape and only the stress-budget
+// data changed, exactly the case the LP layer's dual-simplex warm start
+// handles. A nil cache disables reuse.
+type warmCache struct {
+	slots []*lp.Basis
+}
+
+func newWarmCache(n int) *warmCache { return &warmCache{slots: make([]*lp.Basis, n)} }
+
+func (c *warmCache) get(i int) *lp.Basis {
+	if c == nil || i < 0 || i >= len(c.slots) {
+		return nil
+	}
+	return c.slots[i]
+}
+
+func (c *warmCache) put(i int, b *lp.Basis) {
+	if c == nil || b == nil || i < 0 || i >= len(c.slots) {
+		return
+	}
+	c.slots[i] = b
+}
+
 // solveBatch runs the paper's two-step MILP scheme on one batch problem:
 //
 //	Step A: solve the LP relaxation (OP_ijk in [0,1]);
@@ -23,7 +48,7 @@ import (
 // Returns the per-op PE choice, or ok=false if infeasible at this
 // budget. See DESIGN.md §4b.4 for how this implements the paper's
 // LP-relax / round>0.95 / residual-ILP loop.
-func solveBatch(bp *batchProblem, opts Options, stats *Stats, rng *rand.Rand, deadline time.Time) (map[int]arch.Coord, bool, error) {
+func solveBatch(bp *batchProblem, opts Options, stats *Stats, rng *rand.Rand, deadline time.Time, cache *warmCache, slot int) (map[int]arch.Coord, bool, error) {
 	if bp.infeasibleReason != "" {
 		return nil, false, nil
 	}
@@ -31,16 +56,19 @@ func solveBatch(bp *batchProblem, opts Options, stats *Stats, rng *rand.Rand, de
 		return map[int]arch.Coord{}, true, nil
 	}
 
-	// Step A: LP relaxation.
-	stats.LPSolves++
-	rel, err := lp.Solve(bp.lp, lp.Options{})
+	// Step A: LP relaxation, warm-started from the previous probe's
+	// optimal basis for this batch when one is cached.
+	relOpts := lp.Options{WarmStart: cache.get(slot)}
+	rel, err := lp.Solve(bp.lp, relOpts)
 	if err != nil {
 		return nil, false, fmt.Errorf("core: relaxation: %w", err)
 	}
+	stats.noteLP(rel, relOpts.WarmStart != nil)
 	switch rel.Status {
 	case lp.Infeasible:
 		return nil, false, nil
 	case lp.Optimal:
+		cache.put(slot, rel.Basis)
 	default:
 		return nil, false, fmt.Errorf("core: relaxation ended %v", rel.Status)
 	}
@@ -54,7 +82,11 @@ func solveBatch(bp *batchProblem, opts Options, stats *Stats, rng *rand.Rand, de
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			return nil, false, nil
 		}
-		asn, ok, frac, err := roundingDive(bp, rel.X, opts, stats, rng, r > 0, deadline)
+		var warm *lp.Basis
+		if opts.WarmHeuristics {
+			warm = rel.Basis
+		}
+		asn, ok, frac, err := roundingDive(bp, rel.X, warm, opts, stats, rng, r > 0, deadline)
 		if err != nil || ok {
 			return asn, ok, err
 		}
@@ -76,8 +108,19 @@ type softFix struct {
 	savedLo, savedHi []float64
 }
 
-func roundingDive(bp *batchProblem, rootX []float64, opts Options, stats *Stats, rng *rand.Rand, perturb bool, deadline time.Time) (map[int]arch.Coord, bool, float64, error) {
+// roundingDive pins ops one round at a time, re-solving the LP between
+// rounds. A non-nil rootBasis opts the dive into warm-started re-solves:
+// each round only pins variable bounds on a fixed row set, so every
+// re-solve can reuse the last optimal basis (initially the relaxation's),
+// with the LP layer falling back to a cold solve whenever a snapshot goes
+// stale. A nil rootBasis keeps every solve cold — warm-started re-solves
+// land on different (equally optimal) vertices, the pin heuristic reads
+// the vertex, and callers default to reproducible cold floorplans (see
+// Options.WarmHeuristics).
+func roundingDive(bp *batchProblem, rootX []float64, rootBasis *lp.Basis, opts Options, stats *Stats, rng *rand.Rand, perturb bool, deadline time.Time) (map[int]arch.Coord, bool, float64, error) {
 	prob := bp.lp.CloneBounds()
+	useWarm := rootBasis != nil
+	warm := rootBasis
 	decided := make(map[int]int, len(bp.movable)) // op -> candidate index
 	var tentative []softFix
 	x := rootX
@@ -119,13 +162,17 @@ func roundingDive(bp *batchProblem, rootX []float64, opts Options, stats *Stats,
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				return nil, false, frac(), nil
 			}
-			stats.LPSolves++
-			sol, err := lp.Solve(prob, lp.Options{})
+			wopts := lp.Options{WarmStart: warm}
+			sol, err := lp.Solve(prob, wopts)
 			if err != nil {
 				return nil, false, frac(), err
 			}
+			stats.noteLP(sol, wopts.WarmStart != nil)
 			if sol.Status == lp.Optimal {
 				x = sol.X
+				if useWarm {
+					warm = sol.Basis
+				}
 				fresh = true
 				break
 			}

@@ -14,6 +14,7 @@ import (
 // delay-unaware binary-search MILP to within one binary-search
 // resolution step on representative workloads.
 func TestStep1GreedyVsMILP(t *testing.T) {
+	skipUnderRace(t)
 	for _, mk := range []struct {
 		name string
 		g    *dfg.Graph

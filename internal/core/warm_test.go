@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"agingfp/internal/dfg"
+)
+
+// TestWarmHeuristicsValid runs the full flow with basis reuse enabled in
+// the LP-rounding heuristics. The produced floorplan may differ from the
+// cold default (warm re-solves land on different optimal LP vertices),
+// but every remap invariant — legality, CPD guarantee, stress
+// conservation — must hold unchanged, and the warm-start counters must
+// actually record reuse.
+func TestWarmHeuristicsValid(t *testing.T) {
+	g, w, h := dfg.FIR(16), 6, 6
+	if raceDetectorEnabled {
+		g, w, h = dfg.DCT8(), 5, 5 // keep warm-path coverage under -race, on a fast instance
+	}
+	d, m0 := buildSmall(t, g, w, h)
+	opts := DefaultOptions()
+	opts.Mode = Freeze
+	opts.WarmHeuristics = true
+	r, err := Remap(d, m0, opts)
+	if err != nil {
+		t.Fatalf("Remap: %v", err)
+	}
+	checkRemapInvariants(t, d, m0, r)
+	if r.Stats.WarmStarts+r.Stats.WarmStartRejects == 0 {
+		t.Fatal("WarmHeuristics on but no warm-start attempts recorded")
+	}
+	t.Logf("LP solves %d, simplex iters %d, warm starts %d (rejected %d)",
+		r.Stats.LPSolves, r.Stats.SimplexIters, r.Stats.WarmStarts, r.Stats.WarmStartRejects)
+}
+
+// TestColdDefaultRecordsNoWarmStarts: with WarmHeuristics off (the
+// default) the heuristic layer must never offer a basis to the LP solver,
+// so the warm counters stay zero.
+func TestColdDefaultRecordsNoWarmStarts(t *testing.T) {
+	d, m0 := buildSmall(t, dfg.DCT8(), 5, 5)
+	r, err := Remap(d, m0, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Remap: %v", err)
+	}
+	if r.Stats.WarmStarts != 0 || r.Stats.WarmStartRejects != 0 {
+		t.Fatalf("cold default recorded warm starts: %d accepted, %d rejected",
+			r.Stats.WarmStarts, r.Stats.WarmStartRejects)
+	}
+	if r.Stats.SimplexIters == 0 {
+		t.Fatal("SimplexIters not recorded")
+	}
+}
+
+// TestRemapBothConcurrentMatchesSequential: RemapBoth runs its Freeze and
+// Rotate arms concurrently; each arm must produce exactly what a direct
+// sequential Remap call with the same options produces.
+func TestRemapBothConcurrentMatchesSequential(t *testing.T) {
+	// This test must keep running under -race — it is the coverage for
+	// the concurrent RemapBoth arms and the parallel rotation scoring —
+	// so it shrinks to a sub-second instance there.
+	g, w, h := dfg.FIR(16), 6, 6
+	if raceDetectorEnabled {
+		g, w, h = dfg.DCT8(), 5, 5
+	}
+	d, m0 := buildSmall(t, g, w, h)
+	opts := DefaultOptions()
+
+	freeze, rotate, err := RemapBoth(d, m0, opts)
+	if err != nil {
+		t.Fatalf("RemapBoth: %v", err)
+	}
+
+	fo := opts
+	fo.Mode = Freeze
+	seqF, err := Remap(d, m0, fo)
+	if err != nil {
+		t.Fatalf("Remap freeze: %v", err)
+	}
+	ro := opts
+	ro.Mode = Rotate
+	seqR, err := Remap(d, m0, ro)
+	if err != nil {
+		t.Fatalf("Remap rotate: %v", err)
+	}
+	if betterResult(seqF, seqR) {
+		seqR = seqF
+	}
+
+	for op := range freeze.Mapping {
+		if freeze.Mapping[op] != seqF.Mapping[op] {
+			t.Fatalf("freeze arm diverged from sequential Remap at op %d: %v vs %v",
+				op, freeze.Mapping[op], seqF.Mapping[op])
+		}
+	}
+	for op := range rotate.Mapping {
+		if rotate.Mapping[op] != seqR.Mapping[op] {
+			t.Fatalf("rotate arm diverged from sequential Remap at op %d: %v vs %v",
+				op, rotate.Mapping[op], seqR.Mapping[op])
+		}
+	}
+	if rotate.FallbackToFreeze && rotate.NewMaxStress > freeze.NewMaxStress+1e-12 {
+		t.Fatal("FallbackToFreeze set but rotate result is worse than freeze")
+	}
+}

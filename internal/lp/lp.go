@@ -185,8 +185,17 @@ type Solution struct {
 	Obj float64
 	// X holds the variable values (meaningful for Optimal).
 	X []float64
-	// Iters is the total simplex iteration count across both phases.
+	// Iters is the total simplex iteration count across both phases
+	// (primal and dual).
 	Iters int
+	// Basis is a snapshot of the optimal basis, set on Optimal; pass it
+	// as Options.WarmStart to a later solve of a structurally identical
+	// problem (e.g. after a bound or RHS change).
+	Basis *Basis
+	// Warm reports whether the solve reused Options.WarmStart; false
+	// with a non-nil WarmStart means the snapshot was rejected and the
+	// solver fell back to the cold two-phase path.
+	Warm bool
 }
 
 // Options tunes the solver.
@@ -196,12 +205,27 @@ type Options struct {
 	MaxIter int
 	// Tol is the feasibility/optimality tolerance; 0 selects 1e-9.
 	Tol float64
+	// WarmStart, when non-nil, seeds the solve with a basis snapshot
+	// from a previous Solution of a structurally identical problem. The
+	// solver refactorizes the basis against the current data and
+	// reoptimizes with the dual (or primal) simplex, skipping phase 1;
+	// unusable snapshots are rejected and the solve proceeds cold, so a
+	// warm start never changes the result, only the work to reach it.
+	WarmStart *Basis
 }
 
 // Solve optimizes the problem. The problem itself is not modified.
 func Solve(p *Problem, opt Options) (*Solution, error) {
 	if err := validate(p); err != nil {
 		return nil, err
+	}
+	if opt.WarmStart != nil {
+		if ws, ok := newWarmSolver(p, opt, opt.WarmStart); ok {
+			if sol, ok := ws.runWarm(); ok {
+				sol.Warm = true
+				return sol, nil
+			}
+		}
 	}
 	s := newSolver(p, opt)
 	return s.run()

@@ -51,7 +51,11 @@ const (
 	refreshN = 512  // iterations between primal refreshes
 )
 
-func newSolver(p *Problem, opt Options) *solver {
+// newCore builds the solver skeleton shared by the cold and warm paths:
+// structural columns, costs, bounds, RHS, default nonbasic statuses, and
+// one slack per row (indices nStruct..nStruct+m-1, in row order). No
+// basis is installed; artStart is provisionally n (no artificials).
+func newCore(p *Problem, opt Options) *solver {
 	m := len(p.rows)
 	nStruct := len(p.c)
 	s := &solver{
@@ -106,7 +110,6 @@ func newSolver(p *Problem, opt Options) *solver {
 	s.n = nStruct
 
 	// Slack per row: coefficient +1, bounds from the sense.
-	slackOf := make([]int, m)
 	for i, r := range p.rows {
 		var lo, hi float64
 		switch r.Sense {
@@ -120,8 +123,23 @@ func newSolver(p *Problem, opt Options) *solver {
 		j := s.addCol(0, lo, hi)
 		s.cols[j].idx = append(s.cols[j].idx, int32(i))
 		s.cols[j].val = append(s.cols[j].val, 1)
-		slackOf[i] = j
 	}
+	s.artStart = s.n
+
+	s.maxIter = opt.MaxIter
+	if s.maxIter <= 0 {
+		s.maxIter = 10000 + 20*(s.m+s.n)
+		if s.maxIter > 400000 {
+			s.maxIter = 400000
+		}
+	}
+	return s
+}
+
+func newSolver(p *Problem, opt Options) *solver {
+	s := newCore(p, opt)
+	m := s.m
+	nStruct := s.nStruct
 
 	// Residuals with all structurals at their initial values.
 	resid := append([]float64(nil), s.b...)
@@ -142,7 +160,7 @@ func newSolver(p *Problem, opt Options) *solver {
 	diag := make([]float64, m)
 	s.artStart = s.n
 	for i := 0; i < m; i++ {
-		sj := slackOf[i]
+		sj := nStruct + i // slack of row i (newCore appends in row order)
 		if resid[i] >= s.lb[sj]-s.tol && resid[i] <= s.ub[sj]+s.tol {
 			s.basis[i] = sj
 			s.vstat[sj] = basic
@@ -174,14 +192,6 @@ func newSolver(p *Problem, opt Options) *solver {
 	for i := 0; i < m; i++ {
 		s.binv[i] = make([]float64, m)
 		s.binv[i][i] = diag[i]
-	}
-
-	s.maxIter = opt.MaxIter
-	if s.maxIter <= 0 {
-		s.maxIter = 10000 + 20*(s.m+s.n)
-		if s.maxIter > 400000 {
-			s.maxIter = 400000
-		}
 	}
 	return s
 }
@@ -244,8 +254,27 @@ func (s *solver) run() (*Solution, error) {
 			obj += s.cost[j] * s.x[j]
 		}
 		sol.Obj = obj
+		sol.Basis = s.snapshot()
 	}
 	return sol, nil
+}
+
+// computeDuals fills y = cB' * Binv for the given cost vector.
+func (s *solver) computeDuals(cost, y []float64) {
+	m := s.m
+	for k := 0; k < m; k++ {
+		y[k] = 0
+	}
+	for i := 0; i < m; i++ {
+		cb := cost[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[i]
+		for k := 0; k < m; k++ {
+			y[k] += cb * row[k]
+		}
+	}
 }
 
 // iterate runs bounded simplex iterations under the given cost vector
@@ -258,27 +287,12 @@ func (s *solver) iterate(cost []float64) Status {
 	// Duals: y = cB' * Binv, recomputed from scratch here and at
 	// every refresh, and updated incrementally after each pivot via
 	// y' = y + d_entering * Binv'[leaving,:] (an O(m) identity).
-	computeY := func() {
-		for k := 0; k < m; k++ {
-			y[k] = 0
-		}
-		for i := 0; i < m; i++ {
-			cb := cost[s.basis[i]]
-			if cb == 0 {
-				continue
-			}
-			row := s.binv[i]
-			for k := 0; k < m; k++ {
-				y[k] += cb * row[k]
-			}
-		}
-	}
-	computeY()
+	s.computeDuals(cost, y)
 
 	for ; s.iters < s.maxIter; s.iters++ {
 		if s.iters > 0 && s.iters%refreshN == 0 {
 			s.refresh()
-			computeY()
+			s.computeDuals(cost, y)
 		}
 
 		// Pricing.

@@ -1,0 +1,455 @@
+package lp
+
+import "math"
+
+// Basis is an opaque snapshot of an optimal simplex basis, suitable for
+// warm-starting a later solve of a structurally identical problem (same
+// variable and row counts; bounds, RHS, and objective may differ).
+// Snapshots are emitted on Solution.Basis for optimal solves and accepted
+// via Options.WarmStart.
+//
+// A snapshot records only combinatorial state — the row-to-variable basis
+// assignment and every variable's bound status — never values, so a warm
+// start is always re-derived from the new problem's data: the basis is
+// refactorized, basic values recomputed, and the solve finished with the
+// dual simplex (bound/RHS changes leave the basis dual feasible) or the
+// primal simplex. A basis that is stale, singular, or infeasible in both
+// senses is rejected and the caller's Solve falls back to the cold
+// two-phase path, so warm starting can change performance but never
+// results.
+type Basis struct {
+	nStruct, m int32
+	basis      []int32 // row -> basic variable (structural or slack)
+	vstat      []int8  // status per variable, structurals then slacks
+}
+
+// snapshot captures the current basis. Artificials still basic (possible
+// after a degenerate phase 1) are recorded as the slack of their row: the
+// two columns are parallel (+-e_i), so the slack cannot also be basic and
+// the recorded basis stays nonsingular.
+func (s *solver) snapshot() *Basis {
+	nb := s.nStruct + s.m
+	b := &Basis{
+		nStruct: int32(s.nStruct),
+		m:       int32(s.m),
+		basis:   make([]int32, s.m),
+		vstat:   make([]int8, nb),
+	}
+	copy(b.vstat, s.vstat[:nb])
+	for i, bi := range s.basis {
+		if bi >= s.artStart {
+			row := int(s.cols[bi].idx[0])
+			bi = s.nStruct + row
+			b.vstat[bi] = basic
+		}
+		b.basis[i] = int32(bi)
+	}
+	return b
+}
+
+// newWarmSolver builds a solver positioned at the snapshot basis, or
+// reports ok=false when the snapshot does not fit the problem (shape
+// mismatch, inconsistent statuses, or a singular basis matrix).
+func newWarmSolver(p *Problem, opt Options, ws *Basis) (*solver, bool) {
+	s := newCore(p, opt)
+	if int(ws.nStruct) != s.nStruct || int(ws.m) != s.m ||
+		len(ws.vstat) != s.n || len(ws.basis) != s.m {
+		return nil, false
+	}
+
+	// Statuses from the snapshot; verify the basis set is consistent.
+	copy(s.vstat, ws.vstat)
+	basicCount := 0
+	for _, st := range s.vstat {
+		if st == basic {
+			basicCount++
+		}
+	}
+	if basicCount != s.m {
+		return nil, false
+	}
+	s.basis = make([]int, s.m)
+	seen := make([]bool, s.n)
+	for i, bj := range ws.basis {
+		j := int(bj)
+		if j < 0 || j >= s.n || s.vstat[j] != basic || seen[j] {
+			return nil, false
+		}
+		seen[j] = true
+		s.basis[i] = j
+	}
+
+	// Park nonbasic variables on their recorded bound, re-deriving the
+	// side when the current problem's bound on that side is infinite (a
+	// status can go stale when bounds change between solves).
+	for j := 0; j < s.n; j++ {
+		st := s.vstat[j]
+		if st == basic {
+			continue
+		}
+		lf, uf := !math.IsInf(s.lb[j], -1), !math.IsInf(s.ub[j], 1)
+		switch {
+		case st == atLower && !lf:
+			if uf {
+				st = atUpper
+			} else {
+				st = atFree
+			}
+		case st == atUpper && !uf:
+			if lf {
+				st = atLower
+			} else {
+				st = atFree
+			}
+		case st == atFree && (lf || uf):
+			// A parked free variable whose bounds became finite must sit
+			// on a bound; take the one nearest zero as the cold path does.
+			if lf && (!uf || math.Abs(s.lb[j]) <= math.Abs(s.ub[j])) {
+				st = atLower
+			} else {
+				st = atUpper
+			}
+		}
+		switch st {
+		case atLower:
+			s.x[j] = s.lb[j]
+		case atUpper:
+			s.x[j] = s.ub[j]
+		default:
+			s.x[j] = 0
+		}
+		s.vstat[j] = st
+	}
+
+	if !s.factorize() {
+		return nil, false
+	}
+	s.xB = make([]float64, s.m)
+	s.refresh() // basic values for the new bounds/RHS
+	return s, true
+}
+
+// factorize computes the explicit basis inverse for the current basis
+// assignment by Gauss-Jordan elimination with partial pivoting, reporting
+// false on a (near-)singular basis.
+func (s *solver) factorize() bool {
+	m := s.m
+	B := make([][]float64, m)
+	R := make([][]float64, m)
+	maxAbs := 0.0
+	for r := 0; r < m; r++ {
+		B[r] = make([]float64, m)
+		R[r] = make([]float64, m)
+		R[r][r] = 1
+	}
+	for k, j := range s.basis {
+		c := s.cols[j]
+		for t, i := range c.idx {
+			B[i][k] = c.val[t]
+			if a := math.Abs(c.val[t]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+	}
+	pivTolAbs := 1e-10 * math.Max(1, maxAbs)
+
+	// Reduce [B | I] -> [P | R] with R*B = P; then Binv = P^T * R, i.e.
+	// Binv[col] = R[perm[col]].
+	perm := make([]int, m)
+	usedRow := make([]bool, m)
+	for col := 0; col < m; col++ {
+		pr, pv := -1, pivTolAbs
+		for r := 0; r < m; r++ {
+			if usedRow[r] {
+				continue
+			}
+			if a := math.Abs(B[r][col]); a > pv {
+				pr, pv = r, a
+			}
+		}
+		if pr < 0 {
+			return false
+		}
+		usedRow[pr] = true
+		perm[col] = pr
+		inv := 1 / B[pr][col]
+		rowB, rowR := B[pr], R[pr]
+		for k := 0; k < m; k++ {
+			rowB[k] *= inv
+			rowR[k] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r == pr {
+				continue
+			}
+			f := B[r][col]
+			if f == 0 {
+				continue
+			}
+			tb, tr := B[r], R[r]
+			for k := 0; k < m; k++ {
+				tb[k] -= f * rowB[k]
+				tr[k] -= f * rowR[k]
+			}
+		}
+	}
+	s.binv = make([][]float64, m)
+	for col := 0; col < m; col++ {
+		s.binv[col] = R[perm[col]]
+	}
+	return true
+}
+
+// primalFeasible reports whether every basic value sits within its bounds.
+func (s *solver) primalFeasible() bool {
+	for i := 0; i < s.m; i++ {
+		bi := s.basis[i]
+		if s.xB[i] < s.lb[bi]-s.tol || s.xB[i] > s.ub[bi]+s.tol {
+			return false
+		}
+	}
+	return true
+}
+
+// dualFeasible reports whether the reduced costs of all nonbasic
+// variables satisfy their status sign conditions under the given cost.
+func (s *solver) dualFeasible(cost []float64) bool {
+	y := make([]float64, s.m)
+	s.computeDuals(cost, y)
+	for j := 0; j < s.n; j++ {
+		st := s.vstat[j]
+		if st == basic || s.lb[j] == s.ub[j] {
+			continue
+		}
+		c := s.cols[j]
+		d := cost[j]
+		for k, i := range c.idx {
+			d -= y[i] * c.val[k]
+		}
+		switch st {
+		case atLower:
+			if d < -s.tol {
+				return false
+			}
+		case atUpper:
+			if d > s.tol {
+				return false
+			}
+		case atFree:
+			if math.Abs(d) > s.tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// runWarm optimizes from the installed warm basis. ok=false asks the
+// caller to fall back to a cold solve (the warm basis turned out
+// unusable); ok=true returns a result equivalent to a cold solve.
+func (s *solver) runWarm() (*Solution, bool) {
+	switch {
+	case s.primalFeasible():
+		// The basis survived the data change primal feasible: plain
+		// phase-2 primal simplex, no phase 1 needed.
+	case s.dualFeasible(s.cost):
+		// The usual warm case: a bound/RHS tightening left the basis
+		// dual feasible but primal infeasible — reoptimize directly
+		// with the dual simplex.
+		switch s.dualSimplex(s.cost) {
+		case Infeasible:
+			return &Solution{Status: Infeasible, Iters: s.iters}, true
+		case IterLimit:
+			return nil, false
+		}
+		// Primal feasibility restored; fall through to the primal
+		// polish below (normally zero iterations, it also guards the
+		// numerics of the dual phase).
+	default:
+		return nil, false
+	}
+
+	st := s.iterate(s.cost)
+	sol := &Solution{Status: st, Iters: s.iters}
+	if st == Optimal {
+		sol.X = append([]float64(nil), s.x[:s.nStruct]...)
+		obj := 0.0
+		for j := 0; j < s.nStruct; j++ {
+			obj += s.cost[j] * s.x[j]
+		}
+		sol.Obj = obj
+		sol.Basis = s.snapshot()
+	}
+	return sol, true
+}
+
+// dualSimplex restores primal feasibility from a dual-feasible basis,
+// pivoting on the most-violated basic variable. Returns Optimal when
+// primal feasibility is reached (dual feasibility is maintained, so the
+// basis is then optimal up to the primal polish), Infeasible when a
+// violated row admits no entering column (the primal infeasibility
+// certificate), or IterLimit when the dual budget is exhausted — the
+// caller treats that as a rejection and re-solves cold.
+func (s *solver) dualSimplex(cost []float64) Status {
+	m := s.m
+	y := make([]float64, m)
+	w := make([]float64, m)
+	budget := 1000 + 10*m
+	if budget > s.maxIter {
+		budget = s.maxIter
+	}
+	reverified := false
+	for it := 0; it < budget; it++ {
+		s.computeDuals(cost, y)
+
+		// Leaving row: the basic variable with the largest bound
+		// violation; none means primal feasible.
+		r, viol := -1, s.tol
+		var target float64
+		var toLower bool
+		for i := 0; i < m; i++ {
+			bi := s.basis[i]
+			if d := s.lb[bi] - s.xB[i]; d > viol {
+				r, viol, target, toLower = i, d, s.lb[bi], true
+			}
+			if d := s.xB[i] - s.ub[bi]; d > viol {
+				r, viol, target, toLower = i, d, s.ub[bi], false
+			}
+		}
+		if r < 0 {
+			return Optimal
+		}
+
+		// Dual ratio test: among nonbasic columns whose movement pushes
+		// xB[r] toward its violated bound, pick the smallest
+		// |reduced cost| / |alpha| (ties to the larger pivot).
+		rho := s.binv[r]
+		enter, bestRatio, bestAlpha := -1, Inf, 0.0
+		for j := 0; j < s.n; j++ {
+			st := s.vstat[j]
+			if st == basic || s.lb[j] == s.ub[j] {
+				continue
+			}
+			c := s.cols[j]
+			alpha := 0.0
+			for k, i := range c.idx {
+				alpha += rho[i] * c.val[k]
+			}
+			if math.Abs(alpha) <= pivTol {
+				continue
+			}
+			// xB[r] changes by -alpha per unit increase of x_j; statuses
+			// restrict the movement direction (atLower up, atUpper down).
+			var ok bool
+			if toLower {
+				ok = (st == atLower && alpha < 0) || (st == atUpper && alpha > 0) || st == atFree
+			} else {
+				ok = (st == atLower && alpha > 0) || (st == atUpper && alpha < 0) || st == atFree
+			}
+			if !ok {
+				continue
+			}
+			d := cost[j]
+			for k, i := range c.idx {
+				d -= y[i] * c.val[k]
+			}
+			ratio := math.Abs(d) / math.Abs(alpha)
+			if ratio < bestRatio-1e-12 ||
+				(ratio <= bestRatio+1e-12 && math.Abs(alpha) > math.Abs(bestAlpha)) {
+				enter, bestRatio, bestAlpha = j, ratio, alpha
+			}
+		}
+		if enter < 0 {
+			// No column can repair the row: primal infeasible. Refresh
+			// once and re-verify before trusting the certificate.
+			if !reverified {
+				reverified = true
+				s.refresh()
+				continue
+			}
+			return Infeasible
+		}
+		reverified = false
+		s.iters++
+
+		// FTRAN: w = Binv * A[enter].
+		for i := 0; i < m; i++ {
+			w[i] = 0
+		}
+		ec := s.cols[enter]
+		for k, i := range ec.idx {
+			v := ec.val[k]
+			for q := 0; q < m; q++ {
+				w[q] += s.binv[q][int(i)] * v
+			}
+		}
+
+		// Entering direction and step length driving xB[r] to target.
+		var dir float64
+		switch s.vstat[enter] {
+		case atLower:
+			dir = 1
+		case atUpper:
+			dir = -1
+		default: // atFree: move toward the violated bound
+			if toLower == (w[r] < 0) {
+				dir = 1
+			} else {
+				dir = -1
+			}
+		}
+		denom := dir * w[r]
+		if math.Abs(denom) <= pivTol {
+			return IterLimit // numerically unusable pivot; reject
+		}
+		t := (s.xB[r] - target) / denom
+		if t < 0 {
+			t = 0
+		}
+
+		if t != 0 {
+			for i := 0; i < m; i++ {
+				if w[i] != 0 {
+					s.xB[i] -= dir * w[i] * t
+					s.x[s.basis[i]] = s.xB[i]
+				}
+			}
+			s.x[enter] += dir * t
+		}
+
+		// Pivot: enter replaces basis[r], which leaves at its violated
+		// bound.
+		lv := s.basis[r]
+		if toLower {
+			s.vstat[lv] = atLower
+			s.x[lv] = s.lb[lv]
+		} else {
+			s.vstat[lv] = atUpper
+			s.x[lv] = s.ub[lv]
+		}
+		s.vstat[enter] = basic
+		s.basis[r] = enter
+		s.xB[r] = s.x[enter]
+
+		piv := w[r]
+		rowR := s.binv[r]
+		invPiv := 1 / piv
+		for k := 0; k < m; k++ {
+			rowR[k] *= invPiv
+		}
+		for i := 0; i < m; i++ {
+			if i == r {
+				continue
+			}
+			f := w[i]
+			if f == 0 {
+				continue
+			}
+			row := s.binv[i]
+			for k := 0; k < m; k++ {
+				row[k] -= f * rowR[k]
+			}
+		}
+	}
+	return IterLimit
+}

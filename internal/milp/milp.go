@@ -42,6 +42,11 @@ type Options struct {
 	StopAtFirst bool
 	// Branching selects the branching rule.
 	Branching Branching
+	// NoWarmStart disables basis reuse between parent and child nodes,
+	// forcing every relaxation to a cold two-phase solve. Warm starting
+	// never changes results, so this exists only for the warm-vs-cold
+	// ablation and its regression tests.
+	NoWarmStart bool
 }
 
 // Branching selects how the search picks and orders branches.
@@ -101,6 +106,13 @@ type Result struct {
 	// RootObj is the root LP relaxation objective (a lower bound),
 	// NaN if the root was infeasible.
 	RootObj float64
+	// SimplexIters is the total simplex iteration count over all node
+	// relaxations (primal and dual phases).
+	SimplexIters int
+	// WarmStarts / WarmStartRejects count child relaxations that reused
+	// the parent's basis versus snapshots the LP layer rejected (falling
+	// back to a cold solve).
+	WarmStarts, WarmStartRejects int
 }
 
 type searcher struct {
@@ -115,6 +127,10 @@ type searcher struct {
 	hasInc    bool
 	nodes     int
 	pureFeas  bool
+
+	simplexIters int
+	warmStarts   int
+	warmRejects  int
 }
 
 // Solve runs branch and bound. The problem's bound arrays are cloned; the
@@ -145,11 +161,17 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 	}
 
 	rootObj := math.NaN()
-	st, err := s.dfs(0, &rootObj)
+	st, err := s.dfs(0, &rootObj, nil)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Nodes: s.nodes, RootObj: rootObj}
+	res := &Result{
+		Nodes:            s.nodes,
+		RootObj:          rootObj,
+		SimplexIters:     s.simplexIters,
+		WarmStarts:       s.warmStarts,
+		WarmStartRejects: s.warmRejects,
+	}
 	switch {
 	case s.hasInc && (st == searchDone || st == searchExhausted):
 		res.Status = Optimal
@@ -175,7 +197,11 @@ const (
 	searchBudget                       // node/time budget hit
 )
 
-func (s *searcher) dfs(depth int, rootObj *float64) (searchState, error) {
+// dfs explores one node. warm is the parent node's optimal basis (nil at
+// the root): a child differs from its parent by one bound change, so the
+// relaxation is reoptimized by the LP layer's dual simplex instead of a
+// cold phase-1 restart.
+func (s *searcher) dfs(depth int, rootObj *float64, warm *lp.Basis) (searchState, error) {
 	if s.nodes >= s.opts.MaxNodes {
 		return searchBudget, nil
 	}
@@ -183,9 +209,21 @@ func (s *searcher) dfs(depth int, rootObj *float64) (searchState, error) {
 		return searchBudget, nil
 	}
 	s.nodes++
-	sol, err := lp.Solve(s.base, s.opts.LP)
+	lpOpts := s.opts.LP
+	if !s.opts.NoWarmStart {
+		lpOpts.WarmStart = warm
+	}
+	sol, err := lp.Solve(s.base, lpOpts)
 	if err != nil {
 		return searchExhausted, err
+	}
+	s.simplexIters += sol.Iters
+	if lpOpts.WarmStart != nil {
+		if sol.Warm {
+			s.warmStarts++
+		} else {
+			s.warmRejects++
+		}
 	}
 	if depth == 0 && sol.Status == lp.Optimal {
 		*rootObj = sol.Obj
@@ -251,7 +289,7 @@ func (s *searcher) dfs(depth int, rootObj *float64) (searchState, error) {
 			continue
 		}
 		s.base.SetBounds(branch, ch.lb, ch.ub)
-		st, err := s.dfs(depth+1, rootObj)
+		st, err := s.dfs(depth+1, rootObj, sol.Basis)
 		s.base.SetBounds(branch, lo, hi)
 		if err != nil {
 			return searchExhausted, err

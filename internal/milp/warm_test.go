@@ -1,0 +1,77 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestWarmStartEquivalence: warm-started branch and bound must reach the
+// same status and objective as the cold ablation on random 0/1 programs.
+func TestWarmStartEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p, _, ints := randomBinaryProblem(rng)
+		warm, err := Solve(&Problem{LP: p, IntVars: ints}, Options{MaxNodes: 50000})
+		if err != nil {
+			t.Fatalf("seed %d: warm: %v", seed, err)
+		}
+		cold, err := Solve(&Problem{LP: p, IntVars: ints}, Options{MaxNodes: 50000, NoWarmStart: true})
+		if err != nil {
+			t.Fatalf("seed %d: cold: %v", seed, err)
+		}
+		if warm.Status != cold.Status {
+			t.Fatalf("seed %d: warm status %v != cold %v", seed, warm.Status, cold.Status)
+		}
+		if warm.Status == Optimal && math.Abs(warm.Obj-cold.Obj) > 1e-6 {
+			t.Fatalf("seed %d: warm obj %g != cold %g", seed, warm.Obj, cold.Obj)
+		}
+		if cold.WarmStarts != 0 || cold.WarmStartRejects != 0 {
+			t.Fatalf("seed %d: cold ablation reported warm starts (%d/%d)",
+				seed, cold.WarmStarts, cold.WarmStartRejects)
+		}
+		if warm.Nodes > 1 && warm.WarmStarts+warm.WarmStartRejects == 0 {
+			t.Fatalf("seed %d: %d nodes but no warm-start attempts recorded", seed, warm.Nodes)
+		}
+	}
+}
+
+// TestWarmStartNodeAndIterBudget asserts the optimization actually pays:
+// across a batch of random instances, warm-started search must not expand
+// more nodes in aggregate than the cold ablation (alternative LP optima
+// can perturb branching on individual instances, so the assertion is on
+// the totals), and must spend strictly fewer simplex iterations.
+func TestWarmStartNodeAndIterBudget(t *testing.T) {
+	var warmNodes, coldNodes, warmIters, coldIters, accepted int
+	for seed := int64(200); seed < 320; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p, _, ints := randomBinaryProblem(rng)
+		warm, err := Solve(&Problem{LP: p, IntVars: ints}, Options{MaxNodes: 50000})
+		if err != nil {
+			t.Fatalf("seed %d: warm: %v", seed, err)
+		}
+		cold, err := Solve(&Problem{LP: p, IntVars: ints}, Options{MaxNodes: 50000, NoWarmStart: true})
+		if err != nil {
+			t.Fatalf("seed %d: cold: %v", seed, err)
+		}
+		warmNodes += warm.Nodes
+		coldNodes += cold.Nodes
+		warmIters += warm.SimplexIters
+		coldIters += cold.SimplexIters
+		accepted += warm.WarmStarts
+	}
+	if accepted == 0 {
+		t.Fatal("no warm start was ever accepted")
+	}
+	// Identical branching would give identical node counts; alternative
+	// optima may shift a few trees, but aggregate regressions mean the
+	// warm path is returning different (wrong or worse) relaxations.
+	if warmNodes > coldNodes+coldNodes/20 {
+		t.Fatalf("warm-started search expanded more nodes: %d vs %d", warmNodes, coldNodes)
+	}
+	if warmIters >= coldIters {
+		t.Fatalf("warm-started search did not save simplex iterations: %d vs %d", warmIters, coldIters)
+	}
+	t.Logf("nodes %d vs %d, simplex iters %d (warm) vs %d (cold), %.1fx iteration reduction, %d warm starts accepted",
+		warmNodes, coldNodes, warmIters, coldIters, float64(coldIters)/float64(warmIters), accepted)
+}
