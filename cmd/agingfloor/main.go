@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"agingfp/internal/arch"
@@ -22,38 +25,109 @@ import (
 	"agingfp/internal/frontend"
 	"agingfp/internal/hls"
 	"agingfp/internal/nbti"
+	"agingfp/internal/obs"
 	"agingfp/internal/place"
 	"agingfp/internal/thermal"
 	"agingfp/internal/timing"
 )
 
-func main() {
+// main delegates to run so deferred cleanup (trace flush, profile stop)
+// survives the exit path — os.Exit skips defers.
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		kernel = flag.String("kernel", "", "built-in kernel (fir16, fir32, iir4, iir8, matmul3, matmul4, dct8, conv3x3, fft16, reduce32)")
-		benchN = flag.String("bench", "", "Table-I benchmark name (B1..B27)")
-		srcF   = flag.String("src", "", "behavioral source file (C-like assignments) to compile")
-		fabric = flag.String("fabric", "8x8", "fabric WxH (kernels only)")
-		mode   = flag.String("mode", "rotate", "re-mapping mode: freeze or rotate")
-		seed   = flag.Int64("seed", 1, "random seed")
-		debug  = flag.Bool("debug", false, "trace Algorithm 1")
-		warmH  = flag.Bool("warm-heuristics", false, "reuse simplex bases inside the LP-rounding heuristics (faster; floorplans may differ from cold runs)")
-		save   = flag.String("save", "", "write the design + both floorplans as JSON to this file")
+		kernel   = flag.String("kernel", "", "built-in kernel (fir16, fir32, iir4, iir8, matmul3, matmul4, dct8, conv3x3, fft16, reduce32)")
+		benchN   = flag.String("bench", "", "Table-I benchmark name (B1..B27)")
+		srcF     = flag.String("src", "", "behavioral source file (C-like assignments) to compile")
+		fabric   = flag.String("fabric", "8x8", "fabric WxH (kernels only)")
+		mode     = flag.String("mode", "rotate", "re-mapping mode: freeze or rotate")
+		seed     = flag.Int64("seed", 1, "random seed")
+		debug    = flag.Bool("debug", false, "trace Algorithm 1 on stdout (human-readable span log)")
+		warmH    = flag.Bool("warm-heuristics", false, "reuse simplex bases inside the LP-rounding heuristics (faster; floorplans may differ from cold runs)")
+		save     = flag.String("save", "", "write the design + both floorplans as JSON to this file")
+		traceF   = flag.String("trace", "", "write a JSONL span trace (one event per span) to this file")
+		metricsF = flag.String("metrics", "", "write a Prometheus text-format metrics snapshot to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (phases carried as pprof labels)")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	// Observability plumbing: the tracer fans out to the requested sinks
+	// and carries the metrics registry the -metrics snapshot reads.
+	var sinks []obs.Sink
+	if *traceF != "" {
+		f, err := os.Create(*traceF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		js := obs.NewJSONLSink(f)
+		defer func() {
+			js.Close()
+			f.Close()
+			fmt.Println("wrote span trace to", *traceF)
+		}()
+		sinks = append(sinks, js)
+	}
+	if *debug {
+		sinks = append(sinks, obs.NewDebugSink(os.Stdout))
+	}
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if len(sinks) > 0 || *metricsF != "" {
+		tracer = obs.New(sinks...).WithMetrics(reg)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Println("wrote CPU profile to", *cpuProf)
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+			fmt.Println("wrote heap profile to", *memProf)
+		}()
+	}
 
 	d, err := buildDesign(*kernel, *benchN, *srcF, *fabric)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
 	fmt.Printf("design %s: %d ops, %d contexts, fabric %v, utilization %.0f%%\n",
 		d.Name, d.NumOps(), d.NumContexts, d.Fabric, 100*d.UtilizationRate())
 
-	m0, err := place.Place(d, place.DefaultConfig())
+	ctx := context.Background()
+	var m0 arch.Mapping
+	pprof.Do(ctx, pprof.Labels("phase", "place"), func(context.Context) {
+		m0, err = place.Place(d, place.DefaultConfig())
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "placement: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	res0 := timing.Analyze(d, m0)
 	s0 := arch.ComputeStress(d, m0)
@@ -66,6 +140,7 @@ func main() {
 	opts.Seed = *seed
 	opts.Debug = *debug
 	opts.WarmHeuristics = *warmH
+	opts.Trace = tracer
 	switch *mode {
 	case "freeze":
 		opts.Mode = core.Freeze
@@ -73,14 +148,17 @@ func main() {
 		opts.Mode = core.Rotate
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
-		os.Exit(2)
+		return 2
 	}
 
 	start := time.Now()
-	r, err := core.Remap(d, m0, opts)
+	var r *core.Result
+	pprof.Do(ctx, pprof.Labels("phase", "remap"), func(context.Context) {
+		r, err = core.Remap(d, m0, opts)
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "remap: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	s1 := arch.ComputeStress(d, r.Mapping)
 	fmt.Printf("\naging-aware floorplan (%v, %v): ST_target %.3f (lower bound %.3f)\n",
@@ -93,24 +171,49 @@ func main() {
 	fmt.Println("re-mapped stress map:")
 	fmt.Print(arch.RenderStress(s1))
 
-	ratio, err := core.MTTFIncrease(d, m0, r.Mapping, nbti.DefaultModel(), thermal.DefaultConfig())
+	var ratio float64
+	var before *core.MTTFReport
+	pprof.Do(ctx, pprof.Labels("phase", "evaluate"), func(context.Context) {
+		ratio, err = core.MTTFIncrease(d, m0, r.Mapping, nbti.DefaultModel(), thermal.DefaultConfig())
+		if err == nil {
+			before, _ = core.Evaluate(d, m0, nbti.DefaultModel(), thermal.DefaultConfig())
+		}
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mttf: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
-	before, _ := core.Evaluate(d, m0, nbti.DefaultModel(), thermal.DefaultConfig())
 	fmt.Printf("\nMTTF: %.2f years -> %.2f years  (increase %.2fx)\n",
 		before.Hours/8760, before.Hours*ratio/8760, ratio)
 	fmt.Printf("solver effort: %d LP solves, %d ILP solves, %d B&B nodes, %d ST probes\n",
 		r.Stats.LPSolves, r.Stats.ILPSolves, r.Stats.ILPNodes, r.Stats.STProbes)
 	fmt.Printf("simplex: %d iterations, %d warm starts (%d rejected)\n",
 		r.Stats.SimplexIters, r.Stats.WarmStarts, r.Stats.WarmStartRejects)
+	fmt.Printf("phase wall-clock: step1 %v, rotate %v, step2 %v, timing %v (elapsed %v)\n",
+		r.Stats.Step1Time.Round(time.Millisecond), r.Stats.RotateTime.Round(time.Millisecond),
+		r.Stats.Step2Time.Round(time.Millisecond), r.Stats.TimingTime.Round(time.Millisecond),
+		r.Stats.Elapsed.Round(time.Millisecond))
+
+	if *metricsF != "" {
+		f, err := os.Create(*metricsF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := reg.WritePrometheus(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			f.Close()
+			return 1
+		}
+		f.Close()
+		fmt.Println("wrote metrics snapshot to", *metricsF)
+	}
 
 	if *save != "" {
 		f, err := os.Create(*save)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		err = arch.WriteJSON(f, d, map[string]arch.Mapping{
@@ -119,10 +222,11 @@ func main() {
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println("saved floorplans to", *save)
 	}
+	return 0
 }
 
 func buildDesign(kernel, benchName, srcFile, fabric string) (*arch.Design, error) {

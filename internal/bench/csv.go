@@ -17,6 +17,8 @@ func WriteCSV(w io.Writer, results []*Result) error {
 		"orig_cpd_ns", "rotate_cpd_ns",
 		"orig_max_stress", "rotate_max_stress",
 		"orig_mttf_hours", "elapsed_seconds",
+		"step1_seconds", "rotate_phase_seconds", "step2_seconds", "timing_seconds",
+		"lp_solves", "simplex_iters",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -39,6 +41,14 @@ func WriteCSV(w io.Writer, results []*Result) error {
 			fmt.Sprintf("%.4f", r.RotateMaxStress),
 			fmt.Sprintf("%.1f", r.OrigMTTFHours),
 			fmt.Sprintf("%.1f", r.Elapsed.Seconds()),
+			// Phase durations and solver work are reported for the complete
+			// (Rotate) method, the arm Table I's headline numbers come from.
+			fmt.Sprintf("%.3f", r.RotateStats.Step1Time.Seconds()),
+			fmt.Sprintf("%.3f", r.RotateStats.RotateTime.Seconds()),
+			fmt.Sprintf("%.3f", r.RotateStats.Step2Time.Seconds()),
+			fmt.Sprintf("%.3f", r.RotateStats.TimingTime.Seconds()),
+			fmt.Sprintf("%d", r.RotateStats.LPSolves),
+			fmt.Sprintf("%d", r.RotateStats.SimplexIters),
 		}
 		if err := cw.Write(row); err != nil {
 			return err

@@ -10,6 +10,7 @@ import (
 	"agingfp/internal/arch"
 	"agingfp/internal/core"
 	"agingfp/internal/nbti"
+	"agingfp/internal/obs"
 	"agingfp/internal/place"
 	"agingfp/internal/thermal"
 	"agingfp/internal/timing"
@@ -39,6 +40,12 @@ type Config struct {
 	Parallel int
 	// Progress receives per-benchmark log lines when non-nil.
 	Progress func(string)
+	// Trace observes the suite: one "bench.run" span per benchmark whose
+	// end event carries the structured result (increases, CPDs, LP-solve
+	// counts), with the re-mapper's own spans nested beneath it. Copied
+	// into Remap.Trace unless the caller set that separately. nil (the
+	// default) costs nothing.
+	Trace *obs.Tracer
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -99,8 +106,33 @@ func Run(spec Spec, cfg Config) (*Result, error) {
 		cfg.Remap = core.DefaultOptions()
 	}
 	cfg.Remap.Seed = spec.Seed
+	if cfg.Remap.Trace == nil {
+		cfg.Remap.Trace = cfg.Trace
+	}
 
 	start := time.Now()
+	bsp := cfg.Remap.Trace.Start("bench.run",
+		obs.String("name", spec.Name), obs.Int("contexts", spec.Contexts),
+		obs.String("band", spec.Band.String()), obs.Int64("seed", spec.Seed))
+	cfg.Remap.TraceParent = bsp
+	// The span's end event is the structured per-benchmark result record.
+	var r *Result
+	defer func() {
+		if r == nil {
+			bsp.End(obs.String("status", "error"))
+			return
+		}
+		bsp.End(obs.String("status", "ok"),
+			obs.Float("freeze_increase", r.FreezeIncrease),
+			obs.Float("rotate_increase", r.RotateIncrease),
+			obs.Float("orig_cpd", r.OrigCPD),
+			obs.Float("rotate_cpd", r.RotateCPD),
+			obs.Int("lp_solves", r.FreezeStats.LPSolves+r.RotateStats.LPSolves),
+			obs.Duration("step1", r.RotateStats.Step1Time),
+			obs.Duration("rotate", r.RotateStats.RotateTime),
+			obs.Duration("step2", r.RotateStats.Step2Time),
+			obs.Duration("timing", r.RotateStats.TimingTime))
+	}()
 	d, err := Synthesize(spec)
 	if err != nil {
 		return nil, err
@@ -151,7 +183,7 @@ func Run(spec Spec, cfg Config) (*Result, error) {
 	// Result.Spec keeps the ORIGINAL Table-I identity (so grouping and
 	// paper comparisons stay aligned); RunOps/RunFabric describe the
 	// actually-run (possibly scaled) workload.
-	r := &Result{
+	r = &Result{
 		Spec:            origSpec,
 		RunOps:          d.NumOps(),
 		RunFabric:       d.Fabric,

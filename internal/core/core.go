@@ -29,6 +29,7 @@ import (
 	"agingfp/internal/arch"
 	"agingfp/internal/lp"
 	"agingfp/internal/nbti"
+	"agingfp/internal/obs"
 	"agingfp/internal/thermal"
 )
 
@@ -106,7 +107,23 @@ type Options struct {
 	// CritEpsNs is the slack tolerance identifying critical ops.
 	CritEpsNs float64
 	// Debug prints per-iteration progress of Algorithm 1 to stdout.
+	// It is sugar for a Trace carrying a stdout obs.DebugSink: when
+	// Trace is nil and Debug is set, Remap installs exactly that, so
+	// debug output and trace events come from the same span stream and
+	// cannot drift apart. With Trace set, Debug is ignored — attach a
+	// DebugSink to the tracer instead.
 	Debug bool
+	// Trace receives structured spans, instant events, and (when a
+	// registry is attached) metrics for the whole flow; see
+	// internal/obs for the span taxonomy. nil — the default — disables
+	// all instrumentation at zero cost, including zero allocations on
+	// the solver hot paths.
+	Trace *obs.Tracer
+	// TraceParent, when live, nests this run's root span under it (how
+	// RemapBoth groups its Freeze and Rotate arms, and how callers like
+	// the bench harness attach runs to their own spans). The zero value
+	// makes the run a trace root.
+	TraceParent obs.Span
 	// LinearSTSearch runs Step 2.3 exactly as Algorithm 1 writes it:
 	// ST_target swept linearly upward from the lower bound by Delta.
 	// The default (false) bisects the same interval instead, reaching
@@ -175,6 +192,18 @@ func DefaultOptions() Options {
 }
 
 // Stats records solver effort for the scaling experiments (E4).
+//
+// Duration convention: every duration in Stats is wall-clock, not CPU
+// time — a phase that fans out over N workers accrues once, and a
+// phase stalled on the scheduler still accrues. The per-phase fields
+// (Step1Time, RotateTime, Step2Time, TimingTime) are additive effort
+// totals: Stats.add sums them, so merged stats (e.g. a Rotate run that
+// absorbed its Freeze fallback) report the combined work of every run
+// folded in, and their sum can exceed the Elapsed of any single run.
+// Elapsed is the opposite: the start-to-finish wall-clock of one run
+// only. It is deliberately NOT summed by add — concurrent runs overlap
+// in time, so adding their Elapsed would double-count the wall — and
+// after a merge it still describes the run that carries the struct.
 type Stats struct {
 	// LPSolves counts simplex solves (the rounding dive's unit of work).
 	// ILPSolves/ILPNodes count branch-and-bound usage; the production
@@ -196,26 +225,51 @@ type Stats struct {
 	// fallback). Their ratio is the health metric of the basis-reuse
 	// plumbing: rejects should be rare.
 	WarmStarts, WarmStartRejects int
-	// Elapsed is total wall-clock re-mapping time.
+	// Step1Time is wall-clock spent determining the Step-1 stress
+	// lower bound (greedy level or binary-search MILP).
+	Step1Time time.Duration
+	// RotateTime is wall-clock spent in Step 2.1 critical-path
+	// freezing/rotation (orientation search included).
+	RotateTime time.Duration
+	// Step2Time is wall-clock spent solving the Step-2.3 assignment
+	// MILPs (all batches of all probes, rounding dives included). The
+	// STA verification between probes is accounted under TimingTime,
+	// so the two do not overlap.
+	Step2Time time.Duration
+	// TimingTime is wall-clock spent in static timing analysis: the
+	// initial baseline analysis, each probe's CPD verification, and
+	// violated-path enumeration for the lazy repair rounds.
+	TimingTime time.Duration
+	// Elapsed is this run's total start-to-finish wall-clock time (see
+	// the duration convention above: unlike the phase fields it is not
+	// aggregated by add).
 	Elapsed time.Duration
 }
 
-// noteLP folds one LP solve into the counters. warmTried reports whether
-// a warm-start basis was offered to the solver.
-func (st *Stats) noteLP(sol *lp.Solution, warmTried bool) {
+// noteLP folds one LP solve into the counters and mirrors it into the
+// tracer's metrics registry (no-op without one). warmTried reports
+// whether a warm-start basis was offered to the solver.
+func (st *Stats) noteLP(tr *obs.Tracer, sol *lp.Solution, warmTried bool) {
 	st.LPSolves++
 	st.SimplexIters += sol.Iters
+	reg := tr.Registry()
+	reg.Counter("agingfp_lp_solves_total").Inc()
+	reg.Counter("agingfp_simplex_iters_total").Add(int64(sol.Iters))
 	if warmTried {
 		if sol.Warm {
 			st.WarmStarts++
+			reg.Counter("agingfp_warm_starts_total").Inc()
 		} else {
 			st.WarmStartRejects++
+			reg.Counter("agingfp_warm_start_rejects_total").Inc()
 		}
 	}
 }
 
-// add accumulates other into st (Elapsed excluded: wall-clock totals are
-// kept by each run's own timer).
+// add accumulates other into st. Every counter and every per-phase
+// duration aggregates; only Elapsed is excluded, by the convention
+// documented on Stats (it is one run's wall-clock span, and concurrent
+// runs overlap, so summing it would double-count the wall).
 func (st *Stats) add(other Stats) {
 	st.LPSolves += other.LPSolves
 	st.ILPSolves += other.ILPSolves
@@ -225,6 +279,10 @@ func (st *Stats) add(other Stats) {
 	st.SimplexIters += other.SimplexIters
 	st.WarmStarts += other.WarmStarts
 	st.WarmStartRejects += other.WarmStartRejects
+	st.Step1Time += other.Step1Time
+	st.RotateTime += other.RotateTime
+	st.Step2Time += other.Step2Time
+	st.TimingTime += other.TimingTime
 }
 
 // Result is the outcome of a re-mapping run.

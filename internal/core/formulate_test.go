@@ -10,6 +10,7 @@ import (
 	"agingfp/internal/dfg"
 	"agingfp/internal/hls"
 	"agingfp/internal/lp"
+	"agingfp/internal/obs"
 	"agingfp/internal/place"
 	"agingfp/internal/timing"
 )
@@ -98,7 +99,7 @@ func TestOriginalAssignmentSatisfiesFormulation(t *testing.T) {
 
 	// And the solver must find some solution at this budget.
 	stats := &Stats{}
-	asn, ok, err := solveBatch(bp, DefaultOptions(), stats, rand.New(rand.NewSource(9)), time.Time{}, nil, 0)
+	asn, ok, err := solveBatch(bp, DefaultOptions(), stats, rand.New(rand.NewSource(9)), time.Time{}, nil, 0, obs.Span{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"agingfp/internal/arch"
 	"agingfp/internal/dfg"
 	"agingfp/internal/hls"
+	"agingfp/internal/obs"
 	"agingfp/internal/place"
 	"agingfp/internal/timing"
 )
@@ -94,7 +95,7 @@ func TestRotateFrozenGeometry(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	rng := rand.New(rand.NewSource(3))
-	pos := rotateFrozen(d, m0, crit, opts, rng)
+	pos := rotateFrozen(d, m0, crit, opts, rng, obs.Span{})
 	if len(pos) != len(crit) {
 		t.Fatalf("%d rotated positions for %d critical ops", len(pos), len(crit))
 	}

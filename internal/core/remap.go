@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
 	"agingfp/internal/arch"
+	"agingfp/internal/obs"
 	"agingfp/internal/timing"
 )
 
@@ -34,8 +36,19 @@ func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: RoundThreshold %g out of (0.5,1]", opts.RoundThreshold)
 	}
 
+	// Observability: opts.Debug without an explicit tracer installs a
+	// stdout debug sink, so the historical -debug trace and the span
+	// stream are one and the same.
+	if opts.Trace == nil && opts.Debug {
+		opts.Trace = obs.New(obs.NewDebugSink(os.Stdout))
+	}
+	tr := opts.Trace
+	reg := tr.Registry()
+
 	rng := rand.New(rand.NewSource(opts.Seed))
+	staT := time.Now()
 	res0 := timing.Analyze(d, m0)
+	staDur := time.Since(staT)
 	stress0 := arch.ComputeStress(d, m0)
 	stUp, stLow := stress0.Max(), stress0.Mean()
 
@@ -56,7 +69,33 @@ func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 		STTarget:      stUp,
 		STLowerBound:  stLow,
 	}
-	defer func() { result.Stats.Elapsed = time.Since(start) }()
+	result.Stats.TimingTime += staDur
+
+	// The run's root span; nested under TraceParent when the caller
+	// provided one (RemapBoth arms, bench runs, the freeze fallback).
+	var root obs.Span
+	if opts.TraceParent.Active() {
+		root = opts.TraceParent.Child("core.remap", obs.String("mode", opts.Mode.String()),
+			obs.Int64("seed", opts.Seed), obs.Int("ops", d.NumOps()), obs.Int("contexts", d.NumContexts))
+	} else {
+		root = tr.Start("core.remap", obs.String("mode", opts.Mode.String()),
+			obs.Int64("seed", opts.Seed), obs.Int("ops", d.NumOps()), obs.Int("contexts", d.NumContexts))
+	}
+	defer func() {
+		result.Stats.Elapsed = time.Since(start)
+		// Phase gauges accumulate across runs sharing the registry
+		// (both RemapBoth arms, fallback runs); they are cumulative
+		// wall-clock seconds per phase, mirroring the Stats fields.
+		reg.Gauge(`agingfp_phase_seconds{phase="step1"}`).Add(result.Stats.Step1Time.Seconds())
+		reg.Gauge(`agingfp_phase_seconds{phase="rotate"}`).Add(result.Stats.RotateTime.Seconds())
+		reg.Gauge(`agingfp_phase_seconds{phase="step2"}`).Add(result.Stats.Step2Time.Seconds())
+		reg.Gauge(`agingfp_phase_seconds{phase="timing"}`).Add(result.Stats.TimingTime.Seconds())
+		root.End(
+			obs.Bool("improved", result.Improved),
+			obs.Float("st_target", result.STTarget),
+			obs.Float("new_max_stress", result.NewMaxStress),
+			obs.Int("outer_iterations", result.Stats.OuterIterations))
+	}()
 
 	if stUp-stLow < 1e-12 {
 		return result, nil // stress already perfectly level
@@ -74,10 +113,12 @@ func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 	// Step 1: delay-unaware lower bound for ST_target. The default uses
 	// the LPT level (an achievable delay-unaware budget); Step1MILP runs
 	// the paper's binary-search MILP instead.
+	s1T := time.Now()
+	s1 := root.Child("core.step1", obs.Bool("milp", opts.Step1MILP))
 	var stLB float64
 	if opts.Step1MILP {
 		var err error
-		stLB, err = stressLowerBound(d, m0, stress0, stLow, stUp, batchList, opts, rng, &result.Stats)
+		stLB, err = stressLowerBound(d, m0, stress0, stLow, stUp, batchList, opts, rng, &result.Stats, s1)
 		if err != nil {
 			return nil, err
 		}
@@ -87,8 +128,11 @@ func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 			stLB = stLow
 		}
 		result.Stats.STProbes++
+		reg.Counter("agingfp_st_probes_total").Inc()
 	}
 	result.STLowerBound = stLB
+	result.Stats.Step1Time += time.Since(s1T)
+	s1.End(obs.Float("st_lower_bound", stLB), obs.Int("probes", result.Stats.STProbes))
 
 	// Step 2.1: critical-path freezing (and rotation in Rotate mode).
 	// With a relaxed budget no path is critical and nothing is frozen.
@@ -96,7 +140,11 @@ func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 	if budget <= res0.CPD+1e-12 {
 		crit = timing.CriticalOps(d, m0, res0, opts.CritEpsNs)
 	}
-	frozenPos := rotateFrozen(d, m0, crit, opts, rng)
+	rotT := time.Now()
+	rsp := root.Child("core.rotate", obs.String("mode", opts.Mode.String()), obs.Int("critical_ops", len(crit)))
+	frozenPos := rotateFrozen(d, m0, crit, opts, rng, rsp)
+	result.Stats.RotateTime += time.Since(rotT)
+	rsp.End(obs.Int("frozen_ops", len(frozenPos)))
 
 	// Step 2.2: monitored path set and wire budgets (paths within 20%
 	// of the delay budget). Under a relaxed budget the initial set may
@@ -154,40 +202,51 @@ func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 	// runs under a wall-clock budget (Options.TimeLimit) so a single
 	// pathological budget cannot stall the whole search — on timeout the
 	// probe counts as infeasible and the schedule moves on.
-	probe := func(st float64) (arch.Mapping, float64, bool, error) {
+	probeHist := reg.Histogram("agingfp_probe_seconds")
+	outerCtr := reg.Counter("agingfp_outer_iterations_total")
+	probe := func(st float64) (m arch.Mapping, cpd float64, feasible bool, err error) {
 		result.Stats.OuterIterations++
+		outerCtr.Inc()
+		pT := time.Now()
+		psp := root.Child("core.probe", obs.Float("st", st))
+		status := "infeasible"
+		defer func() {
+			probeHist.Observe(time.Since(pT))
+			psp.End(obs.String("status", status))
+		}()
 		var deadline time.Time
 		if opts.TimeLimit > 0 {
 			deadline = time.Now().Add(opts.TimeLimit)
 		}
 		for round := 0; round < repairRounds; round++ {
 			if !deadline.IsZero() && time.Now().After(deadline) {
-				if opts.Debug {
-					fmt.Printf("[remap %v] st=%.4f: probe timeout\n", opts.Mode, st)
-				}
+				status = "timeout"
 				return nil, 0, false, nil
 			}
-			mNew, ok, err := solveAllBatches(d, m0, frozenPos, paths, st, budget, stress0, batchList, opts, rng, &result.Stats, deadline, probeCache)
+			s2T := time.Now()
+			mNew, ok, err := solveAllBatches(d, m0, frozenPos, paths, st, budget, stress0, batchList, opts, rng, &result.Stats, deadline, probeCache, psp)
+			result.Stats.Step2Time += time.Since(s2T)
 			if err != nil {
+				status = "error"
 				return nil, 0, false, err
 			}
 			if !ok {
-				if opts.Debug {
-					fmt.Printf("[remap %v] st=%.4f round=%d: infeasible\n", opts.Mode, st, round)
-				}
+				psp.Event("core.probe.round", obs.Int("round", round), obs.Bool("solved", false))
 				return nil, 0, false, nil
 			}
+			staT := time.Now()
 			newRes := timing.Analyze(d, mNew)
-			if opts.Debug {
-				fmt.Printf("[remap %v] st=%.4f round=%d: solved, CPD %.4f (budget %.4f), paths=%d\n",
-					opts.Mode, st, round, newRes.CPD, budget, len(paths))
-			}
+			result.Stats.TimingTime += time.Since(staT)
+			psp.Event("core.probe.round", obs.Int("round", round), obs.Bool("solved", true),
+				obs.Float("cpd", newRes.CPD), obs.Float("budget", budget), obs.Int("paths", len(paths)))
 			if newRes.CPD <= budget+1e-9 {
+				status = "feasible"
 				return mNew, newRes.CPD, true, nil
 			}
 			// A path below the monitoring threshold regressed past the
 			// CPD: add the violators as lazy rows and re-solve at the
 			// same budget (see Options.PathRepairRounds).
+			repT := time.Now()
 			added := 0
 			for _, p := range violatedPaths(d, mNew, newRes, budget) {
 				if id := pathIdent(p); !pathSeen[id] {
@@ -196,6 +255,8 @@ func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 					added++
 				}
 			}
+			result.Stats.TimingTime += time.Since(repT)
+			psp.Event("core.probe.repair", obs.Int("round", round), obs.Int("added", added), obs.Int("paths", len(paths)))
 			if added == 0 {
 				return nil, 0, false, nil
 			}
@@ -302,6 +363,7 @@ func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 	if opts.Mode == Rotate && !result.Improved {
 		fo := opts
 		fo.Mode = Freeze
+		fo.TraceParent = root // nest the fallback run under this one
 		fr, err := Remap(d, m0, fo)
 		if err != nil {
 			return nil, err
@@ -336,6 +398,18 @@ func RemapBoth(d *arch.Design, m0 arch.Mapping, opts Options) (freeze, rotate *R
 	// both reuse one copy instead of racing to build their own.
 	d.Precompute()
 
+	// Install the Debug-sugar tracer once here so both arms share one sink
+	// (and one span-ID space) instead of each Remap creating its own.
+	if opts.Trace == nil && opts.Debug {
+		opts.Trace = obs.New(obs.NewDebugSink(os.Stdout))
+	}
+	var both obs.Span
+	if opts.TraceParent.Active() {
+		both = opts.TraceParent.Child("core.remap_both")
+	} else {
+		both = opts.Trace.Start("core.remap_both")
+	}
+
 	var (
 		wg                sync.WaitGroup
 		freezeErr, rotErr error
@@ -345,19 +419,23 @@ func RemapBoth(d *arch.Design, m0 arch.Mapping, opts Options) (freeze, rotate *R
 		defer wg.Done()
 		fo := opts
 		fo.Mode = Freeze
+		fo.TraceParent = both
 		freeze, freezeErr = Remap(d, m0, fo)
 	}()
 	go func() {
 		defer wg.Done()
 		ro := opts
 		ro.Mode = Rotate
+		ro.TraceParent = both
 		rotate, rotErr = Remap(d, m0, ro)
 	}()
 	wg.Wait()
 	if freezeErr != nil {
+		both.End(obs.String("status", "error"))
 		return nil, nil, freezeErr
 	}
 	if rotErr != nil {
+		both.End(obs.String("status", "error"))
 		return nil, nil, rotErr
 	}
 	if betterResult(freeze, rotate) {
@@ -366,6 +444,7 @@ func RemapBoth(d *arch.Design, m0 arch.Mapping, opts Options) (freeze, rotate *R
 		r.FallbackToFreeze = true
 		rotate = &r
 	}
+	both.End(obs.String("status", "ok"), obs.Bool("fallback_to_freeze", rotate.FallbackToFreeze))
 	return freeze, rotate, nil
 }
 
@@ -402,11 +481,13 @@ func violatedPaths(d *arch.Design, m arch.Mapping, res *timing.Result, origCPD f
 
 // solveAllBatches re-binds every non-frozen op, one context batch at a
 // time, under the global stress budget st. Returns ok=false if any batch
-// is infeasible.
+// is infeasible. Each batch is traced as a "core.batch" span under
+// parent (with a construction-infeasibility event when buildBatch bailed
+// early).
 func solveAllBatches(d *arch.Design, m0 arch.Mapping, frozenPos map[int]arch.Coord,
 	paths []*timing.Path, st, cpd float64, stress0 arch.StressMap,
 	batchList [][]int, opts Options, rng *rand.Rand, stats *Stats, deadline time.Time,
-	cache *warmCache) (arch.Mapping, bool, error) {
+	cache *warmCache, parent obs.Span) (arch.Mapping, bool, error) {
 
 	f := d.Fabric
 	mCur := m0.Clone()
@@ -431,25 +512,27 @@ func solveAllBatches(d *arch.Design, m0 arch.Mapping, frozenPos map[int]arch.Coo
 			}
 			movable = append(movable, op)
 		}
+		bsp := parent.Child("core.batch",
+			obs.Int("batch", bi), obs.Int("contexts", len(bctx)), obs.Int("movable", len(movable)))
 		cands := candidateSets(d, m0, stress0, frozenPos, movable, opts.CandidatesPerOp, rng)
 		bp := buildBatch(d, mCur, inBatch, frozenPos, cands, paths, st, committed, cpd, opts)
-		if opts.Debug && bp.infeasibleReason != "" {
-			fmt.Printf("[batch %v] construction infeasible: %s\n", bctx, bp.infeasibleReason)
+		if bp.infeasibleReason != "" {
+			bsp.Event("core.batch.infeasible_construction", obs.String("reason", bp.infeasibleReason))
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
+			bsp.End(obs.String("status", "timeout"))
 			return nil, false, nil // probe budget exhausted
 		}
-		asn, ok, err := solveBatch(bp, opts, stats, rng, deadline, cache, bi)
+		asn, ok, err := solveBatch(bp, opts, stats, rng, deadline, cache, bi, bsp)
 		if err != nil {
+			bsp.End(obs.String("status", "error"))
 			return nil, false, err
 		}
 		if !ok {
-			if opts.Debug && bp.infeasibleReason == "" {
-				fmt.Printf("[batch %v] MILP infeasible (%d movable, %d rows)\n",
-					bctx, len(bp.movable), bp.lp.NumRows())
-			}
+			bsp.End(obs.String("status", "infeasible"), obs.Int("rows", bp.lp.NumRows()))
 			return nil, false, nil
 		}
+		bsp.End(obs.String("status", "solved"), obs.Int("rows", bp.lp.NumRows()))
 		for op, pe := range asn {
 			mCur[op] = pe
 			committed[f.Index(pe)] += d.StressRate(op)
@@ -463,9 +546,10 @@ func solveAllBatches(d *arch.Design, m0 arch.Mapping, frozenPos map[int]arch.Coo
 
 // stressLowerBound implements Step 1: binary search for the smallest
 // ST_target admitting a delay-unaware floorplan, between the original
-// floorplan's mean (ST_low) and max (ST_up) accumulated stress.
+// floorplan's mean (ST_low) and max (ST_up) accumulated stress. Each
+// budget probe is traced as a "core.step1.probe" span under parent.
 func stressLowerBound(d *arch.Design, m0 arch.Mapping, stress0 arch.StressMap,
-	lo, hi float64, batchList [][]int, opts Options, rng *rand.Rand, stats *Stats) (float64, error) {
+	lo, hi float64, batchList [][]int, opts Options, rng *rand.Rand, stats *Stats, parent obs.Span) (float64, error) {
 
 	// The LPT level is a fast sufficient certificate: any budget at or
 	// above it is feasible without solving a MILP.
@@ -479,12 +563,19 @@ func stressLowerBound(d *arch.Design, m0 arch.Mapping, stress0 arch.StressMap,
 		cache = newWarmCache(len(batchList))
 	}
 
+	probeCtr := opts.Trace.Registry().Counter("agingfp_st_probes_total")
 	feasible := func(st float64) (bool, error) {
 		stats.STProbes++
+		probeCtr.Inc()
+		psp := parent.Child("core.step1.probe", obs.Float("st_target", st))
 		if greedyMax <= st+1e-12 {
+			psp.End(obs.Bool("feasible", true), obs.String("certificate", "greedy"), obs.Int("simplex_iters", 0))
 			return true, nil
 		}
-		m, ok, err := solveAllBatches(d, m0, nil, nil, st, 0, stress0, batchList, opts, rng, stats, time.Time{}, cache)
+		itersBefore := stats.SimplexIters
+		m, ok, err := solveAllBatches(d, m0, nil, nil, st, 0, stress0, batchList, opts, rng, stats, time.Time{}, cache, psp)
+		psp.End(obs.Bool("feasible", err == nil && ok), obs.String("certificate", "milp"),
+			obs.Int("simplex_iters", stats.SimplexIters-itersBefore))
 		if err != nil || !ok {
 			return false, err
 		}

@@ -8,6 +8,7 @@ import (
 	"agingfp/internal/dfg"
 	"agingfp/internal/hls"
 	"agingfp/internal/nbti"
+	"agingfp/internal/obs"
 	"agingfp/internal/place"
 	"agingfp/internal/thermal"
 	"agingfp/internal/timing"
@@ -230,7 +231,7 @@ func TestRotateFreezeModeKeepsPositions(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Mode = Freeze
 	rng := rand.New(rand.NewSource(1))
-	pos := rotateFrozen(d, m0, crit, opts, rng)
+	pos := rotateFrozen(d, m0, crit, opts, rng, obs.Span{})
 	for op, pe := range pos {
 		if pe != m0[op] {
 			t.Fatalf("freeze mode moved op %d: %v -> %v", op, m0[op], pe)

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"agingfp/internal/arch"
+	"agingfp/internal/obs"
 )
 
 // maxParallelism bounds the worker fan-out of CPU-bound scoring loops.
@@ -83,7 +84,10 @@ func orientationPool(orients []int, numContexts int, rng *rand.Rand) []int {
 // The growth penalty keeps rotated paths from stretching their fixed
 // registered arcs, which would eat (or bust) the monitored paths' wire
 // budgets outright.
-func rotateFrozen(d *arch.Design, m arch.Mapping, frozen map[int]bool, opts Options, rng *rand.Rand) map[int]arch.Coord {
+//
+// sp is the caller's "core.rotate" span (the caller ends it); the
+// selection outcome is reported as a "core.rotate.select" instant event.
+func rotateFrozen(d *arch.Design, m arch.Mapping, frozen map[int]bool, opts Options, rng *rand.Rand, sp obs.Span) map[int]arch.Coord {
 	out := make(map[int]arch.Coord, len(frozen))
 	if opts.Mode == Freeze {
 		for op := range frozen {
@@ -169,11 +173,16 @@ func rotateFrozen(d *arch.Design, m arch.Mapping, frozen map[int]bool, opts Opti
 	wg.Wait()
 
 	best, bestScore := assigns[0], scores[0]
+	bestR := 0
 	for r := 1; r < restarts; r++ {
 		if scores[r] < bestScore {
 			best, bestScore = assigns[r], scores[r]
+			bestR = r
 		}
 	}
+	sp.Event("core.rotate.select",
+		obs.Int("restarts", restarts), obs.Int("winner", bestR),
+		obs.Float("score", bestScore), obs.Int("cross_arcs", len(crossArcs)))
 	for op := range frozen {
 		out[op] = orient(m[op], best[d.Ctx[op]], d.Fabric)
 	}

@@ -7,6 +7,7 @@ import (
 	"agingfp/internal/arch"
 	"agingfp/internal/lp"
 	"agingfp/internal/milp"
+	"agingfp/internal/obs"
 	"agingfp/internal/timing"
 )
 
@@ -52,7 +53,9 @@ func SolveRemapOnce(d *arch.Design, m0 arch.Mapping, stTarget float64, opts Opti
 	rng := rand.New(rand.NewSource(opts.Seed))
 	bp := buildFullProblem(d, m0, stTarget, opts, rng)
 	stats := &Stats{}
-	asn, ok, err := solveBatch(bp, opts, stats, rng, time.Time{}, nil, 0)
+	parent := opts.Trace.Start("core.solve_once", obs.Float("st_target", stTarget))
+	defer parent.End()
+	asn, ok, err := solveBatch(bp, opts, stats, rng, time.Time{}, nil, 0, parent)
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -77,6 +80,7 @@ func SolveRemapMonolithic(d *arch.Design, m0 arch.Mapping, stTarget float64, opt
 		MaxNodes:    nodeCap,
 		StopAtFirst: true,
 		Branching:   milp.MostFractional,
+		Trace:       opts.Trace,
 	})
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"agingfp/internal/arch"
 	"agingfp/internal/lp"
+	"agingfp/internal/obs"
 )
 
 // warmCache holds one LP basis snapshot per context batch, reused across
@@ -47,8 +48,10 @@ func (c *warmCache) put(i int, b *lp.Basis) {
 //
 // Returns the per-op PE choice, or ok=false if infeasible at this
 // budget. See DESIGN.md §4b.4 for how this implements the paper's
-// LP-relax / round>0.95 / residual-ILP loop.
-func solveBatch(bp *batchProblem, opts Options, stats *Stats, rng *rand.Rand, deadline time.Time, cache *warmCache, slot int) (map[int]arch.Coord, bool, error) {
+// LP-relax / round>0.95 / residual-ILP loop. The relaxation and each
+// dive restart are traced as "core.relax" / "core.dive" spans under
+// parent.
+func solveBatch(bp *batchProblem, opts Options, stats *Stats, rng *rand.Rand, deadline time.Time, cache *warmCache, slot int, parent obs.Span) (map[int]arch.Coord, bool, error) {
 	if bp.infeasibleReason != "" {
 		return nil, false, nil
 	}
@@ -58,12 +61,15 @@ func solveBatch(bp *batchProblem, opts Options, stats *Stats, rng *rand.Rand, de
 
 	// Step A: LP relaxation, warm-started from the previous probe's
 	// optimal basis for this batch when one is cached.
-	relOpts := lp.Options{WarmStart: cache.get(slot)}
+	relOpts := lp.Options{WarmStart: cache.get(slot), Trace: opts.Trace}
+	rsp := parent.Child("core.relax", obs.Int("vars", bp.lp.NumVars()), obs.Int("rows", bp.lp.NumRows()))
 	rel, err := lp.Solve(bp.lp, relOpts)
 	if err != nil {
+		rsp.End(obs.String("status", "error"))
 		return nil, false, fmt.Errorf("core: relaxation: %w", err)
 	}
-	stats.noteLP(rel, relOpts.WarmStart != nil)
+	stats.noteLP(opts.Trace, rel, relOpts.WarmStart != nil)
+	rsp.End(obs.String("status", rel.Status.String()), obs.Int("iters", rel.Iters), obs.Bool("warm", rel.Warm))
 	switch rel.Status {
 	case lp.Infeasible:
 		return nil, false, nil
@@ -86,7 +92,8 @@ func solveBatch(bp *batchProblem, opts Options, stats *Stats, rng *rand.Rand, de
 		if opts.WarmHeuristics {
 			warm = rel.Basis
 		}
-		asn, ok, frac, err := roundingDive(bp, rel.X, warm, opts, stats, rng, r > 0, deadline)
+		dsp := parent.Child("core.dive", obs.Int("restart", r), obs.Int("movable", len(bp.movable)))
+		asn, ok, frac, err := roundingDive(bp, rel.X, warm, opts, stats, rng, r > 0, deadline, dsp)
 		if err != nil || ok {
 			return asn, ok, err
 		}
@@ -117,7 +124,11 @@ type softFix struct {
 // land on different (equally optimal) vertices, the pin heuristic reads
 // the vertex, and callers default to reproducible cold floorplans (see
 // Options.WarmHeuristics).
-func roundingDive(bp *batchProblem, rootX []float64, rootBasis *lp.Basis, opts Options, stats *Stats, rng *rand.Rand, perturb bool, deadline time.Time) (map[int]arch.Coord, bool, float64, error) {
+//
+// The dive owns dsp (a "core.dive" span opened by the caller) and ends
+// it with the outcome: ok, the pinned fraction reached, LP re-solve and
+// backjump counts.
+func roundingDive(bp *batchProblem, rootX []float64, rootBasis *lp.Basis, opts Options, stats *Stats, rng *rand.Rand, perturb bool, deadline time.Time, dsp obs.Span) (asnOut map[int]arch.Coord, okOut bool, fracOut float64, errOut error) {
 	prob := bp.lp.CloneBounds()
 	useWarm := rootBasis != nil
 	warm := rootBasis
@@ -125,6 +136,13 @@ func roundingDive(bp *batchProblem, rootX []float64, rootBasis *lp.Basis, opts O
 	var tentative []softFix
 	x := rootX
 	frac := func() float64 { return float64(len(decided)) / float64(len(bp.movable)) }
+
+	lpSolves, backjumps := 0, 0
+	bjCtr := opts.Trace.Registry().Counter("agingfp_dive_backjumps_total")
+	defer func() {
+		dsp.End(obs.Bool("ok", okOut), obs.Float("frac", fracOut),
+			obs.Int("lp_solves", lpSolves), obs.Int("backjumps", backjumps))
+	}()
 
 	// Every pin is recorded so an infeasible LP can backjump through it —
 	// including the bulk 0.95 pre-mappings, whose greediness is otherwise
@@ -162,12 +180,13 @@ func roundingDive(bp *batchProblem, rootX []float64, rootBasis *lp.Basis, opts O
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				return nil, false, frac(), nil
 			}
-			wopts := lp.Options{WarmStart: warm}
+			wopts := lp.Options{WarmStart: warm, Trace: opts.Trace}
 			sol, err := lp.Solve(prob, wopts)
 			if err != nil {
 				return nil, false, frac(), err
 			}
-			stats.noteLP(sol, wopts.WarmStart != nil)
+			lpSolves++
+			stats.noteLP(opts.Trace, sol, wopts.WarmStart != nil)
 			if sol.Status == lp.Optimal {
 				x = sol.X
 				if useWarm {
@@ -179,6 +198,8 @@ func roundingDive(bp *batchProblem, rootX []float64, rootBasis *lp.Basis, opts O
 			if !backjump(bp, prob, &tentative, decided) {
 				return nil, false, frac(), nil // infeasible at this budget
 			}
+			backjumps++
+			bjCtr.Inc()
 		}
 		if len(decided) == len(bp.movable) {
 			// All ops pinned under a feasible LP: done.

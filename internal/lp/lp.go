@@ -21,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"agingfp/internal/obs"
 )
 
 // Sense is a row's comparison sense.
@@ -212,6 +214,11 @@ type Options struct {
 	// unusable snapshots are rejected and the solve proceeds cold, so a
 	// warm start never changes the result, only the work to reach it.
 	WarmStart *Basis
+	// Trace receives an "lp.warm_start" instant event for every solve
+	// that was offered a WarmStart basis (attrs: hit, iters), the raw
+	// feed behind the warm-start health counters upstream. nil (the
+	// default) costs nothing.
+	Trace *obs.Tracer
 }
 
 // Solve optimizes the problem. The problem itself is not modified.
@@ -223,9 +230,13 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 		if ws, ok := newWarmSolver(p, opt, opt.WarmStart); ok {
 			if sol, ok := ws.runWarm(); ok {
 				sol.Warm = true
+				opt.Trace.Event("lp.warm_start", obs.Bool("hit", true), obs.Int("iters", sol.Iters))
 				return sol, nil
 			}
 		}
+		// Snapshot rejected (stale shape, singular basis, or an
+		// inconclusive dual reoptimization): fall back to a cold solve.
+		opt.Trace.Event("lp.warm_start", obs.Bool("hit", false))
 	}
 	s := newSolver(p, opt)
 	return s.run()

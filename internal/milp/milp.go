@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"agingfp/internal/lp"
+	"agingfp/internal/obs"
 )
 
 // Problem is a MILP: an LP plus a set of integer-constrained variables.
@@ -47,6 +48,12 @@ type Options struct {
 	// never changes results, so this exists only for the warm-vs-cold
 	// ablation and its regression tests.
 	NoWarmStart bool
+	// Trace observes the search: a "milp.solve" span per Solve (attrs:
+	// vars, int_vars, nodes, status, simplex_iters), a "milp.incumbent"
+	// instant event per improving integer solution, and a node-expansion
+	// counter agingfp_milp_nodes_total when a metrics registry is
+	// attached. nil (the default) costs nothing.
+	Trace *obs.Tracer
 }
 
 // Branching selects how the search picks and orders branches.
@@ -131,6 +138,9 @@ type searcher struct {
 	simplexIters int
 	warmStarts   int
 	warmRejects  int
+
+	span    obs.Span     // the per-Solve "milp.solve" span
+	nodeCtr *obs.Counter // agingfp_milp_nodes_total (nil-safe)
 }
 
 // Solve runs branch and bound. The problem's bound arrays are cloned; the
@@ -142,11 +152,21 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 	if opts.IntTol <= 0 {
 		opts.IntTol = 1e-6
 	}
+	if opts.LP.Trace == nil {
+		// Node relaxations report their warm-start events to the same
+		// tracer unless the caller wired the LP layer separately.
+		opts.LP.Trace = opts.Trace
+	}
 	s := &searcher{
 		base:    p.LP.CloneBounds(),
 		intVars: p.IntVars,
 		opts:    opts,
 		incObj:  math.Inf(1),
+		span: opts.Trace.Start("milp.solve",
+			obs.Int("vars", p.LP.NumVars()),
+			obs.Int("int_vars", len(p.IntVars)),
+			obs.Int("rows", p.LP.NumRows())),
+		nodeCtr: opts.Trace.Registry().Counter("agingfp_milp_nodes_total"),
 	}
 	if opts.TimeLimit > 0 {
 		s.deadline = time.Now().Add(opts.TimeLimit)
@@ -186,6 +206,12 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 	default:
 		res.Status = Limit
 	}
+	s.span.End(
+		obs.Int("nodes", res.Nodes),
+		obs.String("status", res.Status.String()),
+		obs.Int("simplex_iters", res.SimplexIters),
+		obs.Int("warm_starts", res.WarmStarts),
+		obs.Int("warm_rejects", res.WarmStartRejects))
 	return res, nil
 }
 
@@ -209,6 +235,7 @@ func (s *searcher) dfs(depth int, rootObj *float64, warm *lp.Basis) (searchState
 		return searchBudget, nil
 	}
 	s.nodes++
+	s.nodeCtr.Inc()
 	lpOpts := s.opts.LP
 	if !s.opts.NoWarmStart {
 		lpOpts.WarmStart = warm
@@ -265,6 +292,10 @@ func (s *searcher) dfs(depth int, rootObj *float64, warm *lp.Basis) (searchState
 		s.incumbent = roundInts(sol.X, s.intVars)
 		s.incObj = sol.Obj
 		s.hasInc = true
+		s.span.Event("milp.incumbent",
+			obs.Float("obj", sol.Obj),
+			obs.Int("nodes", s.nodes),
+			obs.Int("depth", depth))
 		if s.pureFeas || s.opts.StopAtFirst {
 			return searchDone, nil
 		}

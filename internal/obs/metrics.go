@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is an in-process metrics store: monotonic integer counters,
+// float gauges, and duration histograms, keyed by Prometheus-style
+// names (optionally carrying a label set inline, e.g.
+// `agingfp_phase_seconds{phase="step1"}`). Lookups lazily create the
+// instrument; WritePrometheus emits a deterministic text-exposition
+// snapshot.
+//
+// Every accessor is nil-safe on both the registry and the returned
+// instrument, so call sites never branch on whether metrics are
+// enabled: (*Registry)(nil).Counter("x").Add(1) is a cheap no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named duration histogram, creating it on first
+// use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing integer. The nil counter is a
+// no-op.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float value with last-write-wins Set and atomic Add (the
+// latter makes cumulative-seconds gauges safe across goroutines). The
+// nil gauge is a no-op.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add atomically adds v.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBounds are the histogram bucket upper bounds in seconds,
+// spanning the flow's interesting range (sub-millisecond LP solves to
+// minutes-long probes).
+var histBounds = []float64{0.0001, 0.001, 0.01, 0.1, 1, 10, 60}
+
+// Histogram is a fixed-bucket duration histogram (bounds in
+// histBounds, plus +Inf). The nil histogram is a no-op.
+type Histogram struct {
+	buckets [8]atomic.Int64 // len(histBounds)+1, last is +Inf
+	sumNs   atomic.Int64
+	count   atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	sec := d.Seconds()
+	i := 0
+	for i < len(histBounds) && sec > histBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load())
+}
+
+// baseName strips an inline label set from a metric name:
+// `x{label="v"}` -> `x`.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// labeledName splices extra label text (`k="v"` form, no braces) into a
+// metric name that may already carry an inline label set.
+func labeledName(name, label string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + label + "}"
+	}
+	return name + "{" + label + "}"
+}
+
+// WritePrometheus writes a text-exposition snapshot of every
+// instrument, sorted by name with one # TYPE line per metric family.
+// Counter values are integers; gauge values and histogram sums are
+// floats in seconds where the instrument measures time.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type entry struct {
+		name string
+		emit func(io.Writer) error
+	}
+	var entries []entry
+	for name, c := range r.counters {
+		c := c
+		entries = append(entries, entry{name, func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", name, c.Value())
+			return err
+		}})
+	}
+	for name, g := range r.gauges {
+		g, name := g, name
+		entries = append(entries, entry{name, func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%s %g\n", name, g.Value())
+			return err
+		}})
+	}
+	for name, h := range r.hists {
+		h, name := h, name
+		entries = append(entries, entry{name, func(w io.Writer) error {
+			cum := int64(0)
+			for i := range histBounds {
+				cum += h.buckets[i].Load()
+				if _, err := fmt.Fprintf(w, "%s %d\n",
+					labeledName(baseName(name)+"_bucket", fmt.Sprintf(`le="%g"`, histBounds[i])), cum); err != nil {
+					return err
+				}
+			}
+			cum += h.buckets[len(histBounds)].Load()
+			if _, err := fmt.Fprintf(w, "%s %d\n",
+				labeledName(baseName(name)+"_bucket", `le="+Inf"`), cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %g\n", baseName(name), h.Sum().Seconds()); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s_count %d\n", baseName(name), h.Count())
+			return err
+		}})
+	}
+	types := map[string]string{}
+	for name := range r.counters {
+		types[baseName(name)] = "counter"
+	}
+	for name := range r.gauges {
+		types[baseName(name)] = "gauge"
+	}
+	for name := range r.hists {
+		types[baseName(name)] = "histogram"
+	}
+	r.mu.Unlock()
+
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	lastFamily := ""
+	for _, e := range entries {
+		if fam := baseName(e.name); fam != lastFamily {
+			lastFamily = fam
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, types[fam]); err != nil {
+				return err
+			}
+		}
+		if err := e.emit(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

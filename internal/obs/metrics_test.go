@@ -1,0 +1,86 @@
+package obs_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"agingfp/internal/obs"
+)
+
+// TestMetricsSnapshotGolden pins the Prometheus text-exposition format:
+// deterministic ordering, one # TYPE line per family, inline label
+// sets, histogram buckets cumulative with sum/count in seconds.
+func TestMetricsSnapshotGolden(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("agingfp_lp_solves_total").Add(42)
+	r.Counter("agingfp_st_probes_total").Inc()
+	r.Gauge(`agingfp_phase_seconds{phase="step1"}`).Set(0.5)
+	r.Gauge(`agingfp_phase_seconds{phase="step2"}`).Add(1.25)
+	h := r.Histogram("agingfp_probe_seconds")
+	h.Observe(50 * time.Microsecond) // le 0.0001
+	h.Observe(5 * time.Millisecond)  // le 0.01
+	h.Observe(2 * time.Second)       // le 10
+	h.Observe(5 * time.Minute)       // +Inf
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# TYPE agingfp_lp_solves_total counter
+agingfp_lp_solves_total 42
+# TYPE agingfp_phase_seconds gauge
+agingfp_phase_seconds{phase="step1"} 0.5
+agingfp_phase_seconds{phase="step2"} 1.25
+# TYPE agingfp_probe_seconds histogram
+agingfp_probe_seconds_bucket{le="0.0001"} 1
+agingfp_probe_seconds_bucket{le="0.001"} 1
+agingfp_probe_seconds_bucket{le="0.01"} 2
+agingfp_probe_seconds_bucket{le="0.1"} 2
+agingfp_probe_seconds_bucket{le="1"} 2
+agingfp_probe_seconds_bucket{le="10"} 3
+agingfp_probe_seconds_bucket{le="60"} 3
+agingfp_probe_seconds_bucket{le="+Inf"} 4
+agingfp_probe_seconds_sum 302.00505
+agingfp_probe_seconds_count 4
+# TYPE agingfp_st_probes_total counter
+agingfp_st_probes_total 1
+`
+	if got := b.String(); got != want {
+		t.Fatalf("snapshot mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestNilRegistrySafe pins the nil-safety contract the call sites rely
+// on.
+func TestNilRegistrySafe(t *testing.T) {
+	var r *obs.Registry
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(1)
+	r.Gauge("g").Add(1)
+	r.Histogram("h").Observe(time.Second)
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Counter("c").Value() != 0 || r.Gauge("g").Value() != 0 || r.Histogram("h").Count() != 0 {
+		t.Fatal("nil registry instruments must read zero")
+	}
+}
+
+// TestHistogramAccumulators checks Sum/Count against direct observes.
+func TestHistogramAccumulators(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("h")
+	h.Observe(100 * time.Millisecond)
+	h.Observe(400 * time.Millisecond)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	if h.Sum() != 500*time.Millisecond {
+		t.Fatalf("sum = %v, want 500ms", h.Sum())
+	}
+	// Same-name lookup returns the same instrument.
+	if r.Histogram("h") != h {
+		t.Fatal("Histogram lookup not idempotent")
+	}
+}
