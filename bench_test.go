@@ -7,6 +7,7 @@
 package agingfp_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -41,7 +42,7 @@ func BenchmarkTableIRow4x4(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, name := range []string{"B1", "B10", "B19"} {
-			r, err := bench.Run(benchSpec(b, name), cfg)
+			r, err := bench.Run(context.Background(), benchSpec(b, name), cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -57,7 +58,7 @@ func BenchmarkTableIRowC8(b *testing.B) {
 	cfg := bench.DefaultConfig()
 	for i := 0; i < b.N; i++ {
 		for _, name := range []string{"B4", "B13", "B22"} {
-			if _, err := bench.Run(benchSpec(b, name), cfg); err != nil {
+			if _, err := bench.Run(context.Background(), benchSpec(b, name), cfg); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -78,7 +79,7 @@ func BenchmarkFreezeVsRotate(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fr, ro, err := core.RemapBoth(d, m0, core.DefaultOptions())
+		fr, ro, err := core.RemapBoth(context.Background(), d, m0, core.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func BenchmarkFig5Series(b *testing.B) {
 	cfg := bench.DefaultConfig()
 	specs := []bench.Spec{benchSpec(b, "B1"), benchSpec(b, "B10"), benchSpec(b, "B19")}
 	for i := 0; i < b.N; i++ {
-		rs, err := bench.RunSuite(specs, cfg)
+		rs, err := bench.RunSuite(context.Background(), specs, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -113,7 +114,7 @@ func BenchmarkFig2b(b *testing.B) {
 	spec := benchSpec(b, "B13")
 	cfg := bench.DefaultConfig()
 	for i := 0; i < b.N; i++ {
-		f, err := bench.RunFig2b(spec, cfg)
+		f, err := bench.RunFig2b(context.Background(), spec, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -130,7 +131,7 @@ func BenchmarkFig2b(b *testing.B) {
 func BenchmarkScalingTwoStep(b *testing.B) {
 	pts := []int{48}
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.RunScaling(pts, 800, 7); err != nil {
+		if _, err := bench.RunScaling(context.Background(), pts, 800, 7); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -144,7 +145,7 @@ func BenchmarkGreedyVsMILP(b *testing.B) {
 	cfg := bench.DefaultConfig()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		g, err := bench.RunGreedy(spec, cfg)
+		g, err := bench.RunGreedy(context.Background(), spec, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -183,7 +184,7 @@ func BenchmarkSimplexAssignment(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sol, err := lp.Solve(p, lp.Options{})
+		sol, err := lp.Solve(context.Background(), p, lp.Options{})
 		if err != nil || sol.Status != lp.Optimal {
 			b.Fatalf("solve: %v %v", err, sol.Status)
 		}
@@ -217,7 +218,7 @@ func BenchmarkWarmVsColdSimplex(b *testing.B) {
 	}
 	want := make([]float64, len(probes))
 	for k, p := range probes {
-		sol, err := lp.Solve(p, lp.Options{})
+		sol, err := lp.Solve(context.Background(), p, lp.Options{})
 		if err != nil || sol.Status != lp.Optimal {
 			b.Fatalf("probe %d cold solve: %v %v", k, err, sol.Status)
 		}
@@ -228,7 +229,7 @@ func BenchmarkWarmVsColdSimplex(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for k, p := range probes {
-				sol, err := lp.Solve(p, lp.Options{})
+				sol, err := lp.Solve(context.Background(), p, lp.Options{})
 				if err != nil || sol.Status != lp.Optimal {
 					b.Fatalf("probe %d: %v %v", k, err, sol.Status)
 				}
@@ -240,7 +241,7 @@ func BenchmarkWarmVsColdSimplex(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			var basis *lp.Basis
 			for k, p := range probes {
-				sol, err := lp.Solve(p, lp.Options{WarmStart: basis})
+				sol, err := lp.Solve(context.Background(), p, lp.Options{WarmStart: basis})
 				if err != nil || sol.Status != lp.Optimal {
 					b.Fatalf("probe %d: %v %v", k, err, sol.Status)
 				}

@@ -11,11 +11,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"agingfp/internal/arch"
@@ -37,19 +40,20 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		kernel   = flag.String("kernel", "", "built-in kernel (fir16, fir32, iir4, iir8, matmul3, matmul4, dct8, conv3x3, fft16, reduce32)")
-		benchN   = flag.String("bench", "", "Table-I benchmark name (B1..B27)")
-		srcF     = flag.String("src", "", "behavioral source file (C-like assignments) to compile")
-		fabric   = flag.String("fabric", "8x8", "fabric WxH (kernels only)")
-		mode     = flag.String("mode", "rotate", "re-mapping mode: freeze or rotate")
-		seed     = flag.Int64("seed", 1, "random seed")
-		debug    = flag.Bool("debug", false, "trace Algorithm 1 on stdout (human-readable span log)")
-		warmH    = flag.Bool("warm-heuristics", false, "reuse simplex bases inside the LP-rounding heuristics (faster; floorplans may differ from cold runs)")
-		save     = flag.String("save", "", "write the design + both floorplans as JSON to this file")
-		traceF   = flag.String("trace", "", "write a JSONL span trace (one event per span) to this file")
-		metricsF = flag.String("metrics", "", "write a Prometheus text-format metrics snapshot to this file")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (phases carried as pprof labels)")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		kernel    = flag.String("kernel", "", "built-in kernel (fir16, fir32, iir4, iir8, matmul3, matmul4, dct8, conv3x3, fft16, reduce32)")
+		benchN    = flag.String("bench", "", "Table-I benchmark name (B1..B27)")
+		srcF      = flag.String("src", "", "behavioral source file (C-like assignments) to compile")
+		fabric    = flag.String("fabric", "8x8", "fabric WxH (kernels only)")
+		mode      = flag.String("mode", "rotate", "re-mapping mode: freeze or rotate")
+		seed      = flag.Int64("seed", 1, "random seed")
+		debug     = flag.Bool("debug", false, "trace Algorithm 1 on stdout (human-readable span log)")
+		warmH     = flag.Bool("warm-heuristics", false, "reuse simplex bases inside the LP-rounding heuristics (faster; floorplans may differ from cold runs)")
+		save      = flag.String("save", "", "write the design + both floorplans as JSON to this file")
+		traceF    = flag.String("trace", "", "write a JSONL span trace (one event per span) to this file")
+		metricsF  = flag.String("metrics", "", "write a Prometheus text-format metrics snapshot to this file")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (phases carried as pprof labels)")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		timeLimit = flag.Duration("time-limit", 0, "wall-clock budget per ST_target probe (0 keeps the default)")
 	)
 	flag.Parse()
 
@@ -120,7 +124,10 @@ func run() int {
 	fmt.Printf("design %s: %d ops, %d contexts, fabric %v, utilization %.0f%%\n",
 		d.Name, d.NumOps(), d.NumContexts, d.Fabric, 100*d.UtilizationRate())
 
-	ctx := context.Background()
+	// Ctrl-C / SIGTERM cancel the flow cooperatively: the solver layers
+	// poll the context and return promptly with a partial result.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var m0 arch.Mapping
 	pprof.Do(ctx, pprof.Labels("phase", "place"), func(context.Context) {
 		m0, err = place.Place(d, place.DefaultConfig())
@@ -150,12 +157,27 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		return 2
 	}
+	if *timeLimit != 0 {
+		opts.TimeLimit = *timeLimit
+	}
+	// Reject nonsense flag combinations with the library's own
+	// diagnostics before any work is queued.
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	start := time.Now()
 	var r *core.Result
 	pprof.Do(ctx, pprof.Labels("phase", "remap"), func(context.Context) {
-		r, err = core.Remap(d, m0, opts)
+		r, err = core.Remap(ctx, d, m0, opts)
 	})
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "remap: interrupted (partial statistics follow)")
+		fmt.Fprintf(os.Stderr, "solver effort so far: %d LP solves, %d simplex iterations, %d ST probes\n",
+			r.Stats.LPSolves, r.Stats.SimplexIters, r.Stats.STProbes)
+		return 1
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "remap: %v\n", err)
 		return 1

@@ -1,0 +1,89 @@
+// Command agingfloord hosts the aging-aware floorplanner as a
+// long-running HTTP/JSON job service. Clients submit a design (or a
+// Table-I benchmark name), poll the job, and fetch the result document;
+// identical submissions are answered from a content-addressed cache
+// byte-identically.
+//
+//	agingfloord -addr :8080 -workers 2
+//	curl -d '{"bench":"B1"}' localhost:8080/v1/jobs
+//	curl localhost:8080/v1/jobs/job-000001
+//	curl localhost:8080/v1/jobs/job-000001/result
+//
+// SIGTERM (or Ctrl-C) drains gracefully: intake stops with 503, queued
+// and running jobs finish (bounded by -drain-timeout), then the process
+// exits. A second signal force-cancels in-flight solves cooperatively.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"agingfp/internal/obs"
+	"agingfp/internal/serve"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 2, "solver worker pool size")
+		queueDepth   = flag.Int("queue", 16, "job queue depth (further submissions get 503)")
+		cacheSize    = flag.Int("cache", 64, "content-addressed result cache entries")
+		deadline     = flag.Duration("default-deadline", 0, "default per-job deadline, queue wait included (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight jobs before force-canceling")
+		debug        = flag.Bool("debug", false, "trace solver spans on stdout")
+	)
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *debug {
+		tracer = obs.New(obs.NewDebugSink(os.Stdout))
+	}
+	srv := serve.New(serve.Config{
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheEntries:    *cacheSize,
+		DefaultDeadline: *deadline,
+		DrainTimeout:    *drainTimeout,
+		Trace:           tracer,
+		Registry:        reg,
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("agingfloord listening on %s (%d workers, queue %d)\n", *addr, *workers, *queueDepth)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "agingfloord: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+	fmt.Println("agingfloord: draining (queued and running jobs will finish)")
+
+	// Stop intake and finish the backlog, then close the listener. The
+	// HTTP shutdown gets a grace period past the job drain so result
+	// polls in flight complete.
+	srv.Drain()
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		fmt.Fprintf(os.Stderr, "agingfloord: shutdown: %v\n", err)
+		return 1
+	}
+	fmt.Println("agingfloord: drained cleanly")
+	return 0
+}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -73,7 +74,7 @@ func main() {
 		}
 		start := time.Now()
 		var err error
-		results, err = bench.RunSuite(specs, cfg)
+		results, err = bench.RunSuite(context.Background(), specs, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "suite: %v\n", err)
 			os.Exit(1)
@@ -106,7 +107,7 @@ func main() {
 	}
 	if *fig2b || *all {
 		spec, _ := bench.SpecByName("B14")
-		f, err := bench.RunFig2b(spec, cfg)
+		f, err := bench.RunFig2b(context.Background(), spec, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fig2b: %v\n", err)
 			os.Exit(1)
@@ -115,7 +116,7 @@ func main() {
 		fmt.Println(bench.FormatFig2b(f))
 	}
 	if *scaling || *all {
-		pts, err := bench.RunScaling([]int{24, 48, 72, 96}, 1200, 77)
+		pts, err := bench.RunScaling(context.Background(), []int{24, 48, 72, 96}, 1200, 77)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "scaling: %v\n", err)
 			os.Exit(1)
@@ -127,7 +128,7 @@ func main() {
 		var rows []*bench.GreedyComparison
 		for _, name := range []string{"B1", "B10", "B13", "B19"} {
 			s, _ := bench.SpecByName(name)
-			g, err := bench.RunGreedy(s, cfg)
+			g, err := bench.RunGreedy(context.Background(), s, cfg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "greedy: %v\n", err)
 				os.Exit(1)
@@ -141,7 +142,7 @@ func main() {
 		var rows []*bench.BudgetAblation
 		for _, name := range []string{"B1", "B10", "B13", "B19"} {
 			s, _ := bench.SpecByName(name)
-			ba, err := bench.RunBudgetAblation(s, cfg)
+			ba, err := bench.RunBudgetAblation(context.Background(), s, cfg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "budget: %v\n", err)
 				os.Exit(1)
@@ -155,7 +156,7 @@ func main() {
 		var rows []*bench.WearResult
 		for _, name := range []string{"B1", "B13"} {
 			s, _ := bench.SpecByName(name)
-			wr, err := bench.RunWear(s, cfg, 3)
+			wr, err := bench.RunWear(context.Background(), s, cfg, 3)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "wear: %v\n", err)
 				os.Exit(1)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -64,7 +65,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	r, err := core.Remap(d, m0, core.DefaultOptions())
+	r, err := core.Remap(context.Background(), d, m0, core.DefaultOptions())
 	if err != nil {
 		fatal(err)
 	}

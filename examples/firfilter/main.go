@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,7 +53,7 @@ func main() {
 	fmt.Printf("baseline MTTF: %.1f years (limiting PE %v at %.1f K)\n\n",
 		before.Hours/8760, before.LimitingPE, before.Temp[before.LimitingPE.Y][before.LimitingPE.X])
 
-	freeze, rotate, err := core.RemapBoth(design, baseline, core.DefaultOptions())
+	freeze, rotate, err := core.RemapBoth(context.Background(), design, baseline, core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,7 @@ func main() {
 	}
 
 	// 4. The paper's contribution: delay- and aging-aware re-mapping.
-	result, err := core.Remap(design, baseline, core.DefaultOptions())
+	result, err := core.Remap(context.Background(), design, baseline, core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -42,7 +43,7 @@ func main() {
 		}
 		opts := core.DefaultOptions()
 		opts.TimeLimit = 20 * time.Second // keep the demo brisk at high utilization
-		r, err := core.Remap(d, m0, opts)
+		r, err := core.Remap(context.Background(), d, m0, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,7 @@ func main() {
 	fmt.Printf("temperature map (max %.2f K, ambient %.0f K):\n%s\n",
 		before.MaxTempK, tcfg.AmbientK, arch.RenderHeat(before.Temp))
 
-	r, err := core.Remap(d, m0, core.DefaultOptions())
+	r, err := core.Remap(context.Background(), d, m0, core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

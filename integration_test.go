@@ -2,6 +2,7 @@ package agingfp_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -51,7 +52,7 @@ func TestFullPipeline(t *testing.T) {
 		t.Fatalf("baseline misses timing: %.3f ns", sta0.CPD)
 	}
 
-	result, err := core.Remap(design, baseline, core.DefaultOptions())
+	result, err := core.Remap(context.Background(), design, baseline, core.DefaultOptions())
 	if err != nil {
 		t.Fatalf("remap: %v", err)
 	}
@@ -123,7 +124,7 @@ func TestFullPipeline(t *testing.T) {
 	}
 
 	// Wear rotation never loses to the single floorplan.
-	ws, err := core.DiversifiedRemap(design, baseline, core.DefaultOptions(), 2)
+	ws, err := core.DiversifiedRemap(context.Background(), design, baseline, core.DefaultOptions(), 2)
 	if err != nil {
 		t.Fatalf("diversify: %v", err)
 	}

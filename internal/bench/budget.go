@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,7 +28,7 @@ type BudgetAblation struct {
 }
 
 // RunBudgetAblation evaluates E8 for one spec.
-func RunBudgetAblation(spec Spec, cfg Config) (*BudgetAblation, error) {
+func RunBudgetAblation(ctx context.Context, spec Spec, cfg Config) (*BudgetAblation, error) {
 	if cfg.Model.A == 0 {
 		cfg.Model = nbti.DefaultModel()
 	}
@@ -54,7 +55,7 @@ func RunBudgetAblation(spec Spec, cfg Config) (*BudgetAblation, error) {
 		if relaxed {
 			opts.CPDBudgetNs = d.ClockPeriodNs
 		}
-		r, err := core.Remap(d, m0, opts)
+		r, err := core.Remap(ctx, d, m0, opts)
 		if err != nil {
 			return nil, err
 		}

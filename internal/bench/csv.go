@@ -19,6 +19,7 @@ func WriteCSV(w io.Writer, results []*Result) error {
 		"orig_mttf_hours", "elapsed_seconds",
 		"step1_seconds", "rotate_phase_seconds", "step2_seconds", "timing_seconds",
 		"lp_solves", "simplex_iters",
+		"freeze_status", "rotate_status", "probe_timeouts",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -49,6 +50,13 @@ func WriteCSV(w io.Writer, results []*Result) error {
 			fmt.Sprintf("%.3f", r.RotateStats.TimingTime.Seconds()),
 			fmt.Sprintf("%d", r.RotateStats.LPSolves),
 			fmt.Sprintf("%d", r.RotateStats.SimplexIters),
+			// Typed search outcomes: "node-limit" here means budget
+			// exhaustion, which external plots must not bin as
+			// infeasibility (the pre-redesign CSV could not tell them
+			// apart).
+			r.FreezeStatus.String(),
+			r.RotateStatus.String(),
+			fmt.Sprintf("%d", r.FreezeStats.ProbeTimeouts+r.RotateStats.ProbeTimeouts),
 		}
 		if err := cw.Write(row); err != nil {
 			return err

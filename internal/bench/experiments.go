@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -31,7 +32,7 @@ type Fig2b struct {
 }
 
 // RunFig2b evaluates the Vth trajectories for a spec.
-func RunFig2b(spec Spec, cfg Config) (*Fig2b, error) {
+func RunFig2b(ctx context.Context, spec Spec, cfg Config) (*Fig2b, error) {
 	if cfg.Model.A == 0 {
 		cfg.Model = nbti.DefaultModel()
 	}
@@ -49,7 +50,7 @@ func RunFig2b(spec Spec, cfg Config) (*Fig2b, error) {
 	if err != nil {
 		return nil, err
 	}
-	rr, err := core.Remap(d, m0, cfg.Remap)
+	rr, err := core.Remap(ctx, d, m0, cfg.Remap)
 	if err != nil {
 		return nil, err
 	}
@@ -118,12 +119,19 @@ type ScalingPoint struct {
 	Monolithic      time.Duration
 	MonolithicOK    bool
 	MonolithicNodes int
+	// MonolithicStatus is the branch-and-bound's typed outcome. Before
+	// the Status redesign, a node-limited search (milp.NodeLimit) was
+	// indistinguishable from a proven infeasibility in this report; the
+	// ok column still collapses them, so read this field when the
+	// distinction matters (a NodeLimit point says "nodeCap too small",
+	// not "the formulation is infeasible").
+	MonolithicStatus milp.Status
 }
 
 // RunScaling runs E4 on growing synthetic instances: same fabric, rising
 // op counts. nodeCap bounds the monolithic solver (the paper gave CPLEX
 // five days; we give B&B a node budget).
-func RunScaling(opsList []int, nodeCap int, seed int64) ([]ScalingPoint, error) {
+func RunScaling(ctx context.Context, opsList []int, nodeCap int, seed int64) ([]ScalingPoint, error) {
 	var out []ScalingPoint
 	for i, ops := range opsList {
 		spec := Spec{
@@ -147,7 +155,7 @@ func RunScaling(opsList []int, nodeCap int, seed int64) ([]ScalingPoint, error) 
 
 		// Two-step path.
 		t0 := time.Now()
-		_, okTwo, err := core.SolveRemapOnce(d, m0, target, opts)
+		_, okTwo, err := core.SolveRemapOnce(ctx, d, m0, target, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -156,13 +164,14 @@ func RunScaling(opsList []int, nodeCap int, seed int64) ([]ScalingPoint, error) 
 
 		// Monolithic ILP on the identical formulation.
 		t0 = time.Now()
-		res, err := core.SolveRemapMonolithic(d, m0, target, opts, nodeCap)
+		res, err := core.SolveRemapMonolithic(ctx, d, m0, target, opts, nodeCap)
 		if err != nil {
 			return nil, err
 		}
 		pt.Monolithic = time.Since(t0)
 		pt.MonolithicOK = res.Status == milp.Optimal || res.Status == milp.Feasible
 		pt.MonolithicNodes = res.Nodes
+		pt.MonolithicStatus = res.Status
 		out = append(out, pt)
 	}
 	return out, nil
@@ -172,11 +181,11 @@ func RunScaling(opsList []int, nodeCap int, seed int64) ([]ScalingPoint, error) 
 func FormatScaling(points []ScalingPoint) string {
 	var b strings.Builder
 	b.WriteString("E4 — monolithic ILP (§V.A) vs two-step LP/round/ILP (§V.B)\n")
-	b.WriteString("  ops   two-step        ok   monolithic      ok   nodes\n")
+	b.WriteString("  ops   two-step        ok   monolithic      status     nodes\n")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%5d   %-12v  %-5v %-12v  %-5v %d\n",
+		fmt.Fprintf(&b, "%5d   %-12v  %-5v %-12v  %-10s %d\n",
 			p.Ops, p.TwoStep.Round(time.Millisecond), p.TwoStepOK,
-			p.Monolithic.Round(time.Millisecond), p.MonolithicOK, p.MonolithicNodes)
+			p.Monolithic.Round(time.Millisecond), p.MonolithicStatus, p.MonolithicNodes)
 	}
 	return b.String()
 }
@@ -198,7 +207,7 @@ type GreedyComparison struct {
 }
 
 // RunGreedy runs E7 for one spec.
-func RunGreedy(spec Spec, cfg Config) (*GreedyComparison, error) {
+func RunGreedy(ctx context.Context, spec Spec, cfg Config) (*GreedyComparison, error) {
 	if cfg.Remap.PathThresholdFrac == 0 {
 		cfg.Remap = core.DefaultOptions()
 	}
@@ -217,7 +226,7 @@ func RunGreedy(spec Spec, cfg Config) (*GreedyComparison, error) {
 	gs := arch.ComputeStress(d, gm)
 	gres := timing.Analyze(d, gm)
 
-	rr, err := core.Remap(d, m0, cfg.Remap)
+	rr, err := core.Remap(ctx, d, m0, cfg.Remap)
 	if err != nil {
 		return nil, err
 	}

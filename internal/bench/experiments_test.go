@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 )
 
@@ -9,7 +10,7 @@ func TestRunFig2b(t *testing.T) {
 		t.Skip("full-flow run")
 	}
 	s, _ := SpecByName("B1")
-	f, err := RunFig2b(s, DefaultConfig())
+	f, err := RunFig2b(context.Background(), s, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestRunBudgetAblation(t *testing.T) {
 		t.Skip("full-flow run")
 	}
 	s, _ := SpecByName("B1")
-	ba, err := RunBudgetAblation(s, DefaultConfig())
+	ba, err := RunBudgetAblation(context.Background(), s, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestRunScalingSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-flow run")
 	}
-	pts, err := RunScaling([]int{20, 32}, 300, 5)
+	pts, err := RunScaling(context.Background(), []int{20, 32}, 300, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

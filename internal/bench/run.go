@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,6 +10,7 @@ import (
 
 	"agingfp/internal/arch"
 	"agingfp/internal/core"
+	"agingfp/internal/milp"
 	"agingfp/internal/nbti"
 	"agingfp/internal/obs"
 	"agingfp/internal/place"
@@ -77,6 +79,11 @@ type Result struct {
 	FreezeIncrease, RotateIncrease float64
 	// OrigMTTFHours is the baseline MTTF.
 	OrigMTTFHours float64
+	// FreezeStatus/RotateStatus classify what each arm's search achieved
+	// (milp.Feasible: found a floorplan; milp.Infeasible: proven none;
+	// milp.NodeLimit: probes hit their time budget — NOT infeasibility;
+	// milp.Optimal: baseline already level). See core.Result.Status.
+	FreezeStatus, RotateStatus milp.Status
 	// Stats from the two re-mapping runs.
 	FreezeStats, RotateStats core.Stats
 	// Elapsed is the wall-clock time for the whole benchmark.
@@ -85,7 +92,12 @@ type Result struct {
 
 // Run executes the full flow for one spec: synthesize, baseline-place,
 // re-map in both Freeze and Rotate modes, and evaluate MTTF ratios.
-func Run(spec Spec, cfg Config) (*Result, error) {
+// Cancellation propagates into the re-mapper; a canceled run returns
+// ctx.Err().
+func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	origSpec := spec
 	if cfg.Scale > 0 && cfg.Scale < 1 {
 		threshold := cfg.ScaleThreshold
@@ -147,7 +159,7 @@ func Run(spec Spec, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("bench: %s: %w", spec.Name, err)
 	}
 
-	fr, ro, err := core.RemapBoth(d, m0, cfg.Remap)
+	fr, ro, err := core.RemapBoth(ctx, d, m0, cfg.Remap)
 	if err != nil {
 		return nil, fmt.Errorf("bench: %s: %w", spec.Name, err)
 	}
@@ -157,7 +169,7 @@ func Run(spec Spec, cfg Config) (*Result, error) {
 		// (the MILP feasibility dive is randomized).
 		retry := cfg.Remap
 		retry.Seed = spec.Seed + 9173
-		fr2, ro2, err := core.RemapBoth(d, m0, retry)
+		fr2, ro2, err := core.RemapBoth(ctx, d, m0, retry)
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s: %w", spec.Name, err)
 		}
@@ -190,6 +202,8 @@ func Run(spec Spec, cfg Config) (*Result, error) {
 		OrigCPD:         res0.CPD,
 		FreezeCPD:       fr.NewCPD,
 		RotateCPD:       ro.NewCPD,
+		FreezeStatus:    fr.Status,
+		RotateStatus:    ro.Status,
 		OrigMaxStress:   before.MaxStress,
 		FreezeMaxStress: afterF.MaxStress,
 		RotateMaxStress: afterR.MaxStress,
@@ -212,13 +226,18 @@ func Run(spec Spec, cfg Config) (*Result, error) {
 // RunSuite runs a list of specs, returning results in spec order. With
 // cfg.Parallel > 1 the benchmarks run concurrently on a worker pool.
 // The first failure stops dispatching (in-flight benchmarks finish), and
-// the returned error names the spec that failed.
-func RunSuite(specs []Spec, cfg Config) ([]*Result, error) {
+// the returned error names the spec that failed. A canceled ctx also
+// stops dispatching; benchmarks already running finish their own
+// cancellation promptly via the re-mapper's ctx polling.
+func RunSuite(ctx context.Context, specs []Spec, cfg Config) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers := cfg.Parallel
 	if workers <= 1 {
 		var out []*Result
 		for _, s := range specs {
-			r, err := Run(s, cfg)
+			r, err := Run(ctx, s, cfg)
 			if err != nil {
 				return out, fmt.Errorf("bench: spec %s: %w", s.Name, err)
 			}
@@ -237,7 +256,7 @@ func RunSuite(specs []Spec, cfg Config) ([]*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				r, err := Run(specs[i], cfg)
+				r, err := Run(ctx, specs[i], cfg)
 				if err != nil {
 					errs[i] = fmt.Errorf("bench: spec %s: %w", specs[i].Name, err)
 					failOnce.Do(func() { close(failed) })
@@ -252,6 +271,8 @@ dispatch:
 		select {
 		case jobs <- i:
 		case <-failed:
+			break dispatch
+		case <-ctx.Done():
 			break dispatch
 		}
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
 	"agingfp/internal/place"
@@ -128,7 +129,7 @@ func TestRunSmallBenchmark(t *testing.T) {
 		t.Skip("full-flow benchmark run")
 	}
 	s, _ := SpecByName("B1")
-	r, err := Run(s, DefaultConfig())
+	r, err := Run(context.Background(), s, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestRunGreedyShowsTimingDamage(t *testing.T) {
 		t.Skip("full-flow run")
 	}
 	s, _ := SpecByName("B10")
-	g, err := RunGreedy(s, DefaultConfig())
+	g, err := RunGreedy(context.Background(), s, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -23,7 +24,7 @@ type WearResult struct {
 }
 
 // RunWear evaluates a k-configuration wear schedule for one spec.
-func RunWear(spec Spec, cfg Config, k int) (*WearResult, error) {
+func RunWear(ctx context.Context, spec Spec, cfg Config, k int) (*WearResult, error) {
 	if cfg.Model.A == 0 {
 		cfg.Model = nbti.DefaultModel()
 	}
@@ -46,7 +47,7 @@ func RunWear(spec Spec, cfg Config, k int) (*WearResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	ws, err := core.DiversifiedRemap(d, m0, cfg.Remap, k)
+	ws, err := core.DiversifiedRemap(ctx, d, m0, cfg.Remap, k)
 	if err != nil {
 		return nil, err
 	}

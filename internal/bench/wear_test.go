@@ -1,13 +1,16 @@
 package bench
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunWear(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-flow run")
 	}
 	s, _ := SpecByName("B1")
-	wr, err := RunWear(s, DefaultConfig(), 3)
+	wr, err := RunWear(context.Background(), s, DefaultConfig(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}

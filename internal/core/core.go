@@ -28,6 +28,7 @@ import (
 
 	"agingfp/internal/arch"
 	"agingfp/internal/lp"
+	"agingfp/internal/milp"
 	"agingfp/internal/nbti"
 	"agingfp/internal/obs"
 	"agingfp/internal/thermal"
@@ -169,6 +170,56 @@ type Options struct {
 	PathRepairRounds int
 }
 
+// Validate rejects nonsense option values with a descriptive error.
+// Remap validates its options itself; Validate exists so configuration
+// layers (flag parsing, the job server) can fail fast before queueing
+// work. Note the asymmetry with the zero-value solver options: core's
+// zero Options is NOT usable (PathThresholdFrac and RoundThreshold have
+// no zero-selects-default), which is exactly what the first two checks
+// catch.
+func (o Options) Validate() error {
+	if o.Mode != Freeze && o.Mode != Rotate {
+		return fmt.Errorf("core: unknown Mode %d", int(o.Mode))
+	}
+	if o.PathThresholdFrac <= 0 || o.PathThresholdFrac > 1 {
+		return fmt.Errorf("core: Options.PathThresholdFrac %g outside (0, 1] (start from DefaultOptions)", o.PathThresholdFrac)
+	}
+	if o.RoundThreshold <= 0.5 || o.RoundThreshold > 1 {
+		return fmt.Errorf("core: Options.RoundThreshold %g outside (0.5, 1] (the paper uses 0.95)", o.RoundThreshold)
+	}
+	if o.MaxPaths < 0 || o.MaxPathsPerContext < 0 {
+		return fmt.Errorf("core: negative path caps (MaxPaths %d, MaxPathsPerContext %d)", o.MaxPaths, o.MaxPathsPerContext)
+	}
+	if o.DeltaFrac < 0 || o.DeltaFrac > 1 {
+		return fmt.Errorf("core: Options.DeltaFrac %g outside [0, 1]", o.DeltaFrac)
+	}
+	if o.BinarySearchSteps < 0 {
+		return fmt.Errorf("core: Options.BinarySearchSteps %d is negative", o.BinarySearchSteps)
+	}
+	if o.CandidatesPerOp < 0 {
+		return fmt.Errorf("core: Options.CandidatesPerOp %d is negative (0 admits every PE)", o.CandidatesPerOp)
+	}
+	if o.MaxNodes < 0 {
+		return fmt.Errorf("core: Options.MaxNodes %d is negative", o.MaxNodes)
+	}
+	if o.TimeLimit < 0 {
+		return fmt.Errorf("core: Options.TimeLimit %v is negative (0 means unbounded)", o.TimeLimit)
+	}
+	if o.RotationRestarts < 0 {
+		return fmt.Errorf("core: Options.RotationRestarts %d is negative", o.RotationRestarts)
+	}
+	if o.CritEpsNs < 0 {
+		return fmt.Errorf("core: Options.CritEpsNs %g is negative", o.CritEpsNs)
+	}
+	if o.PathRepairRounds < 0 {
+		return fmt.Errorf("core: Options.PathRepairRounds %d is negative", o.PathRepairRounds)
+	}
+	if o.CPDBudgetNs < 0 {
+		return fmt.Errorf("core: Options.CPDBudgetNs %g is negative (0 uses the original CPD)", o.CPDBudgetNs)
+	}
+	return nil
+}
+
 // DefaultOptions mirrors the paper's published parameters.
 func DefaultOptions() Options {
 	return Options{
@@ -214,6 +265,11 @@ type Stats struct {
 	ILPNodes int
 	// STProbes is the number of Step-1 binary-search probes.
 	STProbes int
+	// ProbeTimeouts counts Step-2.3 ST_target probes abandoned on
+	// Options.TimeLimit. A run that found nothing with timeouts on the
+	// books reports Status NodeLimit, not Infeasible — the budget, not
+	// the formulation, may be what failed.
+	ProbeTimeouts int
 	// OuterIterations counts Algorithm-1 ST_target relaxations.
 	OuterIterations int
 	// SimplexIters is the total simplex iteration count (primal and
@@ -275,6 +331,7 @@ func (st *Stats) add(other Stats) {
 	st.ILPSolves += other.ILPSolves
 	st.ILPNodes += other.ILPNodes
 	st.STProbes += other.STProbes
+	st.ProbeTimeouts += other.ProbeTimeouts
 	st.OuterIterations += other.OuterIterations
 	st.SimplexIters += other.SimplexIters
 	st.WarmStarts += other.WarmStarts
@@ -287,6 +344,24 @@ func (st *Stats) add(other Stats) {
 
 // Result is the outcome of a re-mapping run.
 type Result struct {
+	// Status classifies the run's outcome with the solver layer's
+	// vocabulary (milp.Status):
+	//
+	//	Optimal    — the baseline stress was already perfectly level;
+	//	             nothing to do.
+	//	Feasible   — the search produced a budget- and CPD-valid
+	//	             floorplan (check Improved for whether it beats the
+	//	             baseline).
+	//	NodeLimit  — no floorplan found, but at least one probe was
+	//	             abandoned on Options.TimeLimit, so infeasibility was
+	//	             NOT proven; retrying with a larger budget (or a
+	//	             relaxed ST_target) may succeed.
+	//	Canceled   — the context was canceled mid-run; the Result carries
+	//	             the statistics gathered so far and the baseline
+	//	             mapping.
+	//	Infeasible — every probe genuinely failed; the flow kept the
+	//	             original floorplan.
+	Status milp.Status
 	// Mapping is the aging-aware floorplan (equals the input mapping if
 	// no improvement was possible).
 	Mapping arch.Mapping

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"agingfp/internal/arch"
@@ -33,7 +34,7 @@ func TestRemapDisconnectedOps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := Remap(d2, m0, DefaultOptions())
+	r, err := Remap(context.Background(), d2, m0, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestRemapSingleOp(t *testing.T) {
 	g.AddOp(dfg.ALU, "only")
 	d := arch.NewDesign("one", arch.Fabric{W: 2, H: 2}, 1, g, []int{0})
 	m0 := arch.Mapping{{X: 0, Y: 0}}
-	r, err := Remap(d, m0, DefaultOptions())
+	r, err := Remap(context.Background(), d, m0, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestRemapFullFabric(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := Remap(d, m0, DefaultOptions())
+	r, err := Remap(context.Background(), d, m0, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -95,7 +96,7 @@ func TestRotateFrozenGeometry(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	rng := rand.New(rand.NewSource(3))
-	pos := rotateFrozen(d, m0, crit, opts, rng, obs.Span{})
+	pos := rotateFrozen(context.Background(), d, m0, crit, opts, rng, obs.Span{})
 	if len(pos) != len(crit) {
 		t.Fatalf("%d rotated positions for %d critical ops", len(pos), len(crit))
 	}
@@ -191,16 +192,16 @@ func TestRemapRejectsBadOptions(t *testing.T) {
 	}
 	bad1 := DefaultOptions()
 	bad1.PathThresholdFrac = 0
-	if _, err := Remap(d, m0, bad1); err == nil {
+	if _, err := Remap(context.Background(), d, m0, bad1); err == nil {
 		t.Fatal("zero path threshold accepted")
 	}
 	bad2 := DefaultOptions()
 	bad2.RoundThreshold = 0.3
-	if _, err := Remap(d, m0, bad2); err == nil {
+	if _, err := Remap(context.Background(), d, m0, bad2); err == nil {
 		t.Fatal("rounding threshold below 0.5 accepted")
 	}
 	short := m0[:1]
-	if _, err := Remap(d, short, DefaultOptions()); err == nil {
+	if _, err := Remap(context.Background(), d, short, DefaultOptions()); err == nil {
 		t.Fatal("short mapping accepted")
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 	"time"
@@ -38,7 +39,7 @@ func TestRemapObservability(t *testing.T) {
 	opts.Mode = Freeze // no rotation fallback: one run, one root span
 	opts.Trace = obs.New(js).WithMetrics(reg)
 
-	r, err := Remap(d, m0, opts)
+	r, err := Remap(context.Background(), d, m0, opts)
 	if err != nil {
 		t.Fatalf("Remap: %v", err)
 	}
@@ -159,7 +160,7 @@ func TestRemapUntracedStatsPhases(t *testing.T) {
 	d, m0 := buildSmall(t, dfg.FIR(16), 6, 6)
 	opts := DefaultOptions()
 	opts.Mode = Freeze
-	r, err := Remap(d, m0, opts)
+	r, err := Remap(context.Background(), d, m0, opts)
 	if err != nil {
 		t.Fatalf("Remap: %v", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -32,7 +33,7 @@ func TestRemapPropertyRandomDesigns(t *testing.T) {
 		}
 		opts := DefaultOptions()
 		opts.Seed = seed
-		r, err := Remap(d, m0, opts)
+		r, err := Remap(context.Background(), d, m0, opts)
 		if err != nil {
 			t.Logf("seed %d: %v", seed, err)
 			return false
@@ -81,11 +82,11 @@ func TestRemapIdempotentOnLevelDesign(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	opts.Mode = Freeze
-	r1, err := Remap(d, m0, opts)
+	r1, err := Remap(context.Background(), d, m0, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Remap(d, r1.Mapping, opts)
+	r2, err := Remap(context.Background(), d, r1.Mapping, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

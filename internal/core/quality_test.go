@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"agingfp/internal/arch"
@@ -24,7 +25,7 @@ func TestRemapQuality(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	opts.Mode = Freeze
-	r, err := Remap(d, m0, opts)
+	r, err := Remap(context.Background(), d, m0, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestRemapBothRotateNeverWorse(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fr, ro, err := RemapBoth(d, m0, DefaultOptions())
+		fr, ro, err := RemapBoth(context.Background(), d, m0, DefaultOptions())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"agingfp/internal/arch"
+	"agingfp/internal/milp"
 	"agingfp/internal/obs"
 	"agingfp/internal/timing"
 )
@@ -21,19 +23,27 @@ import (
 // can relax it toward the clock period). If no strictly better stress
 // level can be reached under that guarantee, the original mapping is
 // returned with Improved == false.
-func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
+//
+// Cancellation is cooperative: ctx is polled at every ST_target probe,
+// every context batch, every branch-and-bound node and (via the LP
+// layer) inside the simplex loops, so a canceled or expired context
+// makes Remap return promptly. A canceled run returns a partial Result
+// (Status milp.Canceled, the baseline mapping, statistics so far)
+// alongside ctx.Err(); existing synchronous callers pass
+// context.Background().
+func Remap(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
 	if err := arch.ValidateMapping(d, m0); err != nil {
 		return nil, err
 	}
-	if opts.PathThresholdFrac <= 0 || opts.PathThresholdFrac > 1 {
-		return nil, fmt.Errorf("core: PathThresholdFrac %g out of (0,1]", opts.PathThresholdFrac)
-	}
-	if opts.RoundThreshold <= 0.5 || opts.RoundThreshold > 1 {
-		return nil, fmt.Errorf("core: RoundThreshold %g out of (0.5,1]", opts.RoundThreshold)
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 
 	// Observability: opts.Debug without an explicit tracer installs a
@@ -98,7 +108,19 @@ func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 	}()
 
 	if stUp-stLow < 1e-12 {
+		result.Status = milp.Optimal
 		return result, nil // stress already perfectly level
+	}
+
+	// fail classifies an error return: a canceled context yields the
+	// partial result (baseline mapping, stats so far) with Status
+	// Canceled alongside ctx.Err(); anything else is a genuine failure.
+	fail := func(err error) (*Result, error) {
+		if cerr := ctx.Err(); cerr != nil {
+			result.Status = milp.Canceled
+			return result, cerr
+		}
+		return nil, err
 	}
 
 	perBatch := opts.ContextsPerBatch
@@ -118,9 +140,10 @@ func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 	var stLB float64
 	if opts.Step1MILP {
 		var err error
-		stLB, err = stressLowerBound(d, m0, stress0, stLow, stUp, batchList, opts, rng, &result.Stats, s1)
+		stLB, err = stressLowerBound(ctx, d, m0, stress0, stLow, stUp, batchList, opts, rng, &result.Stats, s1)
 		if err != nil {
-			return nil, err
+			s1.End(obs.String("status", "error"))
+			return fail(err)
 		}
 	} else {
 		stLB = arch.ComputeStress(d, GreedyLevel(d, nil)).Max()
@@ -142,9 +165,12 @@ func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 	}
 	rotT := time.Now()
 	rsp := root.Child("core.rotate", obs.String("mode", opts.Mode.String()), obs.Int("critical_ops", len(crit)))
-	frozenPos := rotateFrozen(d, m0, crit, opts, rng, rsp)
+	frozenPos := rotateFrozen(ctx, d, m0, crit, opts, rng, rsp)
 	result.Stats.RotateTime += time.Since(rotT)
 	rsp.End(obs.Int("frozen_ops", len(frozenPos)))
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
 
 	// Step 2.2: monitored path set and wire budgets (paths within 20%
 	// of the delay budget). Under a relaxed budget the initial set may
@@ -219,18 +245,31 @@ func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 			deadline = time.Now().Add(opts.TimeLimit)
 		}
 		for round := 0; round < repairRounds; round++ {
+			if err := ctx.Err(); err != nil {
+				status = "canceled"
+				return nil, 0, false, err
+			}
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				status = "timeout"
+				result.Stats.ProbeTimeouts++
 				return nil, 0, false, nil
 			}
 			s2T := time.Now()
-			mNew, ok, err := solveAllBatches(d, m0, frozenPos, paths, st, budget, stress0, batchList, opts, rng, &result.Stats, deadline, probeCache, psp)
+			mNew, ok, err := solveAllBatches(ctx, d, m0, frozenPos, paths, st, budget, stress0, batchList, opts, rng, &result.Stats, deadline, probeCache, psp)
 			result.Stats.Step2Time += time.Since(s2T)
 			if err != nil {
 				status = "error"
 				return nil, 0, false, err
 			}
 			if !ok {
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					// The batch loop bailed on the probe deadline, not on
+					// a proven infeasibility.
+					status = "timeout"
+					result.Stats.ProbeTimeouts++
+					psp.Event("core.probe.round", obs.Int("round", round), obs.Bool("solved", false))
+					return nil, 0, false, nil
+				}
 				psp.Event("core.probe.round", obs.Int("round", round), obs.Bool("solved", false))
 				return nil, 0, false, nil
 			}
@@ -265,6 +304,7 @@ func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 	}
 
 	finish := func(m arch.Mapping, st, cpd float64) *Result {
+		result.Status = milp.Feasible
 		result.Mapping = m
 		result.STTarget = st
 		result.NewMaxStress = arch.ComputeStress(d, m).Max()
@@ -300,14 +340,14 @@ func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 	if opts.LinearSTSearch {
 		ok, err := linearSweep()
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		searched = ok
 	} else {
 		// Bisection over [stStart, stUp]: same smallest-feasible budget
 		// (within Delta), O(log) probes.
 		if m, cpd, ok, err := probe(stStart); err != nil {
-			return nil, err
+			return fail(err)
 		} else if ok {
 			finish(m, stStart, cpd)
 			searched = true
@@ -318,7 +358,7 @@ func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 			var bestST, bestCPD float64
 			hi := stUp
 			if m, cpd, ok, err := probe(stUp); err != nil {
-				return nil, err
+				return fail(err)
 			} else if ok {
 				bestM, bestST, bestCPD = m, stUp, cpd
 			}
@@ -327,7 +367,7 @@ func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 					mid := (lo + hi) / 2
 					m, cpd, ok, err := probe(mid)
 					if err != nil {
-						return nil, err
+						return fail(err)
 					}
 					if ok {
 						bestM, bestST, bestCPD = m, mid, cpd
@@ -346,13 +386,25 @@ func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 				// intermediate budgets the bisection skipped.
 				ok, err := linearSweep()
 				if err != nil {
-					return nil, err
+					return fail(err)
 				}
 				searched = ok
 			}
 		}
 	}
-	_ = searched
+	// Classify what the search achieved. finish() already stamped
+	// Feasible on success; an empty-handed run distinguishes a proven
+	// infeasibility from one whose probes hit their time budget
+	// (satellite fix: a budget-limited failure must not masquerade as
+	// infeasibility — relaxing ST_target or raising TimeLimit may
+	// succeed).
+	if !searched {
+		if result.Stats.ProbeTimeouts > 0 {
+			result.Status = milp.NodeLimit
+		} else {
+			result.Status = milp.Infeasible
+		}
+	}
 
 	// Rotation can make the frozen-path geometry unreachable from its
 	// registered producers and consumers, especially on small context
@@ -364,9 +416,9 @@ func Remap(d *arch.Design, m0 arch.Mapping, opts Options) (*Result, error) {
 		fo := opts
 		fo.Mode = Freeze
 		fo.TraceParent = root // nest the fallback run under this one
-		fr, err := Remap(d, m0, fo)
+		fr, err := Remap(ctx, d, m0, fo)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		fr.Stats.add(result.Stats)
 		if betterResult(fr, result) {
@@ -393,7 +445,7 @@ func betterResult(a, b *Result) bool {
 // fall below the Freeze result. The two arms share no mutable state
 // (each Remap derives its own rng from Options.Seed and clones the
 // mapping), so they run concurrently.
-func RemapBoth(d *arch.Design, m0 arch.Mapping, opts Options) (freeze, rotate *Result, err error) {
+func RemapBoth(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Options) (freeze, rotate *Result, err error) {
 	// Precompute the design's lazily-built caches before the arms fork so
 	// both reuse one copy instead of racing to build their own.
 	d.Precompute()
@@ -420,14 +472,14 @@ func RemapBoth(d *arch.Design, m0 arch.Mapping, opts Options) (freeze, rotate *R
 		fo := opts
 		fo.Mode = Freeze
 		fo.TraceParent = both
-		freeze, freezeErr = Remap(d, m0, fo)
+		freeze, freezeErr = Remap(ctx, d, m0, fo)
 	}()
 	go func() {
 		defer wg.Done()
 		ro := opts
 		ro.Mode = Rotate
 		ro.TraceParent = both
-		rotate, rotErr = Remap(d, m0, ro)
+		rotate, rotErr = Remap(ctx, d, m0, ro)
 	}()
 	wg.Wait()
 	if freezeErr != nil {
@@ -484,7 +536,7 @@ func violatedPaths(d *arch.Design, m arch.Mapping, res *timing.Result, origCPD f
 // is infeasible. Each batch is traced as a "core.batch" span under
 // parent (with a construction-infeasibility event when buildBatch bailed
 // early).
-func solveAllBatches(d *arch.Design, m0 arch.Mapping, frozenPos map[int]arch.Coord,
+func solveAllBatches(ctx context.Context, d *arch.Design, m0 arch.Mapping, frozenPos map[int]arch.Coord,
 	paths []*timing.Path, st, cpd float64, stress0 arch.StressMap,
 	batchList [][]int, opts Options, rng *rand.Rand, stats *Stats, deadline time.Time,
 	cache *warmCache, parent obs.Span) (arch.Mapping, bool, error) {
@@ -514,6 +566,10 @@ func solveAllBatches(d *arch.Design, m0 arch.Mapping, frozenPos map[int]arch.Coo
 		}
 		bsp := parent.Child("core.batch",
 			obs.Int("batch", bi), obs.Int("contexts", len(bctx)), obs.Int("movable", len(movable)))
+		if err := ctx.Err(); err != nil {
+			bsp.End(obs.String("status", "canceled"))
+			return nil, false, err
+		}
 		cands := candidateSets(d, m0, stress0, frozenPos, movable, opts.CandidatesPerOp, rng)
 		bp := buildBatch(d, mCur, inBatch, frozenPos, cands, paths, st, committed, cpd, opts)
 		if bp.infeasibleReason != "" {
@@ -523,7 +579,7 @@ func solveAllBatches(d *arch.Design, m0 arch.Mapping, frozenPos map[int]arch.Coo
 			bsp.End(obs.String("status", "timeout"))
 			return nil, false, nil // probe budget exhausted
 		}
-		asn, ok, err := solveBatch(bp, opts, stats, rng, deadline, cache, bi, bsp)
+		asn, ok, err := solveBatch(ctx, bp, opts, stats, rng, deadline, cache, bi, bsp)
 		if err != nil {
 			bsp.End(obs.String("status", "error"))
 			return nil, false, err
@@ -548,7 +604,7 @@ func solveAllBatches(d *arch.Design, m0 arch.Mapping, frozenPos map[int]arch.Coo
 // ST_target admitting a delay-unaware floorplan, between the original
 // floorplan's mean (ST_low) and max (ST_up) accumulated stress. Each
 // budget probe is traced as a "core.step1.probe" span under parent.
-func stressLowerBound(d *arch.Design, m0 arch.Mapping, stress0 arch.StressMap,
+func stressLowerBound(ctx context.Context, d *arch.Design, m0 arch.Mapping, stress0 arch.StressMap,
 	lo, hi float64, batchList [][]int, opts Options, rng *rand.Rand, stats *Stats, parent obs.Span) (float64, error) {
 
 	// The LPT level is a fast sufficient certificate: any budget at or
@@ -573,7 +629,7 @@ func stressLowerBound(d *arch.Design, m0 arch.Mapping, stress0 arch.StressMap,
 			return true, nil
 		}
 		itersBefore := stats.SimplexIters
-		m, ok, err := solveAllBatches(d, m0, nil, nil, st, 0, stress0, batchList, opts, rng, stats, time.Time{}, cache, psp)
+		m, ok, err := solveAllBatches(ctx, d, m0, nil, nil, st, 0, stress0, batchList, opts, rng, stats, time.Time{}, cache, psp)
 		psp.End(obs.Bool("feasible", err == nil && ok), obs.String("certificate", "milp"),
 			obs.Int("simplex_iters", stats.SimplexIters-itersBefore))
 		if err != nil || !ok {

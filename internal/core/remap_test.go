@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -67,7 +68,7 @@ func TestRemapFIRFreeze(t *testing.T) {
 	d, m0 := buildSmall(t, dfg.FIR(16), 6, 6)
 	opts := DefaultOptions()
 	opts.Mode = Freeze
-	r, err := Remap(d, m0, opts)
+	r, err := Remap(context.Background(), d, m0, opts)
 	if err != nil {
 		t.Fatalf("Remap: %v", err)
 	}
@@ -82,7 +83,7 @@ func TestRemapFIRRotate(t *testing.T) {
 	skipUnderRace(t)
 	d, m0 := buildSmall(t, dfg.FIR(16), 6, 6)
 	opts := DefaultOptions()
-	r, err := Remap(d, m0, opts)
+	r, err := Remap(context.Background(), d, m0, opts)
 	if err != nil {
 		t.Fatalf("Remap: %v", err)
 	}
@@ -94,7 +95,7 @@ func TestRemapFIRRotate(t *testing.T) {
 
 func TestRemapDCT(t *testing.T) {
 	d, m0 := buildSmall(t, dfg.DCT8(), 5, 5)
-	r, err := Remap(d, m0, DefaultOptions())
+	r, err := Remap(context.Background(), d, m0, DefaultOptions())
 	if err != nil {
 		t.Fatalf("Remap: %v", err)
 	}
@@ -105,7 +106,7 @@ func TestRemapChunkedMatchesInvariants(t *testing.T) {
 	d, m0 := buildSmall(t, dfg.IIR(6), 6, 6)
 	opts := DefaultOptions()
 	opts.ContextsPerBatch = 2
-	r, err := Remap(d, m0, opts)
+	r, err := Remap(context.Background(), d, m0, opts)
 	if err != nil {
 		t.Fatalf("Remap chunked: %v", err)
 	}
@@ -115,7 +116,7 @@ func TestRemapChunkedMatchesInvariants(t *testing.T) {
 func TestRemapMTTFRatioAtLeastOne(t *testing.T) {
 	skipUnderRace(t)
 	d, m0 := buildSmall(t, dfg.FIR(16), 6, 6)
-	r, err := Remap(d, m0, DefaultOptions())
+	r, err := Remap(context.Background(), d, m0, DefaultOptions())
 	if err != nil {
 		t.Fatalf("Remap: %v", err)
 	}
@@ -231,7 +232,7 @@ func TestRotateFreezeModeKeepsPositions(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Mode = Freeze
 	rng := rand.New(rand.NewSource(1))
-	pos := rotateFrozen(d, m0, crit, opts, rng, obs.Span{})
+	pos := rotateFrozen(context.Background(), d, m0, crit, opts, rng, obs.Span{})
 	for op, pe := range pos {
 		if pe != m0[op] {
 			t.Fatalf("freeze mode moved op %d: %v -> %v", op, m0[op], pe)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -87,9 +88,13 @@ func orientationPool(orients []int, numContexts int, rng *rand.Rand) []int {
 //
 // sp is the caller's "core.rotate" span (the caller ends it); the
 // selection outcome is reported as a "core.rotate.select" instant event.
-func rotateFrozen(d *arch.Design, m arch.Mapping, frozen map[int]bool, opts Options, rng *rand.Rand, sp obs.Span) map[int]arch.Coord {
+//
+// Cancellation: a canceled ctx makes the scoring workers stop early and
+// the identity assignment (all ops at their original PEs) is returned;
+// the caller notices ctx.Err() itself and discards the run.
+func rotateFrozen(ctx context.Context, d *arch.Design, m arch.Mapping, frozen map[int]bool, opts Options, rng *rand.Rand, sp obs.Span) map[int]arch.Coord {
 	out := make(map[int]arch.Coord, len(frozen))
-	if opts.Mode == Freeze {
+	if opts.Mode == Freeze || ctx.Err() != nil {
 		for op := range frozen {
 			out[op] = m[op]
 		}
@@ -97,11 +102,16 @@ func rotateFrozen(d *arch.Design, m arch.Mapping, frozen map[int]bool, opts Opti
 	}
 
 	orients := allowedOrientations(d.Fabric)
-	// Frozen ops per context.
+	// Frozen ops per context, in ascending op order: evalAssign
+	// accumulates floating-point stress in this order, and map-order
+	// iteration here would perturb the rounding — and hence near-tie
+	// argmin picks — from run to run.
 	frozenByCtx := make([][]int, d.NumContexts)
-	for op := range frozen {
-		c := d.Ctx[op]
-		frozenByCtx[c] = append(frozenByCtx[c], op)
+	for op := 0; op < d.NumOps(); op++ {
+		if frozen[op] {
+			c := d.Ctx[op]
+			frozenByCtx[c] = append(frozenByCtx[c], op)
+		}
 	}
 	// Cross arcs between frozen ops of different contexts.
 	type arcT struct{ a, b int }
@@ -113,10 +123,13 @@ func rotateFrozen(d *arch.Design, m arch.Mapping, frozen map[int]bool, opts Opti
 	}
 
 	evalAssign := func(assign []int) float64 {
-		stack := make(map[arch.Coord]float64)
+		// Dense per-PE accumulator, summed in PE-index order: a map here
+		// would sum in iteration order and make the score differ in the
+		// last ulp between otherwise identical calls.
+		stack := make([]float64, d.Fabric.NumPEs())
 		for c := 0; c < d.NumContexts; c++ {
 			for _, op := range frozenByCtx[c] {
-				stack[orient(m[op], assign[c], d.Fabric)] += d.StressRate(op)
+				stack[d.Fabric.Index(orient(m[op], assign[c], d.Fabric))] += d.StressRate(op)
 			}
 		}
 		score := 0.0
@@ -162,6 +175,9 @@ func rotateFrozen(d *arch.Design, m arch.Mapping, frozen map[int]bool, opts Opti
 		go func() {
 			defer wg.Done()
 			for r := range next {
+				if ctx.Err() != nil {
+					continue // drain the channel without scoring
+				}
 				scores[r] = evalAssign(assigns[r])
 			}
 		}()
@@ -171,6 +187,14 @@ func rotateFrozen(d *arch.Design, m arch.Mapping, frozen map[int]bool, opts Opti
 	}
 	close(next)
 	wg.Wait()
+	if ctx.Err() != nil {
+		// Partial scores are meaningless; hand back the identity
+		// assignment and let the caller observe the cancellation.
+		for op := range frozen {
+			out[op] = m[op]
+		}
+		return out
+	}
 
 	best, bestScore := assigns[0], scores[0]
 	bestR := 0

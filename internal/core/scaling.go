@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -49,13 +50,16 @@ func buildFullProblem(d *arch.Design, m0 arch.Mapping, stTarget float64, opts Op
 // SolveRemapOnce solves one delay-aware re-binding MILP at a fixed
 // ST_target with the production two-step scheme (LP relaxation + rounding
 // dive). It exists for the E4 scaling experiment; the full flow is Remap.
-func SolveRemapOnce(d *arch.Design, m0 arch.Mapping, stTarget float64, opts Options) (arch.Mapping, bool, error) {
+func SolveRemapOnce(ctx context.Context, d *arch.Design, m0 arch.Mapping, stTarget float64, opts Options) (arch.Mapping, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	bp := buildFullProblem(d, m0, stTarget, opts, rng)
 	stats := &Stats{}
 	parent := opts.Trace.Start("core.solve_once", obs.Float("st_target", stTarget))
 	defer parent.End()
-	asn, ok, err := solveBatch(bp, opts, stats, rng, time.Time{}, nil, 0, parent)
+	asn, ok, err := solveBatch(ctx, bp, opts, stats, rng, time.Time{}, nil, 0, parent)
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -70,13 +74,16 @@ func SolveRemapOnce(d *arch.Design, m0 arch.Mapping, stTarget float64, opts Opti
 // branch-and-bound and no LP pre-mapping — the §V.A monolithic ILP whose
 // poor scaling motivated the paper's two-step MILP. nodeCap bounds the
 // search.
-func SolveRemapMonolithic(d *arch.Design, m0 arch.Mapping, stTarget float64, opts Options, nodeCap int) (*milp.Result, error) {
+func SolveRemapMonolithic(ctx context.Context, d *arch.Design, m0 arch.Mapping, stTarget float64, opts Options, nodeCap int) (*milp.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	bp := buildFullProblem(d, m0, stTarget, opts, rng)
 	if bp.infeasibleReason != "" {
 		return &milp.Result{Status: milp.Infeasible}, nil
 	}
-	return milp.Solve(&milp.Problem{LP: bp.lp, IntVars: bp.ints}, milp.Options{
+	return milp.Solve(ctx, &milp.Problem{LP: bp.lp, IntVars: bp.ints}, milp.Options{
 		MaxNodes:    nodeCap,
 		StopAtFirst: true,
 		Branching:   milp.MostFractional,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"agingfp/internal/arch"
@@ -97,7 +98,7 @@ func (ws *WearSchedule) Evaluate(d *arch.Design, model nbti.Model, tcfg thermal.
 // floorplans by re-running the re-mapper with different seeds, for use in
 // a wear schedule. Duplicate floorplans are dropped; the result always
 // contains at least one mapping (the best single remap).
-func DiversifiedRemap(d *arch.Design, m0 arch.Mapping, opts Options, k int) (*WearSchedule, error) {
+func DiversifiedRemap(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Options, k int) (*WearSchedule, error) {
 	if k < 1 {
 		k = 1
 	}
@@ -106,7 +107,7 @@ func DiversifiedRemap(d *arch.Design, m0 arch.Mapping, opts Options, k int) (*We
 	for i := 0; i < k; i++ {
 		o := opts
 		o.Seed = opts.Seed + int64(i)*7919
-		r, err := Remap(d, m0, o)
+		r, err := Remap(ctx, d, m0, o)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -115,7 +116,7 @@ func TestDiversifiedRemapExtendsLifetime(t *testing.T) {
 	d, m := scheduleDesign(t)
 	opts := DefaultOptions()
 	opts.Mode = Freeze
-	ws, err := DiversifiedRemap(d, m, opts, 3)
+	ws, err := DiversifiedRemap(context.Background(), d, m, opts, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

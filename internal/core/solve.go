@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -51,7 +52,7 @@ func (c *warmCache) put(i int, b *lp.Basis) {
 // LP-relax / round>0.95 / residual-ILP loop. The relaxation and each
 // dive restart are traced as "core.relax" / "core.dive" spans under
 // parent.
-func solveBatch(bp *batchProblem, opts Options, stats *Stats, rng *rand.Rand, deadline time.Time, cache *warmCache, slot int, parent obs.Span) (map[int]arch.Coord, bool, error) {
+func solveBatch(ctx context.Context, bp *batchProblem, opts Options, stats *Stats, rng *rand.Rand, deadline time.Time, cache *warmCache, slot int, parent obs.Span) (map[int]arch.Coord, bool, error) {
 	if bp.infeasibleReason != "" {
 		return nil, false, nil
 	}
@@ -63,7 +64,7 @@ func solveBatch(bp *batchProblem, opts Options, stats *Stats, rng *rand.Rand, de
 	// optimal basis for this batch when one is cached.
 	relOpts := lp.Options{WarmStart: cache.get(slot), Trace: opts.Trace}
 	rsp := parent.Child("core.relax", obs.Int("vars", bp.lp.NumVars()), obs.Int("rows", bp.lp.NumRows()))
-	rel, err := lp.Solve(bp.lp, relOpts)
+	rel, err := lp.Solve(ctx, bp.lp, relOpts)
 	if err != nil {
 		rsp.End(obs.String("status", "error"))
 		return nil, false, fmt.Errorf("core: relaxation: %w", err)
@@ -75,6 +76,13 @@ func solveBatch(bp *batchProblem, opts Options, stats *Stats, rng *rand.Rand, de
 		return nil, false, nil
 	case lp.Optimal:
 		cache.put(slot, rel.Basis)
+	case lp.IterLimit:
+		// The relaxation ran out of iteration budget: report "no solution
+		// at this budget" rather than a hard error, so Algorithm 1's
+		// outer loop relaxes ST_target by Delta and retries instead of
+		// aborting the whole flow (the same convention as a probe
+		// timeout).
+		return nil, false, nil
 	default:
 		return nil, false, fmt.Errorf("core: relaxation ended %v", rel.Status)
 	}
@@ -93,7 +101,7 @@ func solveBatch(bp *batchProblem, opts Options, stats *Stats, rng *rand.Rand, de
 			warm = rel.Basis
 		}
 		dsp := parent.Child("core.dive", obs.Int("restart", r), obs.Int("movable", len(bp.movable)))
-		asn, ok, frac, err := roundingDive(bp, rel.X, warm, opts, stats, rng, r > 0, deadline, dsp)
+		asn, ok, frac, err := roundingDive(ctx, bp, rel.X, warm, opts, stats, rng, r > 0, deadline, dsp)
 		if err != nil || ok {
 			return asn, ok, err
 		}
@@ -128,7 +136,7 @@ type softFix struct {
 // The dive owns dsp (a "core.dive" span opened by the caller) and ends
 // it with the outcome: ok, the pinned fraction reached, LP re-solve and
 // backjump counts.
-func roundingDive(bp *batchProblem, rootX []float64, rootBasis *lp.Basis, opts Options, stats *Stats, rng *rand.Rand, perturb bool, deadline time.Time, dsp obs.Span) (asnOut map[int]arch.Coord, okOut bool, fracOut float64, errOut error) {
+func roundingDive(ctx context.Context, bp *batchProblem, rootX []float64, rootBasis *lp.Basis, opts Options, stats *Stats, rng *rand.Rand, perturb bool, deadline time.Time, dsp obs.Span) (asnOut map[int]arch.Coord, okOut bool, fracOut float64, errOut error) {
 	prob := bp.lp.CloneBounds()
 	useWarm := rootBasis != nil
 	warm := rootBasis
@@ -181,7 +189,7 @@ func roundingDive(bp *batchProblem, rootX []float64, rootBasis *lp.Basis, opts O
 				return nil, false, frac(), nil
 			}
 			wopts := lp.Options{WarmStart: warm, Trace: opts.Trace}
-			sol, err := lp.Solve(prob, wopts)
+			sol, err := lp.Solve(ctx, prob, wopts)
 			if err != nil {
 				return nil, false, frac(), err
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"agingfp/internal/arch"
@@ -36,7 +37,7 @@ func TestStep1GreedyVsMILP(t *testing.T) {
 			opts := DefaultOptions()
 			opts.Mode = Freeze
 			opts.Step1MILP = milpStep1
-			r, err := Remap(d, m0, opts)
+			r, err := Remap(context.Background(), d, m0, opts)
 			if err != nil {
 				t.Fatal(err)
 			}

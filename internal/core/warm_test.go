@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"agingfp/internal/dfg"
@@ -21,7 +22,7 @@ func TestWarmHeuristicsValid(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Mode = Freeze
 	opts.WarmHeuristics = true
-	r, err := Remap(d, m0, opts)
+	r, err := Remap(context.Background(), d, m0, opts)
 	if err != nil {
 		t.Fatalf("Remap: %v", err)
 	}
@@ -38,7 +39,7 @@ func TestWarmHeuristicsValid(t *testing.T) {
 // so the warm counters stay zero.
 func TestColdDefaultRecordsNoWarmStarts(t *testing.T) {
 	d, m0 := buildSmall(t, dfg.DCT8(), 5, 5)
-	r, err := Remap(d, m0, DefaultOptions())
+	r, err := Remap(context.Background(), d, m0, DefaultOptions())
 	if err != nil {
 		t.Fatalf("Remap: %v", err)
 	}
@@ -65,20 +66,20 @@ func TestRemapBothConcurrentMatchesSequential(t *testing.T) {
 	d, m0 := buildSmall(t, g, w, h)
 	opts := DefaultOptions()
 
-	freeze, rotate, err := RemapBoth(d, m0, opts)
+	freeze, rotate, err := RemapBoth(context.Background(), d, m0, opts)
 	if err != nil {
 		t.Fatalf("RemapBoth: %v", err)
 	}
 
 	fo := opts
 	fo.Mode = Freeze
-	seqF, err := Remap(d, m0, fo)
+	seqF, err := Remap(context.Background(), d, m0, fo)
 	if err != nil {
 		t.Fatalf("Remap freeze: %v", err)
 	}
 	ro := opts
 	ro.Mode = Rotate
-	seqR, err := Remap(d, m0, ro)
+	seqR, err := Remap(context.Background(), d, m0, ro)
 	if err != nil {
 		t.Fatalf("Remap rotate: %v", err)
 	}

@@ -18,6 +18,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -221,14 +222,50 @@ type Options struct {
 	Trace *obs.Tracer
 }
 
+// Validate rejects nonsense option values with a descriptive error.
+// Zero values are valid (they select documented defaults); only values
+// that cannot mean anything — negative budgets, tolerances outside
+// [0, 1) — are refused. Solve validates its options itself; Validate
+// exists so configuration layers can fail fast before queueing work.
+func (o Options) Validate() error {
+	if o.MaxIter < 0 {
+		return fmt.Errorf("lp: Options.MaxIter %d is negative (0 selects the size-proportional default)", o.MaxIter)
+	}
+	if math.IsNaN(o.Tol) || o.Tol < 0 || o.Tol >= 1 {
+		return fmt.Errorf("lp: Options.Tol %g outside [0, 1) (0 selects the default 1e-9)", o.Tol)
+	}
+	return nil
+}
+
 // Solve optimizes the problem. The problem itself is not modified.
-func Solve(p *Problem, opt Options) (*Solution, error) {
+//
+// Cancellation is cooperative: the simplex loops poll ctx every
+// ctxCheckIters iterations, so a canceled or expired context makes
+// Solve return ctx.Err() within one check interval. A canceled solve
+// returns no Solution and never corrupts warm-start state — the
+// WarmStart snapshot is read-only, so it remains valid for a later
+// solve.
+func Solve(ctx context.Context, p *Problem, opt Options) (*Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	if err := validate(p); err != nil {
 		return nil, err
 	}
 	if opt.WarmStart != nil {
 		if ws, ok := newWarmSolver(p, opt, opt.WarmStart); ok {
-			if sol, ok := ws.runWarm(); ok {
+			ws.ctx = ctx
+			sol, ok, err := ws.runWarm()
+			if err != nil {
+				return nil, err
+			}
+			if ok {
 				sol.Warm = true
 				opt.Trace.Event("lp.warm_start", obs.Bool("hit", true), obs.Int("iters", sol.Iters))
 				return sol, nil
@@ -239,6 +276,7 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 		opt.Trace.Event("lp.warm_start", obs.Bool("hit", false))
 	}
 	s := newSolver(p, opt)
+	s.ctx = ctx
 	return s.run()
 }
 

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -42,7 +43,7 @@ func checkFeasible(t *testing.T, p *Problem, x []float64) {
 
 func solveOK(t *testing.T, p *Problem) *Solution {
 	t.Helper()
-	sol, err := Solve(p, Options{})
+	sol, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatalf("Solve error: %v", err)
 	}
@@ -338,7 +339,7 @@ func TestRandomFeasibility(t *testing.T) {
 		if p.NumRows() == 0 {
 			return true
 		}
-		sol, err := Solve(p, Options{})
+		sol, err := Solve(context.Background(), p, Options{})
 		if err != nil {
 			t.Logf("seed %d: error %v", seed, err)
 			return false
@@ -439,12 +440,12 @@ func TestValidationErrors(t *testing.T) {
 	p2 := NewProblem()
 	p2.AddVar(1, 2, 1) // lb > ub
 	p2.MustAddRow(LE, 1, []int{0}, []float64{1})
-	if _, err := Solve(p2, Options{}); err == nil {
+	if _, err := Solve(context.Background(), p2, Options{}); err == nil {
 		t.Fatal("lb > ub accepted")
 	}
 	p3 := NewProblem()
 	p3.AddVar(1, 0, 1)
-	if _, err := Solve(p3, Options{}); err == nil {
+	if _, err := Solve(context.Background(), p3, Options{}); err == nil {
 		t.Fatal("empty row set accepted")
 	}
 }

@@ -1,8 +1,14 @@
 package lp
 
 import (
+	"context"
 	"math"
 )
+
+// statusCanceled is the internal sentinel the pivot loops return when
+// the solve's context is done; run/runWarm map it to ctx.Err(). It is
+// never stored on a Solution.
+const statusCanceled Status = -1
 
 // Variable statuses.
 const (
@@ -42,6 +48,10 @@ type solver struct {
 
 	bland      bool
 	degenCount int
+
+	// ctx carries the solve's cancellation signal; polled by the pivot
+	// loops every ctxCheckIters iterations. nil disables the checks.
+	ctx context.Context
 }
 
 const (
@@ -49,7 +59,19 @@ const (
 	degTol   = 1e-10
 	blandTrg = 2000 // consecutive degenerate iterations before Bland's rule
 	refreshN = 512  // iterations between primal refreshes
+
+	// ctxCheckIters is the cooperative-cancellation poll interval of the
+	// simplex loops: cheap enough to be negligible per iteration, tight
+	// enough that a canceled solve returns within a few milliseconds.
+	ctxCheckIters = 128
 )
+
+// canceled reports whether the solve's context is done. Polled at loop
+// heads gated by iteration count, so the common path costs one nil
+// check.
+func (s *solver) canceled() bool {
+	return s.ctx != nil && s.ctx.Err() != nil
+}
 
 // newCore builds the solver skeleton shared by the cold and warm paths:
 // structural columns, costs, bounds, RHS, default nonbasic statuses, and
@@ -218,6 +240,9 @@ func (s *solver) run() (*Solution, error) {
 			ph1[j] = 1
 		}
 		st := s.iterate(ph1)
+		if st == statusCanceled {
+			return nil, s.ctx.Err()
+		}
 		if st == IterLimit {
 			return &Solution{Status: IterLimit, Iters: s.iters}, nil
 		}
@@ -246,6 +271,9 @@ func (s *solver) run() (*Solution, error) {
 
 	// Phase 2.
 	st := s.iterate(s.cost)
+	if st == statusCanceled {
+		return nil, s.ctx.Err()
+	}
 	sol := &Solution{Status: st, Iters: s.iters}
 	if st == Optimal {
 		sol.X = append([]float64(nil), s.x[:s.nStruct]...)
@@ -290,6 +318,9 @@ func (s *solver) iterate(cost []float64) Status {
 	s.computeDuals(cost, y)
 
 	for ; s.iters < s.maxIter; s.iters++ {
+		if s.iters%ctxCheckIters == 0 && s.canceled() {
+			return statusCanceled
+		}
 		if s.iters > 0 && s.iters%refreshN == 0 {
 			s.refresh()
 			s.computeDuals(cost, y)

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -18,7 +19,7 @@ func TestIterLimitStatus(t *testing.T) {
 	}
 	p.MustAddRow(LE, 10, vars, val)
 	p.MustAddRow(GE, 2, vars, val)
-	sol, err := Solve(p, Options{MaxIter: 2})
+	sol, err := Solve(context.Background(), p, Options{MaxIter: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestLargeTransportation(t *testing.T) {
 		}
 		p.MustAddRow(EQ, 1, col, ones)
 	}
-	sol, err := Solve(p, Options{})
+	sol, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestManyBoundFlips(t *testing.T) {
 		val[j] = 1
 	}
 	p.MustAddRow(LE, float64(n), idx, val) // non-binding: all flip to 1
-	sol, err := Solve(p, Options{})
+	sol, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestEqualityOnlySystem(t *testing.T) {
 	y := p.AddVar(0, math.Inf(-1), Inf)
 	p.MustAddRow(EQ, 5, []int{x, y}, []float64{1, 1})
 	p.MustAddRow(EQ, 1, []int{x, y}, []float64{1, -1})
-	sol, err := Solve(p, Options{})
+	sol, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

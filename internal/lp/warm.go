@@ -246,8 +246,11 @@ func (s *solver) dualFeasible(cost []float64) bool {
 
 // runWarm optimizes from the installed warm basis. ok=false asks the
 // caller to fall back to a cold solve (the warm basis turned out
-// unusable); ok=true returns a result equivalent to a cold solve.
-func (s *solver) runWarm() (*Solution, bool) {
+// unusable); ok=true returns a result equivalent to a cold solve. A
+// non-nil error reports cancellation (the solve's context expired
+// mid-reoptimization); the warm basis itself is never modified, so the
+// caller may reuse it after a cancellation.
+func (s *solver) runWarm() (*Solution, bool, error) {
 	switch {
 	case s.primalFeasible():
 		// The basis survived the data change primal feasible: plain
@@ -257,19 +260,24 @@ func (s *solver) runWarm() (*Solution, bool) {
 		// dual feasible but primal infeasible — reoptimize directly
 		// with the dual simplex.
 		switch s.dualSimplex(s.cost) {
+		case statusCanceled:
+			return nil, false, s.ctx.Err()
 		case Infeasible:
-			return &Solution{Status: Infeasible, Iters: s.iters}, true
+			return &Solution{Status: Infeasible, Iters: s.iters}, true, nil
 		case IterLimit:
-			return nil, false
+			return nil, false, nil
 		}
 		// Primal feasibility restored; fall through to the primal
 		// polish below (normally zero iterations, it also guards the
 		// numerics of the dual phase).
 	default:
-		return nil, false
+		return nil, false, nil
 	}
 
 	st := s.iterate(s.cost)
+	if st == statusCanceled {
+		return nil, false, s.ctx.Err()
+	}
 	sol := &Solution{Status: st, Iters: s.iters}
 	if st == Optimal {
 		sol.X = append([]float64(nil), s.x[:s.nStruct]...)
@@ -280,7 +288,7 @@ func (s *solver) runWarm() (*Solution, bool) {
 		sol.Obj = obj
 		sol.Basis = s.snapshot()
 	}
-	return sol, true
+	return sol, true, nil
 }
 
 // dualSimplex restores primal feasibility from a dual-feasible basis,
@@ -300,6 +308,9 @@ func (s *solver) dualSimplex(cost []float64) Status {
 	}
 	reverified := false
 	for it := 0; it < budget; it++ {
+		if it%ctxCheckIters == 0 && s.canceled() {
+			return statusCanceled
+		}
 		s.computeDuals(cost, y)
 
 		// Leaving row: the basic variable with the largest bound

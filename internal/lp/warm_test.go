@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -87,7 +88,7 @@ func TestWarmEquivalenceFuzz(t *testing.T) {
 	warmUsed := 0
 	for trial := 0; trial < 400; trial++ {
 		p := randomProblem(rng)
-		root, err := Solve(p, Options{})
+		root, err := Solve(context.Background(), p, Options{})
 		if err != nil {
 			t.Fatalf("trial %d: root solve: %v", trial, err)
 		}
@@ -102,11 +103,11 @@ func TestWarmEquivalenceFuzz(t *testing.T) {
 		if !tightenRandomBound(child, root.X, rng) {
 			continue
 		}
-		cold, err := Solve(child, Options{})
+		cold, err := Solve(context.Background(), child, Options{})
 		if err != nil {
 			t.Fatalf("trial %d: cold child: %v", trial, err)
 		}
-		warm, err := Solve(child, Options{WarmStart: root.Basis})
+		warm, err := Solve(context.Background(), child, Options{WarmStart: root.Basis})
 		if err != nil {
 			t.Fatalf("trial %d: warm child: %v", trial, err)
 		}
@@ -139,7 +140,7 @@ func TestWarmRHSChange(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for trial := 0; trial < 200; trial++ {
 		p := randomProblem(rng)
-		root, err := Solve(p, Options{})
+		root, err := Solve(context.Background(), p, Options{})
 		if err != nil || root.Status != Optimal {
 			t.Fatalf("trial %d: root %v %v", trial, err, root.Status)
 		}
@@ -153,11 +154,11 @@ func TestWarmRHSChange(t *testing.T) {
 		for _, r := range p.Rows() {
 			q.MustAddRow(r.Sense, r.RHS+rng.NormFloat64(), r.Idx, r.Val)
 		}
-		cold, err := Solve(q, Options{})
+		cold, err := Solve(context.Background(), q, Options{})
 		if err != nil {
 			t.Fatalf("trial %d: cold: %v", trial, err)
 		}
-		warm, err := Solve(q, Options{WarmStart: root.Basis})
+		warm, err := Solve(context.Background(), q, Options{WarmStart: root.Basis})
 		if err != nil {
 			t.Fatalf("trial %d: warm: %v", trial, err)
 		}
@@ -180,7 +181,7 @@ func TestWarmShapeMismatchRejected(t *testing.T) {
 	small := NewProblem()
 	a := small.AddVar(-1, 0, 2)
 	small.MustAddRow(LE, 1, []int{a}, []float64{1})
-	rootSmall, err := Solve(small, Options{})
+	rootSmall, err := Solve(context.Background(), small, Options{})
 	if err != nil || rootSmall.Status != Optimal {
 		t.Fatalf("small solve: %v %v", err, rootSmall.Status)
 	}
@@ -189,7 +190,7 @@ func TestWarmShapeMismatchRejected(t *testing.T) {
 	x := big.AddVar(-1, 0, 3)
 	y := big.AddVar(-1, 0, 3)
 	big.MustAddRow(LE, 4, []int{x, y}, []float64{1, 1})
-	sol, err := Solve(big, Options{WarmStart: rootSmall.Basis})
+	sol, err := Solve(context.Background(), big, Options{WarmStart: rootSmall.Basis})
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -207,11 +208,11 @@ func TestWarmReSolveSameProblem(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	for trial := 0; trial < 50; trial++ {
 		p := randomProblem(rng)
-		first, err := Solve(p, Options{})
+		first, err := Solve(context.Background(), p, Options{})
 		if err != nil || first.Status != Optimal {
 			t.Fatalf("trial %d: first %v %v", trial, err, first.Status)
 		}
-		again, err := Solve(p, Options{WarmStart: first.Basis})
+		again, err := Solve(context.Background(), p, Options{WarmStart: first.Basis})
 		if err != nil {
 			t.Fatalf("trial %d: warm: %v", trial, err)
 		}

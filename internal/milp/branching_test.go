@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -44,7 +45,7 @@ func TestDiveBranchingFindsFeasibleFast(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for trial := 0; trial < 10; trial++ {
 		prob, _ := assignmentProblem(rng, 6)
-		res, err := Solve(prob, Options{Branching: Dive, StopAtFirst: true, MaxNodes: 200})
+		res, err := Solve(context.Background(), prob, Options{Branching: Dive, StopAtFirst: true, MaxNodes: 200})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,11 +73,11 @@ func TestBranchingRulesAgree(t *testing.T) {
 		}
 		p.MustAddRow(lp.LE, float64(n)*2, ints, w)
 
-		a, err := Solve(&Problem{LP: p, IntVars: ints}, Options{Branching: MostFractional})
+		a, err := Solve(context.Background(), &Problem{LP: p, IntVars: ints}, Options{Branching: MostFractional})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := Solve(&Problem{LP: p, IntVars: ints}, Options{Branching: Dive})
+		b, err := Solve(context.Background(), &Problem{LP: p, IntVars: ints}, Options{Branching: Dive})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func TestIntegerGeneralVariables(t *testing.T) {
 	x := p.AddVar(-1, 0, 4.5)
 	y := p.AddVar(-1, 0, 10)
 	p.MustAddRow(lp.LE, 7.3, []int{x, y}, []float64{1, 1})
-	res, err := Solve(&Problem{LP: p, IntVars: []int{x, y}}, Options{})
+	res, err := Solve(context.Background(), &Problem{LP: p, IntVars: []int{x, y}}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestMixedIntegerContinuous(t *testing.T) {
 	b := p.AddVar(0.1, 0, 1) // small cost on the gate
 	f := p.AddVar(-1, 0, 2.5)
 	p.MustAddRow(lp.LE, 0, []int{f, b}, []float64{1, -3})
-	res, err := Solve(&Problem{LP: p, IntVars: []int{b}}, Options{})
+	res, err := Solve(context.Background(), &Problem{LP: p, IntVars: []int{b}}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

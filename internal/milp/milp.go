@@ -11,6 +11,7 @@
 package milp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -56,6 +57,25 @@ type Options struct {
 	Trace *obs.Tracer
 }
 
+// Validate rejects nonsense option values with a descriptive error.
+// Zero values are valid (they select documented defaults). It also
+// validates the embedded LP options.
+func (o Options) Validate() error {
+	if o.MaxNodes < 0 {
+		return fmt.Errorf("milp: Options.MaxNodes %d is negative (0 selects the default 100000)", o.MaxNodes)
+	}
+	if o.TimeLimit < 0 {
+		return fmt.Errorf("milp: Options.TimeLimit %v is negative (0 means no limit)", o.TimeLimit)
+	}
+	if math.IsNaN(o.IntTol) || o.IntTol < 0 || o.IntTol >= 0.5 {
+		return fmt.Errorf("milp: Options.IntTol %g outside [0, 0.5) (0 selects the default 1e-6)", o.IntTol)
+	}
+	if o.Branching != MostFractional && o.Branching != Dive {
+		return fmt.Errorf("milp: unknown Branching rule %d", int(o.Branching))
+	}
+	return o.LP.Validate()
+}
+
 // Branching selects how the search picks and orders branches.
 type Branching int
 
@@ -70,7 +90,10 @@ const (
 	Dive
 )
 
-// Status is a search outcome.
+// Status is a search outcome. Outcomes are ordered from strongest to
+// weakest claim: Optimal proves, Feasible exhibits, NodeLimit and
+// Canceled report an interrupted search (with or without an incumbent —
+// check Result.X), Infeasible refutes.
 type Status int
 
 // Search outcomes.
@@ -78,12 +101,20 @@ const (
 	// Optimal: proven optimal integer solution (or first feasible, for
 	// feasibility problems / StopAtFirst).
 	Optimal Status = iota
-	// Infeasible: no integer solution exists.
-	Infeasible
-	// Feasible: budget exhausted with an incumbent in hand.
+	// Feasible: budget exhausted with an incumbent in hand. The
+	// incumbent is integer-feasible but not proven optimal.
 	Feasible
-	// Limit: budget exhausted with no incumbent.
-	Limit
+	// NodeLimit: the node/time budget was exhausted with no incumbent.
+	// This is NOT a proof of infeasibility — a larger budget may still
+	// find a solution — and callers must not treat it as one.
+	NodeLimit
+	// Canceled: the context was canceled or its deadline passed
+	// mid-search. The Result carries whatever was found so far; Solve
+	// additionally returns ctx.Err().
+	Canceled
+	// Infeasible: the search tree was exhausted; no integer solution
+	// exists.
+	Infeasible
 )
 
 // String implements fmt.Stringer.
@@ -91,12 +122,14 @@ func (s Status) String() string {
 	switch s {
 	case Optimal:
 		return "optimal"
-	case Infeasible:
-		return "infeasible"
 	case Feasible:
 		return "feasible"
-	case Limit:
-		return "limit"
+	case NodeLimit:
+		return "node-limit"
+	case Canceled:
+		return "canceled"
+	case Infeasible:
+		return "infeasible"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -123,6 +156,7 @@ type Result struct {
 }
 
 type searcher struct {
+	ctx      context.Context
 	base     *lp.Problem
 	intVars  []int
 	opts     Options
@@ -145,7 +179,19 @@ type searcher struct {
 
 // Solve runs branch and bound. The problem's bound arrays are cloned; the
 // caller's problem is not modified.
-func Solve(p *Problem, opts Options) (*Result, error) {
+//
+// Cancellation is cooperative: the search polls ctx at every node and
+// the node relaxations poll it inside their simplex loops, so a
+// canceled or expired context makes Solve return promptly with a
+// partial Result (Status Canceled, node/iteration counts so far, and
+// the incumbent if one was found) alongside ctx.Err().
+func Solve(ctx context.Context, p *Problem, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.MaxNodes <= 0 {
 		opts.MaxNodes = 100000
 	}
@@ -158,6 +204,7 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		opts.LP.Trace = opts.Trace
 	}
 	s := &searcher{
+		ctx:     ctx,
 		base:    p.LP.CloneBounds(),
 		intVars: p.IntVars,
 		opts:    opts,
@@ -182,7 +229,8 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 
 	rootObj := math.NaN()
 	st, err := s.dfs(0, &rootObj, nil)
-	if err != nil {
+	if err != nil && st != searchCanceled {
+		s.span.End(obs.String("status", "error"), obs.Int("nodes", s.nodes))
 		return nil, err
 	}
 	res := &Result{
@@ -193,6 +241,12 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		WarmStartRejects: s.warmRejects,
 	}
 	switch {
+	case st == searchCanceled:
+		res.Status = Canceled
+		if s.hasInc {
+			res.Obj = s.incObj
+			res.X = s.incumbent
+		}
 	case s.hasInc && (st == searchDone || st == searchExhausted):
 		res.Status = Optimal
 		res.Obj = s.incObj
@@ -204,7 +258,7 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 	case st == searchExhausted:
 		res.Status = Infeasible
 	default:
-		res.Status = Limit
+		res.Status = NodeLimit
 	}
 	s.span.End(
 		obs.Int("nodes", res.Nodes),
@@ -212,7 +266,7 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		obs.Int("simplex_iters", res.SimplexIters),
 		obs.Int("warm_starts", res.WarmStarts),
 		obs.Int("warm_rejects", res.WarmStartRejects))
-	return res, nil
+	return res, err
 }
 
 type searchState int
@@ -221,6 +275,7 @@ const (
 	searchExhausted searchState = iota // subtree fully explored
 	searchDone                         // stopping condition met (first feasible)
 	searchBudget                       // node/time budget hit
+	searchCanceled                     // context canceled or deadline passed
 )
 
 // dfs explores one node. warm is the parent node's optimal basis (nil at
@@ -228,6 +283,9 @@ const (
 // relaxation is reoptimized by the LP layer's dual simplex instead of a
 // cold phase-1 restart.
 func (s *searcher) dfs(depth int, rootObj *float64, warm *lp.Basis) (searchState, error) {
+	if err := s.ctx.Err(); err != nil {
+		return searchCanceled, err
+	}
 	if s.nodes >= s.opts.MaxNodes {
 		return searchBudget, nil
 	}
@@ -240,8 +298,13 @@ func (s *searcher) dfs(depth int, rootObj *float64, warm *lp.Basis) (searchState
 	if !s.opts.NoWarmStart {
 		lpOpts.WarmStart = warm
 	}
-	sol, err := lp.Solve(s.base, lpOpts)
+	sol, err := lp.Solve(s.ctx, s.base, lpOpts)
 	if err != nil {
+		// A mid-relaxation cancellation surfaces as the context's error;
+		// anything else is a genuine solver failure.
+		if cerr := s.ctx.Err(); cerr != nil {
+			return searchCanceled, cerr
+		}
 		return searchExhausted, err
 	}
 	s.simplexIters += sol.Iters
@@ -323,7 +386,7 @@ func (s *searcher) dfs(depth int, rootObj *float64, warm *lp.Basis) (searchState
 		st, err := s.dfs(depth+1, rootObj, sol.Basis)
 		s.base.SetBounds(branch, lo, hi)
 		if err != nil {
-			return searchExhausted, err
+			return st, err
 		}
 		if st == searchDone || st == searchBudget {
 			return st, nil

@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -105,7 +106,7 @@ func TestAgainstBruteForce(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		p, rows, ints := randomBinaryProblem(rng)
 		want := bruteBinary(p, rows)
-		res, err := Solve(&Problem{LP: p, IntVars: ints}, Options{MaxNodes: 50000})
+		res, err := Solve(context.Background(), &Problem{LP: p, IntVars: ints}, Options{MaxNodes: 50000})
 		if err != nil {
 			t.Logf("seed %d: error %v", seed, err)
 			return false
@@ -143,7 +144,7 @@ func TestKnapsack(t *testing.T) {
 		ints[i] = p.AddVar(-v[i], 0, 1)
 	}
 	p.MustAddRow(lp.LE, 5, ints, w)
-	res, err := Solve(&Problem{LP: p, IntVars: ints}, Options{})
+	res, err := Solve(context.Background(), &Problem{LP: p, IntVars: ints}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestIntegerAssignmentFeasibility(t *testing.T) {
 		idx := []int{vars[0][k], vars[1][k], vars[2][k]}
 		p.MustAddRow(lp.LE, 0.7, idx, stress) // budget < 2 ops' stress
 	}
-	res, err := Solve(&Problem{LP: p, IntVars: ints}, Options{})
+	res, err := Solve(context.Background(), &Problem{LP: p, IntVars: ints}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestInfeasibleBudget(t *testing.T) {
 	p.MustAddRow(lp.EQ, 1, []int{a}, []float64{1})
 	p.MustAddRow(lp.EQ, 1, []int{b}, []float64{1})
 	p.MustAddRow(lp.LE, 0.5, []int{a, b}, []float64{0.6, 0.6})
-	res, err := Solve(&Problem{LP: p, IntVars: []int{a, b}}, Options{})
+	res, err := Solve(context.Background(), &Problem{LP: p, IntVars: []int{a, b}}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestNodeLimit(t *testing.T) {
 		val = append(val, 1+rng.Float64()*3)
 	}
 	p.MustAddRow(lp.LE, 20, ints, val)
-	res, err := Solve(&Problem{LP: p, IntVars: ints}, Options{MaxNodes: 2})
+	res, err := Solve(context.Background(), &Problem{LP: p, IntVars: ints}, Options{MaxNodes: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestTimeLimit(t *testing.T) {
 	}
 	p.MustAddRow(lp.LE, 25, ints, val)
 	start := time.Now()
-	res, err := Solve(&Problem{LP: p, IntVars: ints}, Options{TimeLimit: time.Millisecond})
+	res, err := Solve(context.Background(), &Problem{LP: p, IntVars: ints}, Options{TimeLimit: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func TestRootObjIsLowerBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for trial := 0; trial < 20; trial++ {
 		p, rows, ints := randomBinaryProblem(rng)
-		res, err := Solve(&Problem{LP: p, IntVars: ints}, Options{MaxNodes: 50000})
+		res, err := Solve(context.Background(), &Problem{LP: p, IntVars: ints}, Options{MaxNodes: 50000})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -281,7 +282,7 @@ func TestStopAtFirst(t *testing.T) {
 		val[i] = 1
 	}
 	p.MustAddRow(lp.LE, 5, ints, val)
-	res, err := Solve(&Problem{LP: p, IntVars: ints}, Options{StopAtFirst: true})
+	res, err := Solve(context.Background(), &Problem{LP: p, IntVars: ints}, Options{StopAtFirst: true})
 	if err != nil {
 		t.Fatal(err)
 	}

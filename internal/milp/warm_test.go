@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -12,11 +13,11 @@ func TestWarmStartEquivalence(t *testing.T) {
 	for seed := int64(0); seed < 120; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		p, _, ints := randomBinaryProblem(rng)
-		warm, err := Solve(&Problem{LP: p, IntVars: ints}, Options{MaxNodes: 50000})
+		warm, err := Solve(context.Background(), &Problem{LP: p, IntVars: ints}, Options{MaxNodes: 50000})
 		if err != nil {
 			t.Fatalf("seed %d: warm: %v", seed, err)
 		}
-		cold, err := Solve(&Problem{LP: p, IntVars: ints}, Options{MaxNodes: 50000, NoWarmStart: true})
+		cold, err := Solve(context.Background(), &Problem{LP: p, IntVars: ints}, Options{MaxNodes: 50000, NoWarmStart: true})
 		if err != nil {
 			t.Fatalf("seed %d: cold: %v", seed, err)
 		}
@@ -46,11 +47,11 @@ func TestWarmStartNodeAndIterBudget(t *testing.T) {
 	for seed := int64(200); seed < 320; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		p, _, ints := randomBinaryProblem(rng)
-		warm, err := Solve(&Problem{LP: p, IntVars: ints}, Options{MaxNodes: 50000})
+		warm, err := Solve(context.Background(), &Problem{LP: p, IntVars: ints}, Options{MaxNodes: 50000})
 		if err != nil {
 			t.Fatalf("seed %d: warm: %v", seed, err)
 		}
-		cold, err := Solve(&Problem{LP: p, IntVars: ints}, Options{MaxNodes: 50000, NoWarmStart: true})
+		cold, err := Solve(context.Background(), &Problem{LP: p, IntVars: ints}, Options{MaxNodes: 50000, NoWarmStart: true})
 		if err != nil {
 			t.Fatalf("seed %d: cold: %v", seed, err)
 		}

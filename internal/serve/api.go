@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/bench"
+	"agingfp/internal/core"
+	"agingfp/internal/nbti"
+	"agingfp/internal/place"
+	"agingfp/internal/thermal"
+)
+
+// JobRequest is one floorplanning submission. Exactly one of Bench and
+// Design selects the workload; the remaining fields tune the solver.
+type JobRequest struct {
+	// Bench names a built-in Table-I benchmark (B1..B27).
+	Bench string `json:"bench,omitempty"`
+	// Design is an inline design document (the same schema agingfloor
+	// -save writes). A mapping named "baseline" is used as the starting
+	// floorplan when present; otherwise the server places one.
+	Design *arch.Document `json:"design,omitempty"`
+	// Mode selects the re-mapping arm: "rotate" (default) or "freeze".
+	Mode string `json:"mode,omitempty"`
+	// Seed fixes the solver's random stream (0 keeps the default, which
+	// for Bench workloads is the spec's published seed).
+	Seed int64 `json:"seed,omitempty"`
+	// TimeLimitMs bounds each ST_target probe (0 keeps the default).
+	TimeLimitMs int64 `json:"time_limit_ms,omitempty"`
+	// DeadlineMs bounds the whole job wall-clock, queue wait included
+	// (0 uses the server default). The deadline is delivery policy, not
+	// workload identity, so it is excluded from the result-cache key.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+}
+
+// RequestError reports a submission the server refuses outright
+// (malformed design, unknown benchmark, invalid options). The HTTP
+// layer maps it to 400.
+type RequestError struct{ msg string }
+
+func (e *RequestError) Error() string { return e.msg }
+
+func badRequest(format string, args ...interface{}) error {
+	return &RequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// options expands the request knobs into validated solver options.
+func (r *JobRequest) options() (core.Options, error) {
+	opts := core.DefaultOptions()
+	switch r.Mode {
+	case "", "rotate":
+		opts.Mode = core.Rotate
+	case "freeze":
+		opts.Mode = core.Freeze
+	default:
+		return opts, badRequest("serve: unknown mode %q (want freeze or rotate)", r.Mode)
+	}
+	if r.Seed != 0 {
+		opts.Seed = r.Seed
+	}
+	if r.TimeLimitMs != 0 {
+		opts.TimeLimit = time.Duration(r.TimeLimitMs) * time.Millisecond
+	}
+	if r.DeadlineMs < 0 {
+		return opts, badRequest("serve: negative deadline_ms %d", r.DeadlineMs)
+	}
+	// Fail fast with the solver's own diagnostics before any work is
+	// queued (negative time limits land here).
+	if err := opts.Validate(); err != nil {
+		return opts, badRequest("%v", err)
+	}
+	return opts, nil
+}
+
+// canonicalize validates the request and returns its canonical bytes —
+// the content-cache identity. Marshaling the parsed struct (rather than
+// hashing the client's raw body) normalizes field order, whitespace and
+// defaulted fields, so semantically identical submissions collide in
+// the cache on purpose. DeadlineMs is omitted: it decides whether a run
+// finishes, never what it computes.
+func (r *JobRequest) canonicalize() ([]byte, error) {
+	if (r.Bench == "") == (r.Design == nil) {
+		return nil, badRequest("serve: submit exactly one of bench, design")
+	}
+	if r.Bench != "" {
+		if _, ok := bench.SpecByName(r.Bench); !ok {
+			return nil, badRequest("serve: unknown benchmark %q (want B1..B27)", r.Bench)
+		}
+	}
+	if r.Design != nil {
+		if _, _, err := arch.FromDocument(r.Design); err != nil {
+			return nil, badRequest("serve: bad design: %v", err)
+		}
+	}
+	if _, err := r.options(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(struct {
+		Bench       string         `json:"bench,omitempty"`
+		Design      *arch.Document `json:"design,omitempty"`
+		Mode        string         `json:"mode,omitempty"`
+		Seed        int64          `json:"seed,omitempty"`
+		TimeLimitMs int64          `json:"time_limit_ms,omitempty"`
+	}{r.Bench, r.Design, r.Mode, r.Seed, r.TimeLimitMs})
+}
+
+// JobResult is the document a finished job serves. Every field is a
+// deterministic function of the request (no wall-clock values), so the
+// cached bytes equal what a fresh run would produce.
+type JobResult struct {
+	Design string `json:"design"`
+	// Status is the solver's typed outcome (optimal, feasible,
+	// node-limit, canceled, infeasible).
+	Status   string  `json:"status"`
+	Improved bool    `json:"improved"`
+	STTarget float64 `json:"st_target"`
+	STLower  float64 `json:"st_lower_bound"`
+
+	OrigMaxStress float64 `json:"orig_max_stress"`
+	NewMaxStress  float64 `json:"new_max_stress"`
+	OrigCPDNs     float64 `json:"orig_cpd_ns"`
+	NewCPDNs      float64 `json:"new_cpd_ns"`
+
+	MTTF struct {
+		BeforeHours float64 `json:"before_hours"`
+		AfterHours  float64 `json:"after_hours"`
+		Increase    float64 `json:"increase"`
+	} `json:"mttf"`
+
+	Stats struct {
+		LPSolves      int `json:"lp_solves"`
+		SimplexIters  int `json:"simplex_iters"`
+		ILPSolves     int `json:"ilp_solves"`
+		ILPNodes      int `json:"ilp_nodes"`
+		STProbes      int `json:"st_probes"`
+		ProbeTimeouts int `json:"probe_timeouts"`
+	} `json:"stats"`
+
+	// Mapping is the aging-aware floorplan, one [x, y] per op.
+	Mapping [][2]int `json:"mapping"`
+}
+
+// execute runs one job under its context and marshals the result
+// document. Cancellation surfaces as ctx's error (the partial solver
+// result is discarded — a half-searched floorplan is not a deliverable).
+func (s *Server) execute(ctx context.Context, req *JobRequest) ([]byte, error) {
+	var (
+		d   *arch.Design
+		m0  arch.Mapping
+		err error
+	)
+	if req.Bench != "" {
+		spec, _ := bench.SpecByName(req.Bench)
+		d, err = bench.Synthesize(spec)
+	} else {
+		var mappings map[string]arch.Mapping
+		d, mappings, err = arch.FromDocument(req.Design)
+		if err == nil {
+			m0 = mappings["baseline"]
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if m0 == nil {
+		m0, err = place.Place(d, place.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+	}
+	opts, err := req.options()
+	if err != nil {
+		return nil, err
+	}
+	if req.Bench != "" && req.Seed == 0 {
+		spec, _ := bench.SpecByName(req.Bench)
+		opts.Seed = spec.Seed
+	}
+	opts.Trace = s.cfg.Trace
+
+	res, err := core.Remap(ctx, d, m0, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	model, tcfg := nbti.DefaultModel(), thermal.DefaultConfig()
+	before, err := core.Evaluate(d, m0, model, tcfg)
+	if err != nil {
+		return nil, err
+	}
+	ratio, err := core.MTTFIncrease(d, m0, res.Mapping, model, tcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &JobResult{
+		Design:        d.Name,
+		Status:        res.Status.String(),
+		Improved:      res.Improved,
+		STTarget:      res.STTarget,
+		STLower:       res.STLowerBound,
+		OrigMaxStress: res.OrigMaxStress,
+		NewMaxStress:  res.NewMaxStress,
+		OrigCPDNs:     res.OrigCPD,
+		NewCPDNs:      res.NewCPD,
+	}
+	out.MTTF.BeforeHours = before.Hours
+	out.MTTF.AfterHours = before.Hours * ratio
+	out.MTTF.Increase = ratio
+	out.Stats.LPSolves = res.Stats.LPSolves
+	out.Stats.SimplexIters = res.Stats.SimplexIters
+	out.Stats.ILPSolves = res.Stats.ILPSolves
+	out.Stats.ILPNodes = res.Stats.ILPNodes
+	out.Stats.STProbes = res.Stats.STProbes
+	out.Stats.ProbeTimeouts = res.Stats.ProbeTimeouts
+	out.Mapping = make([][2]int, len(res.Mapping))
+	for i, c := range res.Mapping {
+		out.Mapping[i] = [2]int{c.X, c.Y}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// Handler returns the service's HTTP routes:
+//
+//	POST   /v1/jobs             submit; 202 with the job snapshot
+//	GET    /v1/jobs/{id}        job status snapshot
+//	GET    /v1/jobs/{id}/result finished job's result document
+//	DELETE /v1/jobs/{id}        cooperative cancel
+//	GET    /healthz             liveness + drain state
+//	GET    /metrics             Prometheus text-format snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// httpError maps service errors onto status codes.
+func httpError(w http.ResponseWriter, err error) {
+	var reqErr *RequestError
+	code := http.StatusInternalServerError
+	switch {
+	case errors.As(err, &reqErr):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrNotDone):
+		code = http.StatusConflict
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		httpError(w, badRequest("serve: read body: %v", err))
+		return
+	}
+	var req JobRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, badRequest("serve: bad request JSON: %v", err))
+		return
+	}
+	snap, err := s.Submit(&req)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, snap)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	out, err := s.Result(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out) //nolint:errcheck
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if err := s.Cancel(r.PathValue("id")); err != nil {
+		httpError(w, err)
+		return
+	}
+	snap, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status     string `json:"status"`
+		Draining   bool   `json:"draining"`
+		QueueDepth int    `json:"queue_depth"`
+	}{"ok", s.Draining(), s.QueueDepth()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		httpError(w, err)
+	}
+}

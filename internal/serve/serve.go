@@ -1,0 +1,399 @@
+// Package serve hosts the floorplanner as a long-running job service:
+// clients submit designs over HTTP/JSON, a bounded worker pool drains a
+// FIFO queue, and results are kept in a content-addressed cache so a
+// repeated submission is answered byte-identically without re-solving.
+//
+// The package exists because the context-first solver API makes each
+// job independently cancellable: every queued job carries its own
+// context (deadline included), and the solver layers below — Remap,
+// the branch-and-bound search, the simplex loops — poll it
+// cooperatively, so cancel requests and SIGTERM drains take effect
+// mid-solve rather than at the next job boundary.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"agingfp/internal/obs"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the solver pool size (default 2). Each worker runs one
+	// job at a time; the floorplanner itself may fan out further.
+	Workers int
+	// QueueDepth bounds the FIFO backlog (default 16). A full queue
+	// rejects submissions with ErrQueueFull rather than buffering
+	// without bound.
+	QueueDepth int
+	// CacheEntries bounds the content-addressed result cache
+	// (default 64, FIFO eviction).
+	CacheEntries int
+	// DefaultDeadline applies to jobs that do not request their own
+	// deadline; zero means no limit. The deadline clock starts at
+	// submission, so time spent queued counts against it.
+	DefaultDeadline time.Duration
+	// DrainTimeout bounds Drain's wait for in-flight jobs before they
+	// are force-canceled (default 30s).
+	DrainTimeout time.Duration
+	// Trace observes solver spans; Registry carries service metrics and
+	// backs the /metrics endpoint. Both may be nil.
+	Trace    *obs.Tracer
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 2
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 16
+	}
+	if c.CacheEntries < 1 {
+		c.CacheEntries = 64
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull rejects a submission when the backlog is at
+	// QueueDepth (503).
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrDraining rejects submissions after Drain began (503).
+	ErrDraining = errors.New("serve: server is draining")
+	// ErrNotFound reports an unknown job id (404).
+	ErrNotFound = errors.New("serve: no such job")
+	// ErrNotDone reports a result request for an unfinished job (409).
+	ErrNotDone = errors.New("serve: job not finished")
+)
+
+// JobState is the lifecycle phase of a submitted job.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// job is the internal record of one submission.
+type job struct {
+	id        string
+	key       string // cache key (canonical request hash)
+	req       *JobRequest
+	ctx       context.Context
+	cancel    context.CancelFunc
+	submitted time.Time
+
+	mu       sync.Mutex
+	state    JobState
+	errText  string
+	result   []byte
+	started  time.Time
+	finished time.Time
+}
+
+// Snapshot is a point-in-time copy of a job's externally visible state.
+type Snapshot struct {
+	ID        string    `json:"id"`
+	State     JobState  `json:"state"`
+	Error     string    `json:"error,omitempty"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitempty"`
+	Finished  time.Time `json:"finished,omitempty"`
+}
+
+func (j *job) snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Snapshot{
+		ID:        j.id,
+		State:     j.state,
+		Error:     j.errText,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+	}
+}
+
+// Server owns the queue, the worker pool, and the result cache. Create
+// with New, wire Handler into an http.Server, and call Drain on
+// shutdown.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	cache *resultCache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *job
+	workers    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	nextID   int
+	draining bool
+}
+
+// New starts a server with cfg.Workers solver goroutines. The pool runs
+// until Drain.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	// Solver spans feed the same registry /metrics exposes.
+	cfg.Trace = cfg.Trace.WithMetrics(cfg.Registry)
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		reg:        cfg.Registry,
+		cache:      newResultCache(cfg.CacheEntries),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *job, cfg.QueueDepth),
+		jobs:       make(map[string]*job),
+	}
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates, caches or enqueues a request and returns the job's
+// id. A content-cache hit completes the job immediately — the stored
+// bytes are served as-is, so replays are byte-identical to the original
+// run. ErrQueueFull and ErrDraining report back-pressure; validation
+// problems surface as *RequestError.
+func (s *Server) Submit(req *JobRequest) (Snapshot, error) {
+	canonical, err := req.canonicalize()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	key := requestKey(canonical)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return Snapshot{}, ErrDraining
+	}
+	s.nextID++
+	j := &job{
+		id:        fmt.Sprintf("job-%06d", s.nextID),
+		key:       key,
+		req:       req,
+		submitted: time.Now(),
+		state:     StateQueued,
+	}
+	s.reg.Counter(`agingfp_serve_jobs_submitted_total`).Inc()
+
+	if cached, ok := s.cache.get(key); ok {
+		s.reg.Counter(`agingfp_serve_cache_hits_total`).Inc()
+		j.state = StateDone
+		j.result = cached
+		j.started = j.submitted
+		j.finished = j.submitted
+		j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+		j.cancel() // nothing left to cancel
+		s.jobs[j.id] = j
+		return j.snapshot(), nil
+	}
+	s.reg.Counter(`agingfp_serve_cache_misses_total`).Inc()
+
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMs > 0 {
+		deadline = time.Duration(req.DeadlineMs) * time.Millisecond
+	}
+	if deadline > 0 {
+		j.ctx, j.cancel = context.WithTimeout(s.baseCtx, deadline)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	}
+
+	select {
+	case s.queue <- j:
+	default:
+		j.cancel()
+		return Snapshot{}, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.reg.Gauge(`agingfp_serve_queue_depth`).Set(float64(len(s.queue)))
+	return j.snapshot(), nil
+}
+
+// Job returns the current snapshot of a job.
+func (s *Server) Job(id string) (Snapshot, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	return j.snapshot(), nil
+}
+
+// Result returns the finished job's result document (the exact cached
+// bytes). ErrNotDone while the job is queued or running; a failed or
+// canceled job reports its error instead.
+func (s *Server) Result(id string) ([]byte, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateDone:
+		return j.result, nil
+	case StateFailed, StateCanceled:
+		return nil, fmt.Errorf("serve: job %s %s: %s", id, j.state, j.errText)
+	default:
+		return nil, ErrNotDone
+	}
+}
+
+// Cancel requests cooperative cancellation of a job. A queued job is
+// marked canceled at once (the worker will skip it); a running job's
+// context is canceled and the solver unwinds within one poll interval.
+// Canceling a finished job is a no-op.
+func (s *Server) Cancel(id string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateCanceled
+		j.errText = context.Canceled.Error()
+		j.finished = time.Now()
+		s.reg.Counter(`agingfp_serve_jobs_total{state="canceled"}`).Inc()
+	}
+	j.mu.Unlock()
+	j.cancel()
+	return nil
+}
+
+// Draining reports whether Drain has begun (used by /healthz).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// QueueDepth reports the current backlog length.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// Drain stops intake, lets queued and running jobs finish, and returns
+// once the pool is idle. Jobs still running after cfg.DrainTimeout are
+// force-canceled (they unwind cooperatively and report Canceled).
+// Submissions during and after Drain fail with ErrDraining.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.waitWorkers(s.cfg.DrainTimeout)
+		return
+	}
+	s.draining = true
+	close(s.queue) // Submit holds s.mu before sending, so no send-after-close
+	s.mu.Unlock()
+
+	if !s.waitWorkers(s.cfg.DrainTimeout) {
+		s.baseCancel() // force the stragglers to unwind
+		s.workers.Wait()
+	}
+	s.baseCancel()
+}
+
+func (s *Server) waitWorkers(timeout time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// worker drains the queue until Drain closes it.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.reg.Gauge(`agingfp_serve_queue_depth`).Set(float64(len(s.queue)))
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job end to end and records the outcome.
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		j.mu.Unlock() // canceled while queued
+		return
+	}
+	if err := j.ctx.Err(); err != nil {
+		// The deadline covers queue wait: a job that expired before a
+		// worker picked it up fails without touching the solver. A
+		// drain-forced cancellation reports canceled, not failed.
+		if errors.Is(err, context.Canceled) {
+			j.state = StateCanceled
+			s.reg.Counter(`agingfp_serve_jobs_total{state="canceled"}`).Inc()
+		} else {
+			j.state = StateFailed
+			s.reg.Counter(`agingfp_serve_jobs_total{state="failed"}`).Inc()
+		}
+		j.errText = err.Error()
+		j.finished = time.Now()
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	s.reg.Gauge(`agingfp_serve_workers_busy`).Add(1)
+	defer s.reg.Gauge(`agingfp_serve_workers_busy`).Add(-1)
+	defer j.cancel() // release the deadline timer
+
+	out, err := s.execute(j.ctx, j.req)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	s.reg.Histogram(`agingfp_serve_job_seconds`).Observe(j.finished.Sub(j.started))
+	switch {
+	case err == nil:
+		// Store-then-load so the job serves the same byte slice future
+		// cache hits will.
+		s.cache.put(j.key, out)
+		if cached, ok := s.cache.get(j.key); ok {
+			out = cached
+		}
+		j.state = StateDone
+		j.result = out
+		s.reg.Counter(`agingfp_serve_jobs_total{state="done"}`).Inc()
+	case errors.Is(err, context.Canceled):
+		j.state = StateCanceled
+		j.errText = err.Error()
+		s.reg.Counter(`agingfp_serve_jobs_total{state="canceled"}`).Inc()
+	default:
+		j.state = StateFailed
+		j.errText = err.Error()
+		s.reg.Counter(`agingfp_serve_jobs_total{state="failed"}`).Inc()
+	}
+}

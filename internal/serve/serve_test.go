@@ -1,0 +1,389 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/bench"
+	"agingfp/internal/obs"
+)
+
+// testServer wires a Server into an httptest listener and tears both
+// down with the test.
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cfg.Registry = reg
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 2 * time.Second
+	}
+	s := New(cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Drain()
+	})
+	return s, hs, reg
+}
+
+func postJob(t *testing.T, hs *httptest.Server, body string) (Snapshot, int) {
+	t.Helper()
+	resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return snap, resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, v interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// waitState polls the job until it reaches want (or any terminal state)
+// and returns the final snapshot.
+func waitState(t *testing.T, hs *httptest.Server, id string, want JobState, timeout time.Duration) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var snap Snapshot
+		if code := getJSON(t, hs.URL+"/v1/jobs/"+id, &snap); code != http.StatusOK {
+			t.Fatalf("status poll: HTTP %d", code)
+		}
+		if snap.State == want {
+			return snap
+		}
+		switch snap.State {
+		case StateDone, StateFailed, StateCanceled:
+			t.Fatalf("job %s reached terminal state %q, want %q (err: %s)", id, snap.State, want, snap.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q, want %q", id, snap.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// slowDocument returns a workload big enough that the solve takes
+// minutes — the cancellation and drain tests interrupt it long before
+// that. Built once; Synthesize is cheap, it is the solve that is slow.
+var slowDocument = sync.OnceValue(func() string {
+	d, err := bench.Synthesize(bench.Spec{
+		Name: "slowpoke", Contexts: 8, Fabric: arch.Fabric{W: 12, H: 12},
+		TotalOps: 900, Seed: 3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	doc, err := json.Marshal(arch.ToDocument(d, nil))
+	if err != nil {
+		panic(err)
+	}
+	return fmt.Sprintf(`{"design": %s}`, doc)
+})
+
+func TestJobLifecycle(t *testing.T) {
+	_, hs, _ := testServer(t, Config{Workers: 1})
+
+	snap, code := postJob(t, hs, `{"bench": "B1"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	if snap.State != StateQueued && snap.State != StateDone {
+		t.Fatalf("fresh job state %q", snap.State)
+	}
+
+	// Result before completion must 409 (unless the tiny job already
+	// finished, in which case the lifecycle collapsed legitimately).
+	resp, err := http.Get(hs.URL + "/v1/jobs/" + snap.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict && resp.StatusCode != http.StatusOK {
+		t.Fatalf("early result: HTTP %d", resp.StatusCode)
+	}
+
+	waitState(t, hs, snap.ID, StateDone, 30*time.Second)
+
+	var res JobResult
+	if code := getJSON(t, hs.URL+"/v1/jobs/"+snap.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result: HTTP %d", code)
+	}
+	if res.Design != "B1" {
+		t.Fatalf("result design %q", res.Design)
+	}
+	if res.Status != "feasible" && res.Status != "optimal" {
+		t.Fatalf("result status %q", res.Status)
+	}
+	if res.MTTF.Increase <= 0 || res.MTTF.BeforeHours <= 0 {
+		t.Fatalf("implausible MTTF report: %+v", res.MTTF)
+	}
+	if len(res.Mapping) == 0 {
+		t.Fatal("empty mapping in result")
+	}
+
+	// Unknown job ids 404.
+	if code := getJSON(t, hs.URL+"/v1/jobs/job-999999", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job: HTTP %d", code)
+	}
+}
+
+func TestCacheHitByteIdentical(t *testing.T) {
+	_, hs, reg := testServer(t, Config{Workers: 1})
+
+	first, code := postJob(t, hs, `{"bench": "B1", "seed": 11}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	waitState(t, hs, first.ID, StateDone, 30*time.Second)
+
+	// Identical content in a different field order and spacing must hit
+	// the cache: the key hashes the canonicalized request.
+	second, code := postJob(t, hs, `{ "seed": 11, "bench": "B1" }`)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit: HTTP %d", code)
+	}
+	if second.State != StateDone {
+		t.Fatalf("cache hit not served instantly: state %q", second.State)
+	}
+	if got := reg.Counter(`agingfp_serve_cache_hits_total`).Value(); got != 1 {
+		t.Fatalf("cache hits = %d, want 1", got)
+	}
+
+	read := func(id string) []byte {
+		resp, err := http.Get(hs.URL + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := read(first.ID), read(second.ID)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("replayed result differs from original:\n%s\nvs\n%s", a, b)
+	}
+
+	// A different seed is a different workload.
+	third, code := postJob(t, hs, `{"bench": "B1", "seed": 12}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("third submit: HTTP %d", code)
+	}
+	if third.State == StateDone {
+		t.Fatal("different seed must not hit the cache")
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	_, hs, _ := testServer(t, Config{Workers: 1})
+
+	snap, code := postJob(t, hs, slowDocument())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	waitState(t, hs, snap.ID, StateRunning, 10*time.Second)
+
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/jobs/"+snap.ID, nil)
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: HTTP %d", resp.StatusCode)
+	}
+
+	// The solver must unwind cooperatively well before the solve would
+	// finish (the workload runs for minutes uncanceled).
+	got := waitState(t, hs, snap.ID, StateCanceled, 15*time.Second)
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	if got.Error == "" {
+		t.Fatal("canceled job should record the cancellation cause")
+	}
+
+	// Result for a canceled job is an error, not a document.
+	if code := getJSON(t, hs.URL+"/v1/jobs/"+snap.ID+"/result", nil); code == http.StatusOK {
+		t.Fatal("canceled job served a result")
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	_, hs, _ := testServer(t, Config{Workers: 1})
+
+	running, code := postJob(t, hs, slowDocument())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	queued, code := postJob(t, hs, `{"bench": "B3"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("second submit: HTTP %d", code)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/jobs/"+queued.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitState(t, hs, queued.ID, StateCanceled, 5*time.Second)
+
+	// Unblock the worker so Cleanup's Drain stays fast.
+	req, _ = http.NewRequest(http.MethodDelete, hs.URL+"/v1/jobs/"+running.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+func TestDeadlineExceeded(t *testing.T) {
+	_, hs, _ := testServer(t, Config{Workers: 1})
+
+	body := strings.Replace(slowDocument(), `{"design"`, `{"deadline_ms": 300, "design"`, 1)
+	snap, code := postJob(t, hs, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	got := waitState(t, hs, snap.ID, StateFailed, 30*time.Second)
+	if !strings.Contains(got.Error, "deadline") {
+		t.Fatalf("deadline job error %q", got.Error)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, hs, _ := testServer(t, Config{Workers: 1})
+	for _, body := range []string{
+		`{}`,                                    // neither bench nor design
+		`{"bench": "B1", "design": {}}`,         // both
+		`{"bench": "B99"}`,                      // unknown benchmark
+		`{"bench": "B1", "mode": "sideways"}`,   // unknown mode
+		`{"bench": "B1", "deadline_ms": -4}`,    // negative deadline
+		`{"bench": "B1", "time_limit_ms": -10}`, // negative solver budget
+		`not json`,
+	} {
+		if _, code := postJob(t, hs, body); code != http.StatusBadRequest {
+			t.Errorf("submit %s: HTTP %d, want 400", body, code)
+		}
+	}
+}
+
+func TestQueueFullAndDrain(t *testing.T) {
+	s, hs, _ := testServer(t, Config{Workers: 1, QueueDepth: 1, DrainTimeout: time.Second})
+
+	running, code := postJob(t, hs, slowDocument())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	waitState(t, hs, running.ID, StateRunning, 10*time.Second)
+	if _, code := postJob(t, hs, `{"bench": "B4"}`); code != http.StatusAccepted {
+		t.Fatalf("queued submit: HTTP %d", code)
+	}
+	if _, code := postJob(t, hs, `{"bench": "B5"}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity submit: HTTP %d, want 503", code)
+	}
+
+	// Drain force-cancels the slow job after DrainTimeout and must
+	// return promptly (bounded well below the solve's natural runtime).
+	start := time.Now()
+	s.Drain()
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("drain took %v", elapsed)
+	}
+	if !s.Draining() {
+		t.Fatal("server not draining after Drain")
+	}
+	if _, code := postJob(t, hs, `{"bench": "B6"}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: HTTP %d, want 503", code)
+	}
+	final := waitState(t, hs, running.ID, StateCanceled, 5*time.Second)
+	if final.State != StateCanceled {
+		t.Fatalf("drained job state %q", final.State)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, hs, _ := testServer(t, Config{Workers: 1})
+
+	var health struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+	}
+	if code := getJSON(t, hs.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", code)
+	}
+	if health.Status != "ok" || health.Draining {
+		t.Fatalf("healthz: %+v", health)
+	}
+
+	snap, _ := postJob(t, hs, `{"bench": "B1"}`)
+	waitState(t, hs, snap.ID, StateDone, 30*time.Second)
+
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"agingfp_serve_jobs_submitted_total 1",
+		`agingfp_serve_jobs_total{state="done"} 1`,
+		"agingfp_serve_cache_misses_total 1",
+	} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("metrics snapshot missing %q:\n%s", want, b)
+		}
+	}
+}
+
+// TestDrainLeavesNoWorkers exercises the bare server (no HTTP): after a
+// drain the worker goroutines must be gone — the job-server lifecycle
+// owns its goroutines completely.
+func TestDrainLeavesNoWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(Config{Workers: 4, DrainTimeout: time.Second})
+	if _, err := s.Submit(&JobRequest{Bench: "B1"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutines: %d before, %d after drain", before, got)
+	}
+}
