@@ -14,6 +14,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -54,6 +55,7 @@ func run() int {
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (phases carried as pprof labels)")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		timeLimit = flag.Duration("time-limit", 0, "wall-clock budget per ST_target probe (0 keeps the default)")
+		progress  = flag.Bool("progress", false, "render a live solver status line on stderr while the flow runs")
 	)
 	flag.Parse()
 
@@ -167,11 +169,23 @@ func run() int {
 		return 2
 	}
 
+	// Live status line: a context-carried reporter collects solver
+	// progress, and a goroutine repaints one stderr line from it until
+	// the flow returns.
+	remapCtx := ctx
+	stopProgress := func() {}
+	if *progress {
+		rep := obs.NewReporter()
+		remapCtx = obs.WithReporter(ctx, rep)
+		stopProgress = startProgressLine(rep, os.Stderr)
+	}
+
 	start := time.Now()
 	var r *core.Result
 	pprof.Do(ctx, pprof.Labels("phase", "remap"), func(context.Context) {
-		r, err = core.Remap(ctx, d, m0, opts)
+		r, err = core.Remap(remapCtx, d, m0, opts)
 	})
+	stopProgress()
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "remap: interrupted (partial statistics follow)")
 		fmt.Fprintf(os.Stderr, "solver effort so far: %d LP solves, %d simplex iterations, %d ST probes\n",
@@ -249,6 +263,59 @@ func run() int {
 		fmt.Println("saved floorplans to", *save)
 	}
 	return 0
+}
+
+// startProgressLine repaints one carriage-return status line from the
+// reporter's latest snapshot (200ms cadence, repainting only on news)
+// until the returned stop function is called; stop clears the line and
+// waits for the painter to exit so normal output never interleaves with
+// a half-drawn line.
+func startProgressLine(rep *obs.Reporter, w io.Writer) func() {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(200 * time.Millisecond)
+		defer tick.Stop()
+		var lastSeq uint64
+		for {
+			select {
+			case <-done:
+				fmt.Fprint(w, "\r\033[K")
+				return
+			case <-tick.C:
+			}
+			p := rep.Latest()
+			if p.Seq == lastSeq {
+				continue
+			}
+			lastSeq = p.Seq
+			line := fmt.Sprintf("phase %-6s", p.Phase)
+			if p.STTarget > 0 {
+				line += fmt.Sprintf("  ST %.3f", p.STTarget)
+			}
+			if p.STProbes > 0 {
+				line += fmt.Sprintf("  probes %d", p.STProbes)
+			}
+			if p.RelaxRounds > 0 {
+				line += fmt.Sprintf("  rounds %d", p.RelaxRounds)
+			}
+			if p.Batches > 0 {
+				line += fmt.Sprintf("  batch %d/%d", p.Batch, p.Batches)
+			}
+			if p.LPSolves > 0 {
+				line += fmt.Sprintf("  LP %d (%d iters)", p.LPSolves, p.SimplexIters)
+			}
+			if p.Nodes > 0 {
+				line += fmt.Sprintf("  nodes %d", p.Nodes)
+			}
+			fmt.Fprintf(w, "\r\033[K%s", line)
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
 }
 
 func buildDesign(kernel, benchName, srcFile, fabric string) (*arch.Design, error) {

@@ -8,16 +8,26 @@
 //	curl -d '{"bench":"B1"}' localhost:8080/v1/jobs
 //	curl localhost:8080/v1/jobs/job-000001
 //	curl localhost:8080/v1/jobs/job-000001/result
+//	curl localhost:8080/v1/jobs/job-000001/progress
+//	curl -N localhost:8080/v1/jobs/job-000001/events
+//
+// Every request and job-lifecycle event is logged to stderr with the
+// job's trace_id (-log-format selects text or JSON records); -trace
+// writes the span stream as JSONL, -trace-jobs additionally keeps a
+// bounded per-job copy behind GET /v1/jobs/{id}/trace, and -pprof
+// mounts the runtime profiles under /debug/pprof/.
 //
 // SIGTERM (or Ctrl-C) drains gracefully: intake stops with 503, queued
-// and running jobs finish (bounded by -drain-timeout), then the process
-// exits. A second signal force-cancels in-flight solves cooperatively.
+// and running jobs finish (bounded by -drain-timeout), buffered trace
+// sinks are flushed, then the process exits. A second signal
+// force-cancels in-flight solves cooperatively.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,14 +49,53 @@ func run() int {
 		deadline     = flag.Duration("default-deadline", 0, "default per-job deadline, queue wait included (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight jobs before force-canceling")
 		debug        = flag.Bool("debug", false, "trace solver spans on stdout")
+		tracePath    = flag.String("trace", "", "write the span stream as JSON Lines to this file")
+		traceJobs    = flag.Bool("trace-jobs", false, "keep a bounded per-job span trace behind GET /v1/jobs/{id}/trace")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logFormat    = flag.String("log-format", "text", "request/lifecycle log format: text or json")
+		quietLog     = flag.Bool("no-log", false, "disable request and lifecycle logging")
 	)
 	flag.Parse()
 
-	reg := obs.NewRegistry()
-	var tracer *obs.Tracer
-	if *debug {
-		tracer = obs.New(obs.NewDebugSink(os.Stdout))
+	var logger *slog.Logger
+	switch *logFormat {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fmt.Fprintf(os.Stderr, "agingfloord: unknown -log-format %q (want text or json)\n", *logFormat)
+		return 2
 	}
+	if *quietLog {
+		logger = nil
+	}
+
+	reg := obs.NewRegistry()
+	var sinks []obs.Sink
+	if *debug {
+		sinks = append(sinks, obs.NewDebugSink(os.Stdout))
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "agingfloord: %v\n", err)
+			return 1
+		}
+		js := obs.NewJSONLSink(f)
+		// Drain flushes the sink; closing here catches the error-return
+		// paths below too.
+		defer func() {
+			js.Close() //nolint:errcheck
+			f.Close()  //nolint:errcheck
+		}()
+		sinks = append(sinks, js)
+	}
+	var tracer *obs.Tracer
+	if len(sinks) > 0 {
+		tracer = obs.New(sinks...)
+	}
+
 	srv := serve.New(serve.Config{
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
@@ -55,6 +104,9 @@ func run() int {
 		DrainTimeout:    *drainTimeout,
 		Trace:           tracer,
 		Registry:        reg,
+		Logger:          logger,
+		CaptureTraces:   *traceJobs,
+		EnablePprof:     *pprofOn,
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -74,9 +126,9 @@ func run() int {
 	stop() // a second signal kills the process the default way
 	fmt.Println("agingfloord: draining (queued and running jobs will finish)")
 
-	// Stop intake and finish the backlog, then close the listener. The
-	// HTTP shutdown gets a grace period past the job drain so result
-	// polls in flight complete.
+	// Stop intake and finish the backlog (Drain also flushes buffered
+	// trace sinks), then close the listener. The HTTP shutdown gets a
+	// grace period past the job drain so result polls in flight complete.
 	srv.Drain()
 	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

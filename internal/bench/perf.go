@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PerfSchema identifies the perf-report JSON layout; bump on breaking
+// changes so a stale committed baseline fails loudly instead of
+// comparing apples to oranges.
+const PerfSchema = "agingfp-bench-perf/v1"
+
+// PerfRecord is one benchmark's performance sample: wall-clock per
+// phase plus the solver-effort counters that explain it. Effort fields
+// sum the Freeze and Rotate arms (the suite always runs both), so a
+// record captures the full cost of producing that benchmark's row.
+type PerfRecord struct {
+	Name     string `json:"name"`
+	Ops      int    `json:"ops"`
+	Contexts int    `json:"contexts"`
+
+	ElapsedMs float64 `json:"elapsed_ms"`
+	Step1Ms   float64 `json:"step1_ms"`
+	RotateMs  float64 `json:"rotate_ms"`
+	Step2Ms   float64 `json:"step2_ms"`
+	TimingMs  float64 `json:"timing_ms"`
+
+	LPSolves     int `json:"lp_solves"`
+	SimplexIters int `json:"simplex_iters"`
+	WarmStarts   int `json:"warm_starts"`
+	STProbes     int `json:"st_probes"`
+}
+
+// PerfReport is the perf trajectory document the bench suite emits
+// (BENCH_floorplan.json in CI) and the regression gate compares against
+// a committed baseline.
+type PerfReport struct {
+	Schema string `json:"schema"`
+	// Suite names the spec subset the records cover; comparisons require
+	// equal suites.
+	Suite   string       `json:"suite"`
+	Records []PerfRecord `json:"records"`
+	// MedianSolveMs is the median per-benchmark elapsed time — the
+	// regression-gate statistic. The median (not the mean) so one noisy
+	// outlier benchmark cannot fail CI on its own.
+	MedianSolveMs float64 `json:"median_solve_ms"`
+}
+
+// NewPerfReport distills suite results into a perf report.
+func NewPerfReport(suite string, results []*Result) *PerfReport {
+	rep := &PerfReport{Schema: PerfSchema, Suite: suite}
+	var elapsed []float64
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		fs, rs := r.FreezeStats, r.RotateStats
+		rec := PerfRecord{
+			Name:         r.Spec.Name,
+			Ops:          r.RunOps,
+			Contexts:     r.Spec.Contexts,
+			ElapsedMs:    float64(r.Elapsed.Milliseconds()),
+			Step1Ms:      float64((fs.Step1Time + rs.Step1Time).Milliseconds()),
+			RotateMs:     float64((fs.RotateTime + rs.RotateTime).Milliseconds()),
+			Step2Ms:      float64((fs.Step2Time + rs.Step2Time).Milliseconds()),
+			TimingMs:     float64((fs.TimingTime + rs.TimingTime).Milliseconds()),
+			LPSolves:     fs.LPSolves + rs.LPSolves,
+			SimplexIters: fs.SimplexIters + rs.SimplexIters,
+			WarmStarts:   fs.WarmStarts + rs.WarmStarts,
+			STProbes:     fs.STProbes + rs.STProbes,
+		}
+		rep.Records = append(rep.Records, rec)
+		elapsed = append(elapsed, rec.ElapsedMs)
+	}
+	rep.MedianSolveMs = median(elapsed)
+	return rep
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// WriteJSON writes the report as indented JSON.
+func (p *PerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadPerfReport parses a perf report and validates its schema tag.
+func ReadPerfReport(r io.Reader) (*PerfReport, error) {
+	var p PerfReport
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("bench: bad perf report: %w", err)
+	}
+	if p.Schema != PerfSchema {
+		return nil, fmt.Errorf("bench: perf report schema %q, want %q", p.Schema, PerfSchema)
+	}
+	return &p, nil
+}
+
+// CompareMedian is the CI regression gate: it fails when the current
+// median solve time exceeds factor x the baseline's. Wall-clock on
+// shared runners is noisy, which is why the gate is a generous factor
+// over a median, not a tight per-benchmark bound; it exists to catch
+// order-of-magnitude regressions (a lost warm start, an accidental
+// cold path), not 10% drifts. Sub-millisecond baselines are skipped —
+// too small to gate meaningfully.
+func CompareMedian(current, baseline *PerfReport, factor float64) error {
+	if factor <= 1 {
+		return fmt.Errorf("bench: regression factor %g must exceed 1", factor)
+	}
+	if current.Suite != baseline.Suite {
+		return fmt.Errorf("bench: perf suites differ: current %q vs baseline %q", current.Suite, baseline.Suite)
+	}
+	if baseline.MedianSolveMs < 1 {
+		return nil
+	}
+	if limit := baseline.MedianSolveMs * factor; current.MedianSolveMs > limit {
+		return fmt.Errorf("bench: median solve time regressed: %.0fms > %.1fx baseline %.0fms",
+			current.MedianSolveMs, factor, baseline.MedianSolveMs)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func perfResult(name string, elapsed time.Duration, lp int) *Result {
+	r := &Result{Elapsed: elapsed, RunOps: 10}
+	r.Spec.Name = name
+	r.Spec.Contexts = 4
+	r.FreezeStats.LPSolves = lp
+	r.RotateStats.LPSolves = lp
+	r.FreezeStats.Step1Time = elapsed / 4
+	r.RotateStats.Step2Time = elapsed / 2
+	return r
+}
+
+func TestPerfReportRoundTrip(t *testing.T) {
+	rep := NewPerfReport("smoke", []*Result{
+		perfResult("B1", 100*time.Millisecond, 5),
+		perfResult("B2", 300*time.Millisecond, 9),
+		nil, // skipped slots from a failed parallel run must not panic
+		perfResult("B3", 200*time.Millisecond, 7),
+	})
+	if len(rep.Records) != 3 {
+		t.Fatalf("got %d records, want 3", len(rep.Records))
+	}
+	if rep.MedianSolveMs != 200 {
+		t.Fatalf("median = %g, want 200", rep.MedianSolveMs)
+	}
+	if rep.Records[0].LPSolves != 10 {
+		t.Fatalf("LPSolves = %d, want both arms summed (10)", rep.Records[0].LPSolves)
+	}
+	if rep.Records[0].Step1Ms != 25 || rep.Records[0].Step2Ms != 50 {
+		t.Fatalf("phase ms = %g/%g, want 25/50", rep.Records[0].Step1Ms, rep.Records[0].Step2Ms)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPerfReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MedianSolveMs != rep.MedianSolveMs || len(got.Records) != len(rep.Records) || got.Suite != "smoke" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestPerfReportBadSchema(t *testing.T) {
+	if _, err := ReadPerfReport(strings.NewReader(`{"schema":"other/v9"}`)); err == nil {
+		t.Fatal("want schema error")
+	}
+}
+
+func TestCompareMedian(t *testing.T) {
+	base := &PerfReport{Schema: PerfSchema, Suite: "smoke", MedianSolveMs: 100}
+	ok := &PerfReport{Schema: PerfSchema, Suite: "smoke", MedianSolveMs: 199}
+	if err := CompareMedian(ok, base, 2); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	slow := &PerfReport{Schema: PerfSchema, Suite: "smoke", MedianSolveMs: 201}
+	if err := CompareMedian(slow, base, 2); err == nil {
+		t.Fatal("want regression error")
+	}
+	// Different suites must refuse to compare rather than pass silently.
+	other := &PerfReport{Schema: PerfSchema, Suite: "full", MedianSolveMs: 10}
+	if err := CompareMedian(other, base, 2); err == nil {
+		t.Fatal("want suite mismatch error")
+	}
+	// Tiny baselines (noise floor) skip the gate.
+	tiny := &PerfReport{Schema: PerfSchema, Suite: "smoke", MedianSolveMs: 0.4}
+	fast := &PerfReport{Schema: PerfSchema, Suite: "smoke", MedianSolveMs: 900}
+	if err := CompareMedian(fast, tiny, 2); err != nil {
+		t.Fatalf("sub-ms baseline must skip: %v", err)
+	}
+	if err := CompareMedian(ok, base, 1); err == nil {
+		t.Fatal("want factor validation error")
+	}
+}

@@ -46,14 +46,20 @@ func Remap(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Options) (
 		return nil, err
 	}
 
-	// Observability: opts.Debug without an explicit tracer installs a
-	// stdout debug sink, so the historical -debug trace and the span
-	// stream are one and the same.
+	// Observability: explicit Options.Trace wins; otherwise fall back to
+	// the context-carried tracer (how server-traced jobs reach this layer),
+	// and only then to the opts.Debug sugar that installs a stdout debug
+	// sink, so the historical -debug trace and the span stream are one and
+	// the same.
+	if opts.Trace == nil {
+		opts.Trace = obs.TracerFrom(ctx)
+	}
 	if opts.Trace == nil && opts.Debug {
 		opts.Trace = obs.New(obs.NewDebugSink(os.Stdout))
 	}
 	tr := opts.Trace
 	reg := tr.Registry()
+	rep := obs.ReporterFrom(ctx)
 
 	rng := rand.New(rand.NewSource(opts.Seed))
 	staT := time.Now()
@@ -83,13 +89,18 @@ func Remap(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Options) (
 
 	// The run's root span; nested under TraceParent when the caller
 	// provided one (RemapBoth arms, bench runs, the freeze fallback).
+	// The context's trace/correlation ID, when present, is stamped on the
+	// root so the span stream joins against the server's request log.
+	rootAttrs := []obs.Attr{obs.String("mode", opts.Mode.String()),
+		obs.Int64("seed", opts.Seed), obs.Int("ops", d.NumOps()), obs.Int("contexts", d.NumContexts)}
+	if id := obs.TraceIDFrom(ctx); id != "" {
+		rootAttrs = append(rootAttrs, obs.String("trace_id", id))
+	}
 	var root obs.Span
 	if opts.TraceParent.Active() {
-		root = opts.TraceParent.Child("core.remap", obs.String("mode", opts.Mode.String()),
-			obs.Int64("seed", opts.Seed), obs.Int("ops", d.NumOps()), obs.Int("contexts", d.NumContexts))
+		root = opts.TraceParent.Child("core.remap", rootAttrs...)
 	} else {
-		root = tr.Start("core.remap", obs.String("mode", opts.Mode.String()),
-			obs.Int64("seed", opts.Seed), obs.Int("ops", d.NumOps()), obs.Int("contexts", d.NumContexts))
+		root = tr.Start("core.remap", rootAttrs...)
 	}
 	defer func() {
 		result.Stats.Elapsed = time.Since(start)
@@ -100,6 +111,14 @@ func Remap(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Options) (
 		reg.Gauge(`agingfp_phase_seconds{phase="rotate"}`).Add(result.Stats.RotateTime.Seconds())
 		reg.Gauge(`agingfp_phase_seconds{phase="step2"}`).Add(result.Stats.Step2Time.Seconds())
 		reg.Gauge(`agingfp_phase_seconds{phase="timing"}`).Add(result.Stats.TimingTime.Seconds())
+		// Distribution counterparts of the cumulative gauges: one
+		// observation per Remap run, so operators get latency quantiles
+		// per phase and for whole runs, not just totals.
+		reg.Histogram(`agingfp_phase_duration_seconds{phase="step1"}`).Observe(result.Stats.Step1Time)
+		reg.Histogram(`agingfp_phase_duration_seconds{phase="rotate"}`).Observe(result.Stats.RotateTime)
+		reg.Histogram(`agingfp_phase_duration_seconds{phase="step2"}`).Observe(result.Stats.Step2Time)
+		reg.Histogram(`agingfp_phase_duration_seconds{phase="timing"}`).Observe(result.Stats.TimingTime)
+		reg.Histogram("agingfp_remap_seconds").Observe(result.Stats.Elapsed)
 		root.End(
 			obs.Bool("improved", result.Improved),
 			obs.Float("st_target", result.STTarget),
@@ -137,6 +156,7 @@ func Remap(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Options) (
 	// the paper's binary-search MILP instead.
 	s1T := time.Now()
 	s1 := root.Child("core.step1", obs.Bool("milp", opts.Step1MILP))
+	rep.Update(func(p *obs.Progress) { p.Phase = "step1" })
 	var stLB float64
 	if opts.Step1MILP {
 		var err error
@@ -165,6 +185,7 @@ func Remap(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Options) (
 	}
 	rotT := time.Now()
 	rsp := root.Child("core.rotate", obs.String("mode", opts.Mode.String()), obs.Int("critical_ops", len(crit)))
+	rep.Update(func(p *obs.Progress) { p.Phase = "rotate" })
 	frozenPos := rotateFrozen(ctx, d, m0, crit, opts, rng, rsp)
 	result.Stats.RotateTime += time.Since(rotT)
 	rsp.End(obs.Int("frozen_ops", len(frozenPos)))
@@ -235,6 +256,13 @@ func Remap(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Options) (
 		outerCtr.Inc()
 		pT := time.Now()
 		psp := root.Child("core.probe", obs.Float("st", st))
+		rep.Update(func(p *obs.Progress) {
+			p.Phase = "probe"
+			p.STTarget = st
+			p.RelaxRounds = result.Stats.OuterIterations
+			p.LPSolves = int64(result.Stats.LPSolves)
+			p.SimplexIters = int64(result.Stats.SimplexIters)
+		})
 		status := "infeasible"
 		defer func() {
 			probeHist.Observe(time.Since(pT))
@@ -450,8 +478,12 @@ func RemapBoth(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Option
 	// both reuse one copy instead of racing to build their own.
 	d.Precompute()
 
-	// Install the Debug-sugar tracer once here so both arms share one sink
-	// (and one span-ID space) instead of each Remap creating its own.
+	// Resolve the tracer once here (ctx fallback, then the Debug sugar) so
+	// both arms share one sink (and one span-ID space) instead of each
+	// Remap creating its own.
+	if opts.Trace == nil {
+		opts.Trace = obs.TracerFrom(ctx)
+	}
 	if opts.Trace == nil && opts.Debug {
 		opts.Trace = obs.New(obs.NewDebugSink(os.Stdout))
 	}
@@ -549,6 +581,7 @@ func solveAllBatches(ctx context.Context, d *arch.Design, m0 arch.Mapping, froze
 		committed[f.Index(pe)] += d.StressRate(op)
 	}
 
+	rep := obs.ReporterFrom(ctx)
 	for bi, bctx := range batchList {
 		inBatch := make(map[int]bool, len(bctx))
 		for _, c := range bctx {
@@ -566,6 +599,15 @@ func solveAllBatches(ctx context.Context, d *arch.Design, m0 arch.Mapping, froze
 		}
 		bsp := parent.Child("core.batch",
 			obs.Int("batch", bi), obs.Int("contexts", len(bctx)), obs.Int("movable", len(movable)))
+		if rep != nil {
+			b, n := bi+1, len(batchList)
+			rep.Update(func(p *obs.Progress) {
+				p.Batch = b
+				p.Batches = n
+				p.LPSolves = int64(stats.LPSolves)
+				p.SimplexIters = int64(stats.SimplexIters)
+			})
+		}
 		if err := ctx.Err(); err != nil {
 			bsp.End(obs.String("status", "canceled"))
 			return nil, false, err
@@ -620,10 +662,18 @@ func stressLowerBound(ctx context.Context, d *arch.Design, m0 arch.Mapping, stre
 	}
 
 	probeCtr := opts.Trace.Registry().Counter("agingfp_st_probes_total")
+	rep := obs.ReporterFrom(ctx)
 	feasible := func(st float64) (bool, error) {
 		stats.STProbes++
 		probeCtr.Inc()
 		psp := parent.Child("core.step1.probe", obs.Float("st_target", st))
+		rep.Update(func(p *obs.Progress) {
+			p.Phase = "step1"
+			p.STTarget = st
+			p.STProbes = stats.STProbes
+			p.LPSolves = int64(stats.LPSolves)
+			p.SimplexIters = int64(stats.SimplexIters)
+		})
 		if greedyMax <= st+1e-12 {
 			psp.End(obs.Bool("feasible", true), obs.String("certificate", "greedy"), obs.Int("simplex_iters", 0))
 			return true, nil

@@ -249,6 +249,12 @@ func Solve(ctx context.Context, p *Problem, opt Options) (*Solution, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if opt.Trace == nil {
+		// Fall back to the context-carried tracer so server-traced jobs
+		// reach this layer without explicit per-call wiring; explicit
+		// Options.Trace always wins.
+		opt.Trace = obs.TracerFrom(ctx)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -173,8 +173,35 @@ type searcher struct {
 	warmStarts   int
 	warmRejects  int
 
-	span    obs.Span     // the per-Solve "milp.solve" span
-	nodeCtr *obs.Counter // agingfp_milp_nodes_total (nil-safe)
+	span      obs.Span      // the per-Solve "milp.solve" span
+	nodeCtr   *obs.Counter  // agingfp_milp_nodes_total (nil-safe)
+	rep       *obs.Reporter // ctx-carried live progress; nil when unwatched
+	rootBound float64       // root relaxation objective (NaN until known)
+}
+
+// publishProgress stamps the branch-and-bound group of the job's live
+// progress snapshot (nodes, incumbent, root bound, relative gap). The
+// caller throttles; the update closure reads only locals so a CAS retry
+// under contention re-applies cleanly.
+func (s *searcher) publishProgress() {
+	nodes := int64(s.nodes)
+	hasInc, inc, bound := s.hasInc, s.incObj, s.rootBound
+	gap := 0.0
+	if hasInc && !math.IsNaN(bound) {
+		gap = (inc - bound) / math.Max(1, math.Abs(inc))
+	}
+	s.rep.Update(func(p *obs.Progress) {
+		p.Phase = "bnb"
+		p.Nodes = nodes
+		p.HasIncumbent = hasInc
+		if hasInc {
+			p.Incumbent = inc
+		}
+		if !math.IsNaN(bound) {
+			p.Bound = bound
+		}
+		p.Gap = gap
+	})
 }
 
 // Solve runs branch and bound. The problem's bound arrays are cloned; the
@@ -198,6 +225,11 @@ func Solve(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 	if opts.IntTol <= 0 {
 		opts.IntTol = 1e-6
 	}
+	if opts.Trace == nil {
+		// Fall back to the context-carried tracer so server-traced jobs
+		// reach this layer; explicit Options.Trace always wins.
+		opts.Trace = obs.TracerFrom(ctx)
+	}
 	if opts.LP.Trace == nil {
 		// Node relaxations report their warm-start events to the same
 		// tracer unless the caller wired the LP layer separately.
@@ -213,7 +245,9 @@ func Solve(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 			obs.Int("vars", p.LP.NumVars()),
 			obs.Int("int_vars", len(p.IntVars)),
 			obs.Int("rows", p.LP.NumRows())),
-		nodeCtr: opts.Trace.Registry().Counter("agingfp_milp_nodes_total"),
+		nodeCtr:   opts.Trace.Registry().Counter("agingfp_milp_nodes_total"),
+		rep:       obs.ReporterFrom(ctx),
+		rootBound: math.NaN(),
 	}
 	if opts.TimeLimit > 0 {
 		s.deadline = time.Now().Add(opts.TimeLimit)
@@ -266,6 +300,9 @@ func Solve(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 		obs.Int("simplex_iters", res.SimplexIters),
 		obs.Int("warm_starts", res.WarmStarts),
 		obs.Int("warm_rejects", res.WarmStartRejects))
+	if s.rep != nil {
+		s.publishProgress()
+	}
 	return res, err
 }
 
@@ -294,6 +331,12 @@ func (s *searcher) dfs(depth int, rootObj *float64, warm *lp.Basis) (searchState
 	}
 	s.nodes++
 	s.nodeCtr.Inc()
+	if s.rep != nil && s.nodes&63 == 1 {
+		// Throttled heartbeat: every 64th node (and the first), plus the
+		// unthrottled incumbent/root publishes below, keeps the hot loop
+		// cheap while a poller still sees the search moving.
+		s.publishProgress()
+	}
 	lpOpts := s.opts.LP
 	if !s.opts.NoWarmStart {
 		lpOpts.WarmStart = warm
@@ -317,6 +360,10 @@ func (s *searcher) dfs(depth int, rootObj *float64, warm *lp.Basis) (searchState
 	}
 	if depth == 0 && sol.Status == lp.Optimal {
 		*rootObj = sol.Obj
+		s.rootBound = sol.Obj
+		if s.rep != nil {
+			s.publishProgress()
+		}
 	}
 	switch sol.Status {
 	case lp.Infeasible:
@@ -359,6 +406,9 @@ func (s *searcher) dfs(depth int, rootObj *float64, warm *lp.Basis) (searchState
 			obs.Float("obj", sol.Obj),
 			obs.Int("nodes", s.nodes),
 			obs.Int("depth", depth))
+		if s.rep != nil {
+			s.publishProgress()
+		}
 		if s.pureFeas || s.opts.StopAtFirst {
 			return searchDone, nil
 		}

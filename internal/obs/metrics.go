@@ -139,15 +139,34 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// histBounds are the histogram bucket upper bounds in seconds,
-// spanning the flow's interesting range (sub-millisecond LP solves to
-// minutes-long probes).
-var histBounds = []float64{0.0001, 0.001, 0.01, 0.1, 1, 10, 60}
+// Histogram bucket layout: fixed exponential bounds, base 100µs with a
+// factor of 2, spanning the flow's interesting range (sub-millisecond
+// simplex solves through ~100-second jobs) with two buckets per decade —
+// the standard Prometheus exponential-bucket convention, so `le` series
+// from different deployments line up and histogram_quantile interpolates
+// sanely. 21 finite bounds plus +Inf.
+const (
+	histBase    = 1e-4 // seconds
+	histFactor  = 2.0
+	histNBounds = 21
+)
 
-// Histogram is a fixed-bucket duration histogram (bounds in
-// histBounds, plus +Inf). The nil histogram is a no-op.
+var histBounds = func() []float64 {
+	b := make([]float64, histNBounds)
+	v := histBase
+	for i := range b {
+		b[i] = v
+		v *= histFactor
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket duration histogram (exponential bounds in
+// histBounds, plus +Inf). Observe is lock-free — one atomic add per
+// bucket/sum/count — so hot solver paths can record into it directly.
+// The nil histogram is a no-op.
 type Histogram struct {
-	buckets [8]atomic.Int64 // len(histBounds)+1, last is +Inf
+	buckets [histNBounds + 1]atomic.Int64 // last is +Inf
 	sumNs   atomic.Int64
 	count   atomic.Int64
 }
@@ -166,6 +185,22 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.sumNs.Add(int64(d))
 	h.count.Add(1)
 }
+
+// Counts returns the per-bucket observation counts (not cumulative),
+// one entry per finite bound plus a final +Inf bucket. Nil-safe.
+func (h *Histogram) Counts() []int64 {
+	out := make([]int64, histNBounds+1)
+	if h == nil {
+		return out
+	}
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Bounds returns the finite bucket upper bounds in seconds (a copy).
+func Bounds() []float64 { return append([]float64(nil), histBounds...) }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {

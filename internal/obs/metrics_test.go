@@ -19,8 +19,8 @@ func TestMetricsSnapshotGolden(t *testing.T) {
 	r.Gauge(`agingfp_phase_seconds{phase="step2"}`).Add(1.25)
 	h := r.Histogram("agingfp_probe_seconds")
 	h.Observe(50 * time.Microsecond) // le 0.0001
-	h.Observe(5 * time.Millisecond)  // le 0.01
-	h.Observe(2 * time.Second)       // le 10
+	h.Observe(5 * time.Millisecond)  // le 0.0064
+	h.Observe(2 * time.Second)       // le 3.2768
 	h.Observe(5 * time.Minute)       // +Inf
 
 	var b strings.Builder
@@ -34,12 +34,26 @@ agingfp_phase_seconds{phase="step1"} 0.5
 agingfp_phase_seconds{phase="step2"} 1.25
 # TYPE agingfp_probe_seconds histogram
 agingfp_probe_seconds_bucket{le="0.0001"} 1
-agingfp_probe_seconds_bucket{le="0.001"} 1
-agingfp_probe_seconds_bucket{le="0.01"} 2
-agingfp_probe_seconds_bucket{le="0.1"} 2
-agingfp_probe_seconds_bucket{le="1"} 2
-agingfp_probe_seconds_bucket{le="10"} 3
-agingfp_probe_seconds_bucket{le="60"} 3
+agingfp_probe_seconds_bucket{le="0.0002"} 1
+agingfp_probe_seconds_bucket{le="0.0004"} 1
+agingfp_probe_seconds_bucket{le="0.0008"} 1
+agingfp_probe_seconds_bucket{le="0.0016"} 1
+agingfp_probe_seconds_bucket{le="0.0032"} 1
+agingfp_probe_seconds_bucket{le="0.0064"} 2
+agingfp_probe_seconds_bucket{le="0.0128"} 2
+agingfp_probe_seconds_bucket{le="0.0256"} 2
+agingfp_probe_seconds_bucket{le="0.0512"} 2
+agingfp_probe_seconds_bucket{le="0.1024"} 2
+agingfp_probe_seconds_bucket{le="0.2048"} 2
+agingfp_probe_seconds_bucket{le="0.4096"} 2
+agingfp_probe_seconds_bucket{le="0.8192"} 2
+agingfp_probe_seconds_bucket{le="1.6384"} 2
+agingfp_probe_seconds_bucket{le="3.2768"} 3
+agingfp_probe_seconds_bucket{le="6.5536"} 3
+agingfp_probe_seconds_bucket{le="13.1072"} 3
+agingfp_probe_seconds_bucket{le="26.2144"} 3
+agingfp_probe_seconds_bucket{le="52.4288"} 3
+agingfp_probe_seconds_bucket{le="104.8576"} 3
 agingfp_probe_seconds_bucket{le="+Inf"} 4
 agingfp_probe_seconds_sum 302.00505
 agingfp_probe_seconds_count 4
@@ -48,6 +62,50 @@ agingfp_st_probes_total 1
 `
 	if got := b.String(); got != want {
 		t.Fatalf("snapshot mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramExponentialBuckets pins the bucket layout contract: bounds
+// are exponential (base 100µs, factor 2), every observation lands in the
+// first bucket whose bound is >= it, and the bucket count matches what
+// Counts reports.
+func TestHistogramExponentialBuckets(t *testing.T) {
+	bounds := obs.Bounds()
+	if len(bounds) != 21 {
+		t.Fatalf("got %d bounds, want 21", len(bounds))
+	}
+	if bounds[0] != 1e-4 {
+		t.Fatalf("first bound %g, want 1e-4", bounds[0])
+	}
+	for i := 1; i < len(bounds); i++ {
+		if got := bounds[i] / bounds[i-1]; got != 2 {
+			t.Fatalf("bounds[%d]/bounds[%d] = %g, want exactly 2", i, i-1, got)
+		}
+	}
+
+	r := obs.NewRegistry()
+	h := r.Histogram("h")
+	for i, d := range []time.Duration{
+		90 * time.Microsecond, // bucket 0
+		time.Millisecond,      // 0.0016 -> bucket 4
+		time.Second,           // 1.6384 -> bucket 14
+		2 * time.Minute,       // > 104.8576 -> +Inf
+	} {
+		h.Observe(d)
+		counts := h.Counts()
+		var total int64
+		for _, c := range counts {
+			total += c
+		}
+		if total != int64(i)+1 {
+			t.Fatalf("after %d observes, bucket total %d", i+1, total)
+		}
+	}
+	counts := h.Counts()
+	for i, want := range map[int]int64{0: 1, 4: 1, 14: 1, 21: 1} {
+		if counts[i] != want {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, counts[i], want, counts)
+		}
 	}
 }
 

@@ -173,6 +173,42 @@ func (t *Tracer) Registry() *Registry {
 // Tracing reports whether spans are live (at least one sink).
 func (t *Tracer) Tracing() bool { return t != nil && len(t.sinks) > 0 }
 
+// Sinks returns the tracer's sinks, for fan-out composition: the job
+// server builds per-job tracers that tee into the process-wide sinks
+// plus a per-job capture sink. The returned slice is shared — callers
+// must not mutate it. Nil-safe.
+func (t *Tracer) Sinks() []Sink {
+	if t == nil {
+		return nil
+	}
+	return t.sinks
+}
+
+// Flusher is the optional sink extension for buffered sinks (JSONLSink
+// implements it): Flush writes buffered events through to the
+// underlying writer.
+type Flusher interface {
+	Flush() error
+}
+
+// Flush flushes every sink that buffers (implements Flusher), returning
+// the first error. Call it on graceful-shutdown paths so buffered trace
+// lines are not lost; nil-safe and a no-op for unbuffered sinks.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	var first error
+	for _, s := range t.sinks {
+		if f, ok := s.(Flusher); ok {
+			if err := f.Flush(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
 // Span is one traced interval. The zero Span is inert: all methods are
 // no-ops and Child propagates the inertness, so disabled tracing
 // costs nothing down the call tree.

@@ -1,0 +1,208 @@
+package obs_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"agingfp/internal/obs"
+)
+
+// TestReporterLatestValue checks the core latest-value contract: Update
+// read-modify-writes the snapshot, Seq bumps by one per publish, and
+// readers see whole snapshots.
+func TestReporterLatestValue(t *testing.T) {
+	r := obs.NewReporter()
+	if p := r.Latest(); p.Seq != 0 || p.Phase != "" {
+		t.Fatalf("fresh reporter snapshot = %+v, want zero", p)
+	}
+	r.Update(func(p *obs.Progress) { p.Phase = "step1"; p.STProbes = 1 })
+	r.Update(func(p *obs.Progress) { p.LPSolves = 7 })
+	p := r.Latest()
+	if p.Seq != 2 {
+		t.Fatalf("Seq = %d, want 2", p.Seq)
+	}
+	if p.Phase != "step1" || p.STProbes != 1 || p.LPSolves != 7 {
+		t.Fatalf("fields not carried across updates: %+v", p)
+	}
+	if p.UpdatedUnixMicro == 0 {
+		t.Fatal("UpdatedUnixMicro not stamped")
+	}
+}
+
+// TestReporterNilInert pins the nil contract: Update never calls its
+// closure, Latest returns zero, Watch returns a nil (never-ready)
+// channel.
+func TestReporterNilInert(t *testing.T) {
+	var r *obs.Reporter
+	r.Update(func(p *obs.Progress) { t.Fatal("closure called on nil reporter") })
+	if p := r.Latest(); p != (obs.Progress{}) {
+		t.Fatalf("nil Latest = %+v, want zero", p)
+	}
+	p, ch := r.Watch()
+	if p != (obs.Progress{}) || ch != nil {
+		t.Fatalf("nil Watch = (%+v, %v), want (zero, nil)", p, ch)
+	}
+}
+
+// TestReporterNilUpdateZeroAllocs keeps the disabled progress path free
+// for solver inner loops: publishing to a nil reporter must not allocate.
+func TestReporterNilUpdateZeroAllocs(t *testing.T) {
+	var r *obs.Reporter
+	n := testing.AllocsPerRun(100, func() {
+		r.Update(func(p *obs.Progress) { p.Nodes++ })
+	})
+	if n != 0 {
+		t.Fatalf("nil reporter Update allocates %.1f per op, want 0", n)
+	}
+}
+
+// TestReporterWatchWake checks that a watcher blocked on the notify
+// channel wakes on the next update and observes it (directly or after a
+// Seq re-check — spurious wakes are allowed, lost wakes are not).
+func TestReporterWatchWake(t *testing.T) {
+	r := obs.NewReporter()
+	p, ch := r.Watch()
+	if p.Seq != 0 {
+		t.Fatalf("pre-update Watch Seq = %d", p.Seq)
+	}
+	go r.Update(func(p *obs.Progress) { p.Phase = "rotate" })
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher not woken by update")
+	}
+	if got := r.Latest(); got.Seq != 1 || got.Phase != "rotate" {
+		t.Fatalf("post-wake snapshot = %+v", got)
+	}
+	// A second Watch after the wake must return a fresh channel that the
+	// next update closes.
+	_, ch2 := r.Watch()
+	r.Update(func(p *obs.Progress) { p.Phase = "probe" })
+	select {
+	case <-ch2:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second watcher not woken")
+	}
+}
+
+// TestReporterConcurrent hammers the CAS loop from several writers and a
+// watcher; with -race this is the memory-safety check, and the final Seq
+// proves no update was dropped.
+func TestReporterConcurrent(t *testing.T) {
+	const writers, perWriter = 8, 200
+	r := obs.NewReporter()
+	done := make(chan struct{})
+	go func() { // watcher: follow updates until the writers finish
+		defer close(done)
+		last := uint64(0)
+		for {
+			p, ch := r.Watch()
+			if p.Seq > last {
+				last = p.Seq
+			}
+			if p.LPSolves == writers*perWriter {
+				return
+			}
+			<-ch
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Update(func(p *obs.Progress) { p.LPSolves++ })
+			}
+		}()
+	}
+	wg.Wait()
+	p := r.Latest()
+	if p.Seq != writers*perWriter || p.LPSolves != writers*perWriter {
+		t.Fatalf("Seq=%d LPSolves=%d, want both %d", p.Seq, p.LPSolves, writers*perWriter)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("watcher never observed final count")
+	}
+}
+
+// TestContextPropagation checks the With*/From round trips and the inert
+// defaults on bare and nil contexts.
+func TestContextPropagation(t *testing.T) {
+	if obs.TracerFrom(nil) != nil || obs.TraceIDFrom(nil) != "" || obs.ReporterFrom(nil) != nil {
+		t.Fatal("nil context must yield inert zero values")
+	}
+	ctx := context.Background()
+	if obs.TracerFrom(ctx) != nil || obs.TraceIDFrom(ctx) != "" || obs.ReporterFrom(ctx) != nil {
+		t.Fatal("bare context must yield inert zero values")
+	}
+	tr := obs.New()
+	rep := obs.NewReporter()
+	ctx = obs.WithTracer(ctx, tr)
+	ctx = obs.WithTraceID(ctx, "deadbeefcafe0123")
+	ctx = obs.WithReporter(ctx, rep)
+	if obs.TracerFrom(ctx) != tr {
+		t.Fatal("tracer did not round-trip")
+	}
+	if got := obs.TraceIDFrom(ctx); got != "deadbeefcafe0123" {
+		t.Fatalf("trace ID = %q", got)
+	}
+	if obs.ReporterFrom(ctx) != rep {
+		t.Fatal("reporter did not round-trip")
+	}
+	// Deliberate masking: attaching nil hides an outer tracer.
+	masked := obs.WithTracer(ctx, nil)
+	if obs.TracerFrom(masked) != nil {
+		t.Fatal("nil tracer must mask the outer one")
+	}
+}
+
+// TestTracerSinksAndFlush covers the fan-out accessors added for the job
+// server: Sinks exposure and Flush on buffered sinks.
+func TestTracerSinksAndFlush(t *testing.T) {
+	if (*obs.Tracer)(nil).Sinks() != nil {
+		t.Fatal("nil tracer Sinks must be nil")
+	}
+	if err := (*obs.Tracer)(nil).Flush(); err != nil {
+		t.Fatalf("nil tracer Flush: %v", err)
+	}
+	var buf lockedBuffer
+	js := obs.NewJSONLSink(&buf)
+	tr := obs.New(js)
+	if got := tr.Sinks(); len(got) != 1 || got[0] != obs.Sink(js) {
+		t.Fatalf("Sinks = %v", got)
+	}
+	tr.Event("unit.test")
+	if buf.Len() != 0 {
+		t.Fatal("JSONL sink flushed eagerly; expected buffering")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("Tracer.Flush did not reach the buffered sink")
+	}
+}
+
+// lockedBuffer is a minimal concurrency-safe write buffer for sink tests.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  []byte
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.b = append(l.b, p...)
+	return len(p), nil
+}
+
+func (l *lockedBuffer) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.b)
+}

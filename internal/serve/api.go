@@ -6,13 +6,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"agingfp/internal/arch"
 	"agingfp/internal/bench"
 	"agingfp/internal/core"
 	"agingfp/internal/nbti"
+	"agingfp/internal/obs"
 	"agingfp/internal/place"
 	"agingfp/internal/thermal"
 )
@@ -182,7 +185,13 @@ func (s *Server) execute(ctx context.Context, req *JobRequest) ([]byte, error) {
 		spec, _ := bench.SpecByName(req.Bench)
 		opts.Seed = spec.Seed
 	}
-	opts.Trace = s.cfg.Trace
+	// The per-job tracer (process sinks + this job's capture buffer)
+	// rides the context from runJob; falling back through it here keeps
+	// explicit-wiring callers (tests) working unchanged.
+	opts.Trace = obs.TracerFrom(ctx)
+	if opts.Trace == nil {
+		opts.Trace = s.cfg.Trace
+	}
 
 	res, err := core.Remap(ctx, d, m0, opts)
 	if err != nil {
@@ -228,21 +237,107 @@ func (s *Server) execute(ctx context.Context, req *JobRequest) ([]byte, error) {
 
 // Handler returns the service's HTTP routes:
 //
-//	POST   /v1/jobs             submit; 202 with the job snapshot
-//	GET    /v1/jobs/{id}        job status snapshot
-//	GET    /v1/jobs/{id}/result finished job's result document
-//	DELETE /v1/jobs/{id}        cooperative cancel
-//	GET    /healthz             liveness + drain state
-//	GET    /metrics             Prometheus text-format snapshot
+//	POST   /v1/jobs               submit; 202 with the job snapshot
+//	GET    /v1/jobs/{id}          job status snapshot
+//	GET    /v1/jobs/{id}/result   finished job's result document
+//	GET    /v1/jobs/{id}/progress latest solver-progress snapshot
+//	GET    /v1/jobs/{id}/events   server-sent-events progress stream
+//	GET    /v1/jobs/{id}/trace    captured JSONL span trace (if enabled)
+//	DELETE /v1/jobs/{id}          cooperative cancel
+//	GET    /healthz               liveness + drain state
+//	GET    /metrics               Prometheus text-format snapshot
+//	GET    /debug/pprof/...       runtime profiles (Config.EnablePprof)
+//
+// Every response carries X-Trace-Id when the route resolves a job, and
+// Config.Logger (when set) records one line per request keyed by the
+// same ID.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s.logRequests(mux)
+}
+
+// statusWriter records the response code and byte count for the request
+// log. It forwards Flush so the SSE stream keeps working behind the
+// middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+	n    int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.n += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// logRequests wraps the mux with structured request logging. The job's
+// trace_id is read back from the X-Trace-Id header the handlers stamp,
+// so request lines and lifecycle lines correlate without re-resolving
+// the route here.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	if s.cfg.Logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		attrs := []slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", code),
+			slog.Int64("bytes", sw.n),
+			slog.Duration("elapsed", time.Since(start)),
+		}
+		if id := sw.Header().Get("X-Trace-Id"); id != "" {
+			attrs = append(attrs, slog.String("trace_id", id))
+		}
+		s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "http request", attrs...)
+	})
+}
+
+// setTraceHeader stamps the job's correlation ID on the response.
+func setTraceHeader(w http.ResponseWriter, snap Snapshot) {
+	if snap.TraceID != "" {
+		w.Header().Set("X-Trace-Id", snap.TraceID)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -266,7 +361,7 @@ func httpError(w http.ResponseWriter, err error) {
 		code = http.StatusBadRequest
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 		code = http.StatusServiceUnavailable
-	case errors.Is(err, ErrNotFound):
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoTrace):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrNotDone):
 		code = http.StatusConflict
@@ -290,6 +385,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
+	setTraceHeader(w, snap)
 	writeJSON(w, http.StatusAccepted, snap)
 }
 
@@ -299,16 +395,107 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
+	setTraceHeader(w, snap)
 	writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if snap, err := s.Job(r.PathValue("id")); err == nil {
+		setTraceHeader(w, snap)
+	}
 	out, err := s.Result(r.PathValue("id"))
 	if err != nil {
 		httpError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Write(out) //nolint:errcheck
+}
+
+// ProgressSnapshot is the GET /v1/jobs/{id}/progress payload and the SSE
+// event data: the job's identity and state plus the latest solver
+// progress.
+type ProgressSnapshot struct {
+	ID       string       `json:"id"`
+	TraceID  string       `json:"trace_id,omitempty"`
+	State    JobState     `json:"state"`
+	Progress obs.Progress `json:"progress"`
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	snap, prog, err := s.Progress(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	setTraceHeader(w, snap)
+	writeJSON(w, http.StatusOK, ProgressSnapshot{
+		ID: snap.ID, TraceID: snap.TraceID, State: snap.State, Progress: prog,
+	})
+}
+
+// handleEvents streams progress updates as server-sent events: one
+// `data:` line per published snapshot (deduplicated by Seq), ending
+// after the terminal Done event or when the client goes away.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rep, err := s.reporter(id)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, fmt.Errorf("serve: response writer cannot stream"))
+		return
+	}
+	if snap, err := s.Job(id); err == nil {
+		setTraceHeader(w, snap)
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	var lastSeq uint64
+	sent := false
+	for {
+		p, ch := rep.Watch()
+		if !sent || p.Seq > lastSeq {
+			snap, _ := s.Job(id)
+			data, err := json.Marshal(ProgressSnapshot{
+				ID: id, TraceID: snap.TraceID, State: snap.State, Progress: p,
+			})
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+				return
+			}
+			flusher.Flush()
+			lastSeq, sent = p.Seq, true
+			if p.Done {
+				return
+			}
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if snap, err := s.Job(r.PathValue("id")); err == nil {
+		setTraceHeader(w, snap)
+	}
+	out, err := s.Trace(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Write(out) //nolint:errcheck
 }
 
@@ -322,6 +509,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
+	setTraceHeader(w, snap)
 	writeJSON(w, http.StatusOK, snap)
 }
 

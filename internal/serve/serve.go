@@ -12,9 +12,13 @@
 package serve
 
 import (
+	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -44,6 +48,20 @@ type Config struct {
 	// backs the /metrics endpoint. Both may be nil.
 	Trace    *obs.Tracer
 	Registry *obs.Registry
+	// Logger receives structured request and job-lifecycle records, every
+	// one keyed by the job's trace_id so log lines, span streams, and API
+	// responses join on one correlation ID. nil disables logging.
+	Logger *slog.Logger
+	// CaptureTraces keeps a bounded in-memory JSONL span trace per job,
+	// retrievable while the job record lives via GET /v1/jobs/{id}/trace.
+	CaptureTraces bool
+	// TraceBytesPerJob bounds each job's captured trace (default 1 MiB);
+	// events past the cap are counted and dropped, never buffered.
+	TraceBytesPerJob int
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/
+	// on Handler. Off by default: the profiles expose internals, so
+	// operators opt in per deployment.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +77,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
 	}
+	if c.TraceBytesPerJob < 1 {
+		c.TraceBytesPerJob = 1 << 20
+	}
 	return c
 }
 
@@ -73,6 +94,8 @@ var (
 	ErrNotFound = errors.New("serve: no such job")
 	// ErrNotDone reports a result request for an unfinished job (409).
 	ErrNotDone = errors.New("serve: job not finished")
+	// ErrNoTrace reports a trace request when capture is disabled (404).
+	ErrNoTrace = errors.New("serve: per-job trace capture disabled")
 )
 
 // JobState is the lifecycle phase of a submitted job.
@@ -90,10 +113,13 @@ const (
 type job struct {
 	id        string
 	key       string // cache key (canonical request hash)
+	traceID   string // correlation ID across logs, spans, and the API
 	req       *JobRequest
 	ctx       context.Context
 	cancel    context.CancelFunc
 	submitted time.Time
+	rep       *obs.Reporter // live solver progress (always non-nil)
+	capture   *traceCapture // per-job span capture; nil unless enabled
 
 	mu       sync.Mutex
 	state    JobState
@@ -106,6 +132,7 @@ type job struct {
 // Snapshot is a point-in-time copy of a job's externally visible state.
 type Snapshot struct {
 	ID        string    `json:"id"`
+	TraceID   string    `json:"trace_id,omitempty"`
 	State     JobState  `json:"state"`
 	Error     string    `json:"error,omitempty"`
 	Submitted time.Time `json:"submitted"`
@@ -118,12 +145,62 @@ func (j *job) snapshot() Snapshot {
 	defer j.mu.Unlock()
 	return Snapshot{
 		ID:        j.id,
+		TraceID:   j.traceID,
 		State:     j.state,
 		Error:     j.errText,
 		Submitted: j.submitted,
 		Started:   j.started,
 		Finished:  j.finished,
 	}
+}
+
+// newTraceID returns a 16-hex-character random correlation ID.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; IDs only need
+		// uniqueness, so fall back to the time.
+		return fmt.Sprintf("%016x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// traceCapture is a bounded in-memory JSONL span buffer for one job: an
+// obs JSONL sink writing into a size-capped byte buffer. Events past the
+// cap are dropped (and counted), so a runaway trace cannot grow the job
+// record without bound.
+type traceCapture struct {
+	sink *obs.JSONLSink
+	mu   sync.Mutex
+	buf  bytes.Buffer
+	max  int
+	drop int64
+}
+
+func newTraceCapture(maxBytes int) *traceCapture {
+	c := &traceCapture{max: maxBytes}
+	c.sink = obs.NewJSONLSink(c)
+	return c
+}
+
+// Write implements io.Writer for the JSONL sink's flushes.
+func (c *traceCapture) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.buf.Len()+len(p) > c.max {
+		c.drop += int64(len(p))
+		return len(p), nil // swallow, never error the tracer
+	}
+	c.buf.Write(p)
+	return len(p), nil
+}
+
+// bytes flushes the sink and returns a copy of the captured JSONL.
+func (c *traceCapture) bytes() []byte {
+	c.sink.Flush() //nolint:errcheck // Write never errors
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.buf.Bytes()...)
 }
 
 // Server owns the queue, the worker pool, and the result cache. Create
@@ -189,9 +266,14 @@ func (s *Server) Submit(req *JobRequest) (Snapshot, error) {
 	j := &job{
 		id:        fmt.Sprintf("job-%06d", s.nextID),
 		key:       key,
+		traceID:   newTraceID(),
 		req:       req,
 		submitted: time.Now(),
 		state:     StateQueued,
+		rep:       obs.NewReporter(),
+	}
+	if s.cfg.CaptureTraces {
+		j.capture = newTraceCapture(s.cfg.TraceBytesPerJob)
 	}
 	s.reg.Counter(`agingfp_serve_jobs_submitted_total`).Inc()
 
@@ -204,6 +286,9 @@ func (s *Server) Submit(req *JobRequest) (Snapshot, error) {
 		j.ctx, j.cancel = context.WithCancel(s.baseCtx)
 		j.cancel() // nothing left to cancel
 		s.jobs[j.id] = j
+		s.gaugeState(StateDone, 1)
+		j.rep.Update(func(p *obs.Progress) { p.Phase = "done"; p.Done = true; p.Status = string(StateDone) })
+		s.logJob(j, "job served from cache", slog.Bool("cache_hit", true))
 		return j.snapshot(), nil
 	}
 	s.reg.Counter(`agingfp_serve_cache_misses_total`).Inc()
@@ -225,8 +310,26 @@ func (s *Server) Submit(req *JobRequest) (Snapshot, error) {
 		return Snapshot{}, ErrQueueFull
 	}
 	s.jobs[j.id] = j
+	s.gaugeState(StateQueued, 1)
 	s.reg.Gauge(`agingfp_serve_queue_depth`).Set(float64(len(s.queue)))
+	s.logJob(j, "job submitted", slog.String("bench", req.Bench), slog.String("mode", req.Mode))
 	return j.snapshot(), nil
+}
+
+// gaugeState moves the live per-state job-count gauges: +1 when a job
+// enters a state, -1 when it leaves. The terminal states only ever gain,
+// so their gauges double as running totals for jobs still in the map.
+func (s *Server) gaugeState(st JobState, delta float64) {
+	s.reg.Gauge(`agingfp_serve_jobs{state="` + string(st) + `"}`).Add(delta)
+}
+
+// logJob emits one structured lifecycle record keyed by the job's IDs.
+func (s *Server) logJob(j *job, msg string, attrs ...slog.Attr) {
+	if s.cfg.Logger == nil {
+		return
+	}
+	base := []slog.Attr{slog.String("job_id", j.id), slog.String("trace_id", j.traceID)}
+	s.cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, msg, append(base, attrs...)...)
 }
 
 // Job returns the current snapshot of a job.
@@ -279,10 +382,51 @@ func (s *Server) Cancel(id string) error {
 		j.errText = context.Canceled.Error()
 		j.finished = time.Now()
 		s.reg.Counter(`agingfp_serve_jobs_total{state="canceled"}`).Inc()
+		s.gaugeState(StateQueued, -1)
+		s.gaugeState(StateCanceled, 1)
+		j.rep.Update(func(p *obs.Progress) { p.Phase = "done"; p.Done = true; p.Status = string(StateCanceled) })
+		s.logJob(j, "job canceled while queued")
 	}
 	j.mu.Unlock()
 	j.cancel()
 	return nil
+}
+
+// Progress returns the job's latest solver-progress snapshot.
+func (s *Server) Progress(id string) (Snapshot, obs.Progress, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Snapshot{}, obs.Progress{}, ErrNotFound
+	}
+	return j.snapshot(), j.rep.Latest(), nil
+}
+
+// reporter exposes a job's live progress cell (for the SSE stream).
+func (s *Server) reporter(id string) (*obs.Reporter, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j.rep, nil
+}
+
+// Trace returns the job's captured JSONL span trace. ErrNoTrace when
+// capture is disabled (or the process has no trace sinks).
+func (s *Server) Trace(id string) ([]byte, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if j.capture == nil {
+		return nil, ErrNoTrace
+	}
+	return j.capture.bytes(), nil
 }
 
 // Draining reports whether Drain has begun (used by /healthz).
@@ -315,6 +459,11 @@ func (s *Server) Drain() {
 		s.workers.Wait()
 	}
 	s.baseCancel()
+	// The workers are parked: flush buffered trace sinks now so a
+	// SIGTERM-driven drain does not lose the tail of the span stream.
+	if err := s.cfg.Trace.Flush(); err != nil && s.cfg.Logger != nil {
+		s.cfg.Logger.Warn("trace sink flush failed", slog.String("error", err.Error()))
+	}
 }
 
 func (s *Server) waitWorkers(timeout time.Duration) bool {
@@ -351,31 +500,53 @@ func (s *Server) runJob(j *job) {
 		// The deadline covers queue wait: a job that expired before a
 		// worker picked it up fails without touching the solver. A
 		// drain-forced cancellation reports canceled, not failed.
+		final := StateFailed
 		if errors.Is(err, context.Canceled) {
-			j.state = StateCanceled
-			s.reg.Counter(`agingfp_serve_jobs_total{state="canceled"}`).Inc()
-		} else {
-			j.state = StateFailed
-			s.reg.Counter(`agingfp_serve_jobs_total{state="failed"}`).Inc()
+			final = StateCanceled
 		}
+		j.state = final
+		s.reg.Counter(`agingfp_serve_jobs_total{state="` + string(final) + `"}`).Inc()
+		s.gaugeState(StateQueued, -1)
+		s.gaugeState(final, 1)
 		j.errText = err.Error()
 		j.finished = time.Now()
 		j.mu.Unlock()
+		j.rep.Update(func(p *obs.Progress) { p.Phase = "done"; p.Done = true; p.Status = string(final) })
+		s.logJob(j, "job expired in queue", slog.String("state", string(final)))
 		return
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	queueWait := j.started.Sub(j.submitted)
 	j.mu.Unlock()
+	s.gaugeState(StateQueued, -1)
+	s.gaugeState(StateRunning, 1)
+	s.reg.Histogram(`agingfp_serve_queue_wait_seconds`).Observe(queueWait)
 	s.reg.Gauge(`agingfp_serve_workers_busy`).Add(1)
 	defer s.reg.Gauge(`agingfp_serve_workers_busy`).Add(-1)
 	defer j.cancel() // release the deadline timer
+	s.logJob(j, "job started", slog.Duration("queue_wait", queueWait))
 
-	out, err := s.execute(j.ctx, j.req)
+	// Per-job observability context: a tracer teeing the process-wide
+	// sinks with this job's capture buffer (so the job's spans are both
+	// in the shared stream and individually retrievable), the trace ID,
+	// and the live progress reporter all ride the job's context into the
+	// solver layers.
+	sinks := s.cfg.Trace.Sinks()
+	if j.capture != nil {
+		sinks = append(append([]obs.Sink(nil), sinks...), j.capture.sink)
+	}
+	tr := obs.New(sinks...).WithMetrics(s.reg)
+	ctx := obs.WithTracer(j.ctx, tr)
+	ctx = obs.WithTraceID(ctx, j.traceID)
+	ctx = obs.WithReporter(ctx, j.rep)
+
+	out, err := s.execute(ctx, j.req)
 
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.finished = time.Now()
 	s.reg.Histogram(`agingfp_serve_job_seconds`).Observe(j.finished.Sub(j.started))
+	var final JobState
 	switch {
 	case err == nil:
 		// Store-then-load so the job serves the same byte slice future
@@ -384,16 +555,29 @@ func (s *Server) runJob(j *job) {
 		if cached, ok := s.cache.get(j.key); ok {
 			out = cached
 		}
-		j.state = StateDone
+		final = StateDone
 		j.result = out
-		s.reg.Counter(`agingfp_serve_jobs_total{state="done"}`).Inc()
 	case errors.Is(err, context.Canceled):
-		j.state = StateCanceled
+		final = StateCanceled
 		j.errText = err.Error()
-		s.reg.Counter(`agingfp_serve_jobs_total{state="canceled"}`).Inc()
 	default:
-		j.state = StateFailed
+		final = StateFailed
 		j.errText = err.Error()
-		s.reg.Counter(`agingfp_serve_jobs_total{state="failed"}`).Inc()
 	}
+	j.state = final
+	s.reg.Counter(`agingfp_serve_jobs_total{state="` + string(final) + `"}`).Inc()
+	s.gaugeState(StateRunning, -1)
+	s.gaugeState(final, 1)
+	elapsed := j.finished.Sub(j.started)
+	j.mu.Unlock()
+	if j.capture != nil {
+		j.capture.sink.Flush() //nolint:errcheck // Write never errors
+	}
+	// Terminal progress event: pollers and SSE readers key off Done.
+	j.rep.Update(func(p *obs.Progress) { p.Phase = "done"; p.Done = true; p.Status = string(final) })
+	attrs := []slog.Attr{slog.String("state", string(final)), slog.Duration("elapsed", elapsed)}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	s.logJob(j, "job finished", attrs...)
 }
