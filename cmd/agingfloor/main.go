@@ -7,6 +7,15 @@
 //	agingfloor -bench B14
 //	agingfloor -src design.c -fabric 6x6
 //	agingfloor -kernel dct8 -fabric 5x5 -mode freeze
+//
+// With -journal the run's flight-recorder journal (every MILP decision:
+// probes, relaxations, rotations, pre-maps, prunes) is written as JSON;
+// -explain renders the human-readable explainability report directly.
+// A saved journal can be re-rendered offline at any time:
+//
+//	agingfloor -bench B14 -journal b14.journal.json -explain b14.report.txt
+//	agingfloor explain b14.journal.json
+//	agingfloor explain -json b14.journal.json
 package main
 
 import (
@@ -24,8 +33,10 @@ import (
 
 	"agingfp/internal/arch"
 	"agingfp/internal/bench"
+	"agingfp/internal/buildinfo"
 	"agingfp/internal/core"
 	"agingfp/internal/dfg"
+	"agingfp/internal/flight"
 	"agingfp/internal/frontend"
 	"agingfp/internal/hls"
 	"agingfp/internal/nbti"
@@ -37,7 +48,65 @@ import (
 
 // main delegates to run so deferred cleanup (trace flush, profile stop)
 // survives the exit path — os.Exit skips defers.
-func main() { os.Exit(run()) }
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		os.Exit(runExplain(os.Args[2:]))
+	}
+	os.Exit(run())
+}
+
+// runExplain renders a previously saved flight journal (-journal) as a
+// report, without re-running any solve.
+func runExplain(args []string) int {
+	fs := flag.NewFlagSet("agingfloor explain", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the report as deterministic JSON instead of text")
+	svgF := fs.String("svg", "", "also write the per-PE stress-attribution heatmap SVG to this file")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: agingfloor explain [-json] [-svg file.svg] journal.json")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer f.Close()
+	journal, err := flight.ReadJournal(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	rep := flight.BuildReport(journal)
+	if *jsonOut {
+		out, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		os.Stdout.Write(out) //nolint:errcheck
+		fmt.Println()
+	} else {
+		fmt.Print(rep.Text())
+	}
+	if *svgF != "" {
+		svg := rep.HeatmapSVG()
+		if svg == "" {
+			fmt.Fprintln(os.Stderr, "journal carries no stress attribution; no heatmap written")
+			return 1
+		}
+		if err := os.WriteFile(*svgF, []byte(svg), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "wrote stress heatmap to", *svgF)
+	}
+	return 0
+}
 
 func run() int {
 	var (
@@ -56,8 +125,16 @@ func run() int {
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		timeLimit = flag.Duration("time-limit", 0, "wall-clock budget per ST_target probe (0 keeps the default)")
 		progress  = flag.Bool("progress", false, "render a live solver status line on stderr while the flow runs")
+		journalF  = flag.String("journal", "", "write the solve's flight-recorder journal (JSON) to this file")
+		explainF  = flag.String("explain", "", "write the human-readable explainability report to this file")
+		flightEvs = flag.Int("flight-events", 0, "bound the flight journal's event count (0 = default, negative disables recording)")
+		version   = flag.Bool("version", false, "print build identity (VCS revision, Go version) and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return 0
+	}
 
 	// Observability plumbing: the tracer fans out to the requested sinks
 	// and carries the metrics registry the -metrics snapshot reads.
@@ -162,6 +239,13 @@ func run() int {
 	if *timeLimit != 0 {
 		opts.TimeLimit = *timeLimit
 	}
+	// Flight recorder: only attached when an output was requested, so the
+	// default path journals nothing.
+	var rec *flight.Recorder
+	if (*journalF != "" || *explainF != "") && *flightEvs >= 0 {
+		rec = flight.NewRecorder(*flightEvs)
+		opts.Flight = rec
+	}
 	// Reject nonsense flag combinations with the library's own
 	// diagnostics before any work is queued.
 	if err := opts.Validate(); err != nil {
@@ -229,6 +313,32 @@ func run() int {
 		r.Stats.Step1Time.Round(time.Millisecond), r.Stats.RotateTime.Round(time.Millisecond),
 		r.Stats.Step2Time.Round(time.Millisecond), r.Stats.TimingTime.Round(time.Millisecond),
 		r.Stats.Elapsed.Round(time.Millisecond))
+
+	if rec != nil {
+		journal := rec.Snapshot()
+		if *journalF != "" {
+			f, err := os.Create(*journalF)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			if err := journal.WriteJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				f.Close()
+				return 1
+			}
+			f.Close()
+			fmt.Println("wrote flight journal to", *journalF)
+		}
+		if *explainF != "" {
+			rep := flight.BuildReport(journal)
+			if err := os.WriteFile(*explainF, []byte(rep.Text()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			fmt.Println("wrote explainability report to", *explainF)
+		}
+	}
 
 	if *metricsF != "" {
 		f, err := os.Create(*metricsF)

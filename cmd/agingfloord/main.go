@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"agingfp/internal/buildinfo"
 	"agingfp/internal/obs"
 	"agingfp/internal/serve"
 )
@@ -54,8 +55,14 @@ func run() int {
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logFormat    = flag.String("log-format", "text", "request/lifecycle log format: text or json")
 		quietLog     = flag.Bool("no-log", false, "disable request and lifecycle logging")
+		flightEvs    = flag.Int("flight-events", 0, "bound each job's flight journal (0 = default, negative disables GET /v1/jobs/{id}/report)")
+		version      = flag.Bool("version", false, "print build identity (VCS revision, Go version) and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return 0
+	}
 
 	var logger *slog.Logger
 	switch *logFormat {
@@ -107,6 +114,7 @@ func run() int {
 		Logger:          logger,
 		CaptureTraces:   *traceJobs,
 		EnablePprof:     *pprofOn,
+		FlightEvents:    *flightEvs,
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

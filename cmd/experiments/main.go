@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"agingfp/internal/bench"
+	"agingfp/internal/buildinfo"
 )
 
 func main() {
@@ -44,8 +45,13 @@ func main() {
 		perfOut    = flag.String("perf", "", "write a perf trajectory report (per-benchmark phase wall-clock, simplex iterations, warm-start hits) as JSON to this file")
 		perfBase   = flag.String("perf-baseline", "", "compare the perf run against this baseline report and fail on a median solve-time regression")
 		perfFactor = flag.Float64("perf-factor", 2.0, "tolerated median solve-time factor vs the baseline")
+		version    = flag.Bool("version", false, "print build identity (VCS revision, Go version) and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 	perfRun := *perfOut != "" || *perfBase != ""
 	if !*table1 && !*fig5 && !*fig2b && !*scaling && !*greedy && !*budget && !*wear && !*all && !perfRun {
 		flag.Usage()

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"agingfp/internal/buildinfo"
 )
 
 // PerfSchema identifies the perf-report JSON layout; bump on breaking
@@ -46,11 +48,21 @@ type PerfReport struct {
 	// regression-gate statistic. The median (not the mean) so one noisy
 	// outlier benchmark cannot fail CI on its own.
 	MedianSolveMs float64 `json:"median_solve_ms"`
+	// Build identity of the binary that produced the report, so a
+	// regression flagged against a committed baseline can name the exact
+	// commits being compared. Optional (additive to the v1 schema):
+	// baselines produced by older binaries simply omit them.
+	GoVersion   string `json:"go_version,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSDirty    bool   `json:"vcs_dirty,omitempty"`
 }
 
-// NewPerfReport distills suite results into a perf report.
+// NewPerfReport distills suite results into a perf report, stamped with
+// the producing binary's build identity.
 func NewPerfReport(suite string, results []*Result) *PerfReport {
-	rep := &PerfReport{Schema: PerfSchema, Suite: suite}
+	bi := buildinfo.Get()
+	rep := &PerfReport{Schema: PerfSchema, Suite: suite,
+		GoVersion: bi.GoVersion, VCSRevision: bi.VCSRevision, VCSDirty: bi.VCSDirty}
 	var elapsed []float64
 	for _, r := range results {
 		if r == nil {

@@ -1,0 +1,72 @@
+// Package buildinfo reads the binary's embedded build metadata (Go
+// version, VCS revision, dirty flag) out of runtime/debug.ReadBuildInfo
+// once, so the CLIs' -version flags, the server's /v1/version endpoint,
+// and the perf-report schema all report the same identity without
+// link-time -ldflags plumbing.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Info is one binary's build identity. Fields are empty when the build
+// carried no metadata (e.g. `go run` outside a VCS checkout).
+type Info struct {
+	// GoVersion is the toolchain that built the binary (e.g. "go1.22.1").
+	GoVersion string `json:"go_version"`
+	// Module is the main module path.
+	Module string `json:"module,omitempty"`
+	// VCSRevision is the full commit hash the binary was built from.
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	// VCSTime is the commit timestamp (RFC 3339).
+	VCSTime string `json:"vcs_time,omitempty"`
+	// VCSDirty reports uncommitted changes in the build's working tree.
+	VCSDirty bool `json:"vcs_dirty,omitempty"`
+}
+
+// Get reads the running binary's build metadata. It never fails: a
+// binary without embedded info yields a zero-valued Info (GoVersion
+// excepted, which ReadBuildInfo always carries when available).
+func Get() Info {
+	var info Info
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.GoVersion = bi.GoVersion
+	info.Module = bi.Main.Path
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.VCSRevision = s.Value
+		case "vcs.time":
+			info.VCSTime = s.Value
+		case "vcs.modified":
+			info.VCSDirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// Revision is the short (12-character) form of the commit hash, with a
+// "-dirty" suffix when the tree had local modifications; "unknown" when
+// the build embedded no VCS data.
+func (i Info) Revision() string {
+	rev := i.VCSRevision
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if i.VCSDirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// String renders the one-line form the -version flags print.
+func (i Info) String() string {
+	return fmt.Sprintf("%s %s (%s)", i.Module, i.Revision(), i.GoVersion)
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"agingfp/internal/arch"
+	"agingfp/internal/flight"
 	"agingfp/internal/lp"
 	"agingfp/internal/milp"
 	"agingfp/internal/nbti"
@@ -125,6 +126,17 @@ type Options struct {
 	// the bench harness attach runs to their own spans). The zero value
 	// makes the run a trace root.
 	TraceParent obs.Span
+	// Flight, when non-nil, journals every decision Algorithm 1 makes —
+	// Step-1 probes, relaxations, rotation scoring, pre-maps, B&B
+	// events, warm-start outcomes, infeasibility attributions — into the
+	// per-solve flight recorder (internal/flight); Remap also threads it
+	// onto the context so the milp/lp layers underneath journal into the
+	// same recorder. nil falls back to the context-carried recorder
+	// (flight.WithRecorder); nil both ways disables journaling at zero
+	// cost. Note: under RemapBoth the two concurrent arms interleave
+	// their events in one journal; attach a recorder per Remap call when
+	// per-arm ordering matters.
+	Flight *flight.Recorder
 	// LinearSTSearch runs Step 2.3 exactly as Algorithm 1 writes it:
 	// ST_target swept linearly upward from the lower bound by Delta.
 	// The default (false) bisects the same interval instead, reaching
@@ -316,8 +328,11 @@ func (st *Stats) noteLP(tr *obs.Tracer, sol *lp.Solution, warmTried bool) {
 			st.WarmStarts++
 			reg.Counter("agingfp_warm_starts_total").Inc()
 		} else {
+			// The reject itself is counted by the LP layer's labeled
+			// agingfp_lp_warmstart_rejects_total{reason=...} counter at
+			// the point where the reason is known; here only the Stats
+			// field advances.
 			st.WarmStartRejects++
-			reg.Counter("agingfp_warm_start_rejects_total").Inc()
 		}
 	}
 }

@@ -104,6 +104,12 @@ type batchProblem struct {
 	candOf   map[int][]int   // op -> candidate PE linear indices
 	varOf    map[int][]int   // op -> variable ids, parallel to candOf
 	stressOf map[int]float64 // op -> stress rate (dive ordering heuristic)
+	// stressRows and pathRows index the accumulated-stress and wire-budget
+	// constraint rows, so an infeasible relaxation can be re-solved with
+	// one family relaxed at a time to attribute the failure (flight
+	// recorder's infeasibility digest).
+	stressRows []int
+	pathRows   []int
 	// infeasibleReason is non-empty when construction itself proved the
 	// batch infeasible (e.g. a frozen-only path over budget).
 	infeasibleReason string
@@ -224,6 +230,7 @@ func buildBatch(d *arch.Design, mCur arch.Mapping, inBatch map[int]bool,
 		if rhs < 0 {
 			rhs = 0
 		}
+		bp.stressRows = append(bp.stressRows, bp.lp.NumRows())
 		bp.lp.MustAddRow(lp.LE, rhs, term.vars, term.val)
 	}
 
@@ -343,6 +350,7 @@ func buildBatch(d *arch.Design, mCur arch.Mapping, inBatch map[int]bool,
 		}
 		// Deduplicate arc variables repeated within one path row.
 		di, dv := dedupIdx(rowIdx, rowVal)
+		bp.pathRows = append(bp.pathRows, bp.lp.NumRows())
 		bp.lp.MustAddRow(lp.LE, rhs, di, dv)
 	}
 

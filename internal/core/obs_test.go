@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"agingfp/internal/dfg"
+	"agingfp/internal/lp"
 	"agingfp/internal/obs"
 )
 
@@ -121,11 +122,22 @@ func TestRemapObservability(t *testing.T) {
 		{"agingfp_st_probes_total", r.Stats.STProbes},
 		{"agingfp_outer_iterations_total", r.Stats.OuterIterations},
 		{"agingfp_warm_starts_total", r.Stats.WarmStarts},
-		{"agingfp_warm_start_rejects_total", r.Stats.WarmStartRejects},
 	} {
 		if got := reg.Counter(c.name).Value(); got != int64(c.want) {
 			t.Errorf("%s = %d, want %d (Stats)", c.name, got, c.want)
 		}
+	}
+
+	// Warm-start rejects are counted per reason (in the LP layer, where
+	// the reason is known); the labeled family must sum to the Stats
+	// total.
+	var rejects int64
+	for _, reason := range []string{"dim_mismatch", "stale_basis", "singular"} {
+		rejects += reg.Counter(obs.Labeled(lp.WarmRejectsMetric, "reason", reason)).Value()
+	}
+	if rejects != int64(r.Stats.WarmStartRejects) {
+		t.Errorf("%s (summed over reasons) = %d, want %d (Stats)",
+			lp.WarmRejectsMetric, rejects, r.Stats.WarmStartRejects)
 	}
 
 	// Phase gauges mirror the Stats phase durations (same run, same

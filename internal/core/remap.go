@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"agingfp/internal/arch"
+	"agingfp/internal/flight"
 	"agingfp/internal/milp"
 	"agingfp/internal/obs"
 	"agingfp/internal/timing"
@@ -60,6 +61,15 @@ func Remap(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Options) (
 	tr := opts.Trace
 	reg := tr.Registry()
 	rep := obs.ReporterFrom(ctx)
+
+	// The flight recorder follows the same precedence (explicit option,
+	// then context), and the context is re-wrapped with the resolved
+	// recorder so the milp/lp layers underneath journal into it without
+	// per-call wiring.
+	if opts.Flight == nil {
+		opts.Flight = flight.FromContext(ctx)
+	}
+	ctx = flight.WithRecorder(ctx, opts.Flight)
 
 	rng := rand.New(rand.NewSource(opts.Seed))
 	staT := time.Now()
@@ -172,6 +182,8 @@ func Remap(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Options) (
 		}
 		result.Stats.STProbes++
 		reg.Counter("agingfp_st_probes_total").Inc()
+		opts.Flight.Record(flight.Event{Kind: flight.KindStep1Probe,
+			ST: stLB, Status: "feasible", Cause: "greedy"})
 	}
 	result.STLowerBound = stLB
 	result.Stats.Step1Time += time.Since(s1T)
@@ -251,8 +263,13 @@ func Remap(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Options) (
 	// probe counts as infeasible and the schedule moves on.
 	probeHist := reg.Histogram("agingfp_probe_seconds")
 	outerCtr := reg.Counter("agingfp_outer_iterations_total")
+	// lastProbeStatus feeds the relax events' Cause: a relaxation is
+	// triggered by whatever the previous probe concluded (infeasible,
+	// cpd_regressed, timeout).
+	lastProbeStatus := ""
 	probe := func(st float64) (m arch.Mapping, cpd float64, feasible bool, err error) {
 		result.Stats.OuterIterations++
+		outerRound := result.Stats.OuterIterations
 		outerCtr.Inc()
 		pT := time.Now()
 		psp := root.Child("core.probe", obs.Float("st", st))
@@ -267,6 +284,12 @@ func Remap(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Options) (
 		defer func() {
 			probeHist.Observe(time.Since(pT))
 			psp.End(obs.String("status", status))
+			lastProbeStatus = status
+			// Exactly one probe event per OuterIterations increment (this
+			// closure is the only place either happens), so the report's
+			// RelaxIterations always equals Stats.OuterIterations.
+			opts.Flight.Record(flight.Event{Kind: flight.KindProbe,
+				Round: outerRound, ST: st, Status: status, Obj: cpd})
 		}()
 		var deadline time.Time
 		if opts.TimeLimit > 0 {
@@ -325,9 +348,14 @@ func Remap(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Options) (
 			result.Stats.TimingTime += time.Since(repT)
 			psp.Event("core.probe.repair", obs.Int("round", round), obs.Int("added", added), obs.Int("paths", len(paths)))
 			if added == 0 {
+				// The CPD regressed past the budget and every violating
+				// path is already constrained: more repair rounds cannot
+				// help at this ST_target.
+				status = "cpd_regressed"
 				return nil, 0, false, nil
 			}
 		}
+		status = "cpd_regressed"
 		return nil, 0, false, nil
 	}
 
@@ -335,9 +363,29 @@ func Remap(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Options) (
 		result.Status = milp.Feasible
 		result.Mapping = m
 		result.STTarget = st
-		result.NewMaxStress = arch.ComputeStress(d, m).Max()
+		sm := arch.ComputeStress(d, m)
+		result.NewMaxStress = sm.Max()
 		result.NewCPD = cpd
 		result.Improved = result.NewMaxStress < stUp-1e-12
+		if opts.Flight != nil {
+			// Per-PE stress attribution for the report's heatmap: the
+			// final accumulated stress, and the share the frozen critical
+			// ops contribute (the part re-mapping could not move).
+			f := d.Fabric
+			total := make([][]float64, f.H)
+			for y := range total {
+				total[y] = append([]float64(nil), sm[y]...)
+			}
+			frozen := make([][]float64, f.H)
+			for y := range frozen {
+				frozen[y] = make([]float64, f.W)
+			}
+			for op, pe := range frozenPos {
+				frozen[pe.Y][pe.X] += d.StressRate(op)
+			}
+			opts.Flight.SetStress(&flight.StressAttribution{
+				W: f.W, H: f.H, Total: total, Frozen: frozen})
+		}
 		return result
 	}
 
@@ -350,6 +398,12 @@ func Remap(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Options) (
 			lastProbe := false
 			if st >= stUp-1e-12 {
 				st, lastProbe = stUp, true
+			}
+			if k > 0 {
+				// Algorithm 1's `ST_target += Δ`, caused by whatever the
+				// previous probe concluded.
+				opts.Flight.Record(flight.Event{Kind: flight.KindRelax,
+					Round: result.Stats.OuterIterations, ST: st, F: delta, Cause: lastProbeStatus})
 			}
 			m, cpd, ok, err := probe(st)
 			if err != nil {
@@ -385,6 +439,11 @@ func Remap(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Options) (
 			var bestM arch.Mapping
 			var bestST, bestCPD float64
 			hi := stUp
+			// The jump from the failed stStart probe to ST_up is the
+			// bisection's (single, coarse) relaxation; the interior
+			// probes below refine it and appear in the probe table.
+			opts.Flight.Record(flight.Event{Kind: flight.KindRelax,
+				Round: result.Stats.OuterIterations, ST: stUp, F: stUp - stStart, Cause: lastProbeStatus})
 			if m, cpd, ok, err := probe(stUp); err != nil {
 				return fail(err)
 			} else if ok {
@@ -486,6 +545,11 @@ func RemapBoth(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Option
 	}
 	if opts.Trace == nil && opts.Debug {
 		opts.Trace = obs.New(obs.NewDebugSink(os.Stdout))
+	}
+	// Resolve the flight recorder once too, so both arms journal into the
+	// same recorder (see Options.Flight for the interleaving caveat).
+	if opts.Flight == nil {
+		opts.Flight = flight.FromContext(ctx)
 	}
 	var both obs.Span
 	if opts.TraceParent.Active() {
@@ -610,6 +674,8 @@ func solveAllBatches(ctx context.Context, d *arch.Design, m0 arch.Mapping, froze
 		}
 		if err := ctx.Err(); err != nil {
 			bsp.End(obs.String("status", "canceled"))
+			opts.Flight.Record(flight.Event{Kind: flight.KindBatch,
+				Batch: bi, N: len(movable), Status: "canceled"})
 			return nil, false, err
 		}
 		cands := candidateSets(d, m0, stress0, frozenPos, movable, opts.CandidatesPerOp, rng)
@@ -619,17 +685,41 @@ func solveAllBatches(ctx context.Context, d *arch.Design, m0 arch.Mapping, froze
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			bsp.End(obs.String("status", "timeout"))
+			opts.Flight.Record(flight.Event{Kind: flight.KindBatch,
+				Batch: bi, N: len(movable), M: bp.lp.NumRows(), Status: "timeout"})
 			return nil, false, nil // probe budget exhausted
 		}
-		asn, ok, err := solveBatch(ctx, bp, opts, stats, rng, deadline, cache, bi, bsp)
+		asn, ok, outcome, err := solveBatch(ctx, bp, opts, stats, rng, deadline, cache, bi, bsp)
 		if err != nil {
 			bsp.End(obs.String("status", "error"))
 			return nil, false, err
 		}
 		if !ok {
+			// Attribute the failure to a constraint family for the flight
+			// journal's infeasibility digest, re-solving with one family
+			// relaxed at a time when the relaxation itself was infeasible.
+			status, family := outcome, ""
+			switch outcome {
+			case "construction":
+				status = "construction_infeasible"
+				family = constructionFamily(bp.infeasibleReason)
+			case "lp_infeasible":
+				family = diagnoseInfeasible(ctx, bp)
+			case "dive_failed":
+				// The relaxation was feasible but no integral completion
+				// exists (or was found): an assignment/integrality failure.
+				family = flight.FamilyAssignment
+			}
+			opts.Flight.Record(flight.Event{Kind: flight.KindBatch,
+				Batch: bi, N: len(movable), M: bp.lp.NumRows(), Status: status, Cause: family})
+			if family != "" {
+				opts.Flight.NoteInfeasible(family)
+			}
 			bsp.End(obs.String("status", "infeasible"), obs.Int("rows", bp.lp.NumRows()))
 			return nil, false, nil
 		}
+		opts.Flight.Record(flight.Event{Kind: flight.KindBatch,
+			Batch: bi, N: len(movable), M: bp.lp.NumRows(), Status: "solved"})
 		bsp.End(obs.String("status", "solved"), obs.Int("rows", bp.lp.NumRows()))
 		for op, pe := range asn {
 			mCur[op] = pe
@@ -676,12 +766,20 @@ func stressLowerBound(ctx context.Context, d *arch.Design, m0 arch.Mapping, stre
 		})
 		if greedyMax <= st+1e-12 {
 			psp.End(obs.Bool("feasible", true), obs.String("certificate", "greedy"), obs.Int("simplex_iters", 0))
+			opts.Flight.Record(flight.Event{Kind: flight.KindStep1Probe,
+				ST: st, Status: "feasible", Cause: "greedy"})
 			return true, nil
 		}
 		itersBefore := stats.SimplexIters
 		m, ok, err := solveAllBatches(ctx, d, m0, nil, nil, st, 0, stress0, batchList, opts, rng, stats, time.Time{}, cache, psp)
 		psp.End(obs.Bool("feasible", err == nil && ok), obs.String("certificate", "milp"),
 			obs.Int("simplex_iters", stats.SimplexIters-itersBefore))
+		verdict := "infeasible"
+		if err == nil && ok {
+			verdict = "feasible"
+		}
+		opts.Flight.Record(flight.Event{Kind: flight.KindStep1Probe,
+			ST: st, Status: verdict, Cause: "milp"})
 		if err != nil || !ok {
 			return false, err
 		}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"agingfp/internal/arch"
+	"agingfp/internal/flight"
 	"agingfp/internal/obs"
 )
 
@@ -196,6 +197,13 @@ func rotateFrozen(ctx context.Context, d *arch.Design, m arch.Mapping, frozen ma
 		return out
 	}
 
+	// Journal the restart scores serially in index order (the workers
+	// above stored them by index, so the journal stays deterministic).
+	for r := 0; r < restarts; r++ {
+		opts.Flight.Record(flight.Event{Kind: flight.KindRotateScore,
+			Round: r, Obj: scores[r], N: len(crossArcs)})
+	}
+
 	best, bestScore := assigns[0], scores[0]
 	bestR := 0
 	for r := 1; r < restarts; r++ {
@@ -207,6 +215,11 @@ func rotateFrozen(ctx context.Context, d *arch.Design, m arch.Mapping, frozen ma
 	sp.Event("core.rotate.select",
 		obs.Int("restarts", restarts), obs.Int("winner", bestR),
 		obs.Float("score", bestScore), obs.Int("cross_arcs", len(crossArcs)))
+	opts.Flight.Record(flight.Event{Kind: flight.KindRotate,
+		Round: bestR, Obj: bestScore, N: len(crossArcs)})
+	for c := 0; c < d.NumContexts; c++ {
+		opts.Flight.Record(flight.Event{Kind: flight.KindRotateCtx, Ctx: c, Var: best[c]})
+	}
 	for op := range frozen {
 		out[op] = orient(m[op], best[d.Ctx[op]], d.Fabric)
 	}

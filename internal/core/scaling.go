@@ -59,7 +59,7 @@ func SolveRemapOnce(ctx context.Context, d *arch.Design, m0 arch.Mapping, stTarg
 	stats := &Stats{}
 	parent := opts.Trace.Start("core.solve_once", obs.Float("st_target", stTarget))
 	defer parent.End()
-	asn, ok, err := solveBatch(ctx, bp, opts, stats, rng, time.Time{}, nil, 0, parent)
+	asn, ok, _, err := solveBatch(ctx, bp, opts, stats, rng, time.Time{}, nil, 0, parent)
 	if err != nil || !ok {
 		return nil, false, err
 	}

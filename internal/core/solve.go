@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"agingfp/internal/arch"
+	"agingfp/internal/flight"
 	"agingfp/internal/lp"
 	"agingfp/internal/obs"
 )
@@ -48,16 +49,20 @@ func (c *warmCache) put(i int, b *lp.Basis) {
 //	        best-scored op otherwise, and backjump on infeasibility.
 //
 // Returns the per-op PE choice, or ok=false if infeasible at this
-// budget. See DESIGN.md §4b.4 for how this implements the paper's
-// LP-relax / round>0.95 / residual-ILP loop. The relaxation and each
-// dive restart are traced as "core.relax" / "core.dive" spans under
-// parent.
-func solveBatch(ctx context.Context, bp *batchProblem, opts Options, stats *Stats, rng *rand.Rand, deadline time.Time, cache *warmCache, slot int, parent obs.Span) (map[int]arch.Coord, bool, error) {
+// budget, plus an outcome classification for the flight journal:
+// "solved", "construction" (buildBatch proved infeasibility),
+// "lp_infeasible" (the relaxation itself), "iterlimit" (relaxation
+// budget exhausted), "timeout" (probe deadline), or "dive_failed"
+// (relaxation feasible but no integral completion found). See
+// DESIGN.md §4b.4 for how this implements the paper's LP-relax /
+// round>0.95 / residual-ILP loop. The relaxation and each dive restart
+// are traced as "core.relax" / "core.dive" spans under parent.
+func solveBatch(ctx context.Context, bp *batchProblem, opts Options, stats *Stats, rng *rand.Rand, deadline time.Time, cache *warmCache, slot int, parent obs.Span) (map[int]arch.Coord, bool, string, error) {
 	if bp.infeasibleReason != "" {
-		return nil, false, nil
+		return nil, false, "construction", nil
 	}
 	if len(bp.movable) == 0 {
-		return map[int]arch.Coord{}, true, nil
+		return map[int]arch.Coord{}, true, "solved", nil
 	}
 
 	// Step A: LP relaxation, warm-started from the previous probe's
@@ -67,13 +72,13 @@ func solveBatch(ctx context.Context, bp *batchProblem, opts Options, stats *Stat
 	rel, err := lp.Solve(ctx, bp.lp, relOpts)
 	if err != nil {
 		rsp.End(obs.String("status", "error"))
-		return nil, false, fmt.Errorf("core: relaxation: %w", err)
+		return nil, false, "", fmt.Errorf("core: relaxation: %w", err)
 	}
 	stats.noteLP(opts.Trace, rel, relOpts.WarmStart != nil)
 	rsp.End(obs.String("status", rel.Status.String()), obs.Int("iters", rel.Iters), obs.Bool("warm", rel.Warm))
 	switch rel.Status {
 	case lp.Infeasible:
-		return nil, false, nil
+		return nil, false, "lp_infeasible", nil
 	case lp.Optimal:
 		cache.put(slot, rel.Basis)
 	case lp.IterLimit:
@@ -82,9 +87,9 @@ func solveBatch(ctx context.Context, bp *batchProblem, opts Options, stats *Stat
 		// outer loop relaxes ST_target by Delta and retries instead of
 		// aborting the whole flow (the same convention as a probe
 		// timeout).
-		return nil, false, nil
+		return nil, false, "iterlimit", nil
 	default:
-		return nil, false, fmt.Errorf("core: relaxation ended %v", rel.Status)
+		return nil, false, "", fmt.Errorf("core: relaxation ended %v", rel.Status)
 	}
 
 	// A few randomized restarts recover from unlucky pin orders; a
@@ -94,16 +99,19 @@ func solveBatch(ctx context.Context, bp *batchProblem, opts Options, stats *Stat
 	restarts := 4
 	for r := 0; r < restarts; r++ {
 		if !deadline.IsZero() && time.Now().After(deadline) {
-			return nil, false, nil
+			return nil, false, "timeout", nil
 		}
 		var warm *lp.Basis
 		if opts.WarmHeuristics {
 			warm = rel.Basis
 		}
 		dsp := parent.Child("core.dive", obs.Int("restart", r), obs.Int("movable", len(bp.movable)))
-		asn, ok, frac, err := roundingDive(ctx, bp, rel.X, warm, opts, stats, rng, r > 0, deadline, dsp)
-		if err != nil || ok {
-			return asn, ok, err
+		asn, ok, frac, err := roundingDive(ctx, bp, rel.X, warm, opts, stats, rng, r > 0, deadline, slot, r, dsp)
+		if err != nil {
+			return nil, false, "", err
+		}
+		if ok {
+			return asn, true, "solved", nil
 		}
 		if frac < 0.5 {
 			// The dive failed far from completion: the budget is most
@@ -112,7 +120,7 @@ func solveBatch(ctx context.Context, bp *batchProblem, opts Options, stats *Stat
 			break
 		}
 	}
-	return nil, false, nil
+	return nil, false, "dive_failed", nil
 }
 
 // softFix records a tentative op pin for backjumping.
@@ -135,8 +143,9 @@ type softFix struct {
 //
 // The dive owns dsp (a "core.dive" span opened by the caller) and ends
 // it with the outcome: ok, the pinned fraction reached, LP re-solve and
-// backjump counts.
-func roundingDive(ctx context.Context, bp *batchProblem, rootX []float64, rootBasis *lp.Basis, opts Options, stats *Stats, rng *rand.Rand, perturb bool, deadline time.Time, dsp obs.Span) (asnOut map[int]arch.Coord, okOut bool, fracOut float64, errOut error) {
+// backjump counts. batch and restart locate the dive in the flight
+// journal (one "dive" event per call, one "premap" event per pin round).
+func roundingDive(ctx context.Context, bp *batchProblem, rootX []float64, rootBasis *lp.Basis, opts Options, stats *Stats, rng *rand.Rand, perturb bool, deadline time.Time, batch, restart int, dsp obs.Span) (asnOut map[int]arch.Coord, okOut bool, fracOut float64, errOut error) {
 	prob := bp.lp.CloneBounds()
 	useWarm := rootBasis != nil
 	warm := rootBasis
@@ -150,6 +159,12 @@ func roundingDive(ctx context.Context, bp *batchProblem, rootX []float64, rootBa
 	defer func() {
 		dsp.End(obs.Bool("ok", okOut), obs.Float("frac", fracOut),
 			obs.Int("lp_solves", lpSolves), obs.Int("backjumps", backjumps))
+		status := "failed"
+		if okOut {
+			status = "integral"
+		}
+		opts.Flight.Record(flight.Event{Kind: flight.KindDive,
+			Batch: batch, Round: restart, Status: status, N: len(decided)})
 	}()
 
 	// Every pin is recorded so an infeasible LP can backjump through it —
@@ -222,6 +237,7 @@ func roundingDive(ctx context.Context, bp *batchProblem, rootX []float64, rootBa
 		// count O(log) instead of O(ops) on large batches; same-round
 		// pins avoid sharing a PE so they cannot conflict trivially.
 		progress := false
+		bulkPins := 0
 		type cand struct {
 			op, cand, pe int
 			score        float64
@@ -243,6 +259,7 @@ func roundingDive(ctx context.Context, bp *batchProblem, rootX []float64, rootBa
 					pin(op, i)
 					progress = true
 					bulk = true
+					bulkPins++
 					break
 				}
 				score := val + orderBonus*bp.stressOf[op]
@@ -282,6 +299,8 @@ func roundingDive(ctx context.Context, bp *batchProblem, rootX []float64, rootBa
 				pinned++
 			}
 		}
+		opts.Flight.Record(flight.Event{Kind: flight.KindPremap,
+			Batch: batch, Round: restart, N: bulkPins, M: len(bp.movable) - len(decided)})
 		fresh = false
 	}
 }
@@ -334,6 +353,64 @@ func extractAssignment(bp *batchProblem, x []float64) (map[int]arch.Coord, bool,
 		out[op] = bp.fab.CoordOf(bp.candOf[op][chosen])
 	}
 	return out, true, nil
+}
+
+// constructionFamily maps buildBatch's infeasibleReason strings onto the
+// flight recorder's constraint families.
+func constructionFamily(reason string) string {
+	if reason == "committed stress alone exceeds ST_target" {
+		return flight.FamilyStressBudget
+	}
+	// Both remaining construction bail-outs ("frozen path exceeds its
+	// wire budget", "path budget exhausted by fixed arcs") are wire-budget
+	// rows over their path-delay limit.
+	return flight.FamilyPathDelay
+}
+
+// diagRelaxedRHS stands in for an unbounded right-hand side in the
+// diagnosis re-solves: lp.validate rejects infinities, and any batch row's
+// meaningful RHS is orders of magnitude below it.
+const diagRelaxedRHS = 1e9
+
+// diagnoseInfeasible attributes an infeasible batch relaxation to a
+// constraint family by re-solving with families relaxed cumulatively in
+// severity order: feasible with the stress budgets lifted means the
+// stress budget was the blocker; feasible only with the wire budgets
+// lifted too means path delay; otherwise the assignment/capacity
+// structure itself admits no solution. The diagnosis solves run with the
+// context's flight recorder shadowed so they never pollute the journal's
+// LP-effort aggregates.
+func diagnoseInfeasible(ctx context.Context, bp *batchProblem) string {
+	dctx := flight.WithRecorder(ctx, nil)
+	feasibleWithout := func(rowSets ...[]int) bool {
+		relaxed := make(map[int]bool)
+		for _, rows := range rowSets {
+			for _, i := range rows {
+				relaxed[i] = true
+			}
+		}
+		q := lp.NewProblem()
+		for j := 0; j < bp.lp.NumVars(); j++ {
+			lb, ub := bp.lp.Bounds(j)
+			q.AddVar(bp.lp.Obj(j), lb, ub)
+		}
+		for i, r := range bp.lp.Rows() {
+			rhs := r.RHS
+			if relaxed[i] {
+				rhs = diagRelaxedRHS // stress/path rows are all <=
+			}
+			q.MustAddRow(r.Sense, rhs, r.Idx, r.Val)
+		}
+		sol, err := lp.Solve(dctx, q, lp.Options{})
+		return err == nil && sol.Status == lp.Optimal
+	}
+	if len(bp.stressRows) > 0 && feasibleWithout(bp.stressRows) {
+		return flight.FamilyStressBudget
+	}
+	if len(bp.pathRows) > 0 && feasibleWithout(bp.stressRows, bp.pathRows) {
+		return flight.FamilyPathDelay
+	}
+	return flight.FamilyAssignment
 }
 
 // batches partitions contexts [0, C) into chunks of size per (0 or >= C

@@ -23,8 +23,14 @@ import (
 	"fmt"
 	"math"
 
+	"agingfp/internal/flight"
 	"agingfp/internal/obs"
 )
+
+// WarmRejectsMetric is the labeled counter family counting refused warm
+// starts; each increment carries a reason label (dim_mismatch,
+// stale_basis, singular) via obs.Labeled.
+const WarmRejectsMetric = "agingfp_lp_warmstart_rejects_total"
 
 // Sense is a row's comparison sense.
 type Sense int
@@ -199,6 +205,13 @@ type Solution struct {
 	// with a non-nil WarmStart means the snapshot was rejected and the
 	// solver fell back to the cold two-phase path.
 	Warm bool
+	// Degenerate counts degenerate (zero-step) pivots across the solve —
+	// a numerical-health signal: a high share of degenerate pivots means
+	// the solver is cycling near a degenerate vertex.
+	Degenerate int
+	// Refreshes counts primal refreshes / basis refactorizations the
+	// solve performed (periodic hygiene plus warm-start installs).
+	Refreshes int
 }
 
 // Options tunes the solver.
@@ -220,6 +233,10 @@ type Options struct {
 	// feed behind the warm-start health counters upstream. nil (the
 	// default) costs nothing.
 	Trace *obs.Tracer
+	// Flight, when non-nil, journals this solve's effort and warm-start
+	// outcome into the per-solve flight recorder. nil falls back to the
+	// context-carried recorder (flight.WithRecorder), mirroring Trace.
+	Flight *flight.Recorder
 }
 
 // Validate rejects nonsense option values with a descriptive error.
@@ -255,6 +272,11 @@ func Solve(ctx context.Context, p *Problem, opt Options) (*Solution, error) {
 		// Options.Trace always wins.
 		opt.Trace = obs.TracerFrom(ctx)
 	}
+	if opt.Flight == nil {
+		// Same fallback for the flight recorder: jobs attach one to the
+		// context once and every LP solve underneath journals into it.
+		opt.Flight = flight.FromContext(ctx)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -265,7 +287,8 @@ func Solve(ctx context.Context, p *Problem, opt Options) (*Solution, error) {
 		return nil, err
 	}
 	if opt.WarmStart != nil {
-		if ws, ok := newWarmSolver(p, opt, opt.WarmStart); ok {
+		ws, reason := newWarmSolver(p, opt, opt.WarmStart)
+		if reason == "" {
 			ws.ctx = ctx
 			sol, ok, err := ws.runWarm()
 			if err != nil {
@@ -274,16 +297,28 @@ func Solve(ctx context.Context, p *Problem, opt Options) (*Solution, error) {
 			if ok {
 				sol.Warm = true
 				opt.Trace.Event("lp.warm_start", obs.Bool("hit", true), obs.Int("iters", sol.Iters))
+				opt.Flight.NoteWarm(true, "")
+				opt.Flight.NoteLP(sol.Iters, sol.Degenerate, sol.Refreshes)
 				return sol, nil
 			}
+			// The installed basis reoptimized inconclusively (dual budget
+			// exhausted or feasible in neither sense): combinatorially it
+			// had gone stale.
+			reason = rejectStaleBasis
 		}
-		// Snapshot rejected (stale shape, singular basis, or an
-		// inconclusive dual reoptimization): fall back to a cold solve.
-		opt.Trace.Event("lp.warm_start", obs.Bool("hit", false))
+		// Snapshot rejected: fall back to a cold solve, recording why.
+		opt.Trace.Event("lp.warm_start", obs.Bool("hit", false), obs.String("reason", reason))
+		opt.Trace.Registry().Counter(obs.Labeled(WarmRejectsMetric, "reason", reason)).Inc()
+		opt.Flight.NoteWarm(false, reason)
 	}
 	s := newSolver(p, opt)
 	s.ctx = ctx
-	return s.run()
+	sol, err := s.run()
+	if err != nil {
+		return nil, err
+	}
+	opt.Flight.NoteLP(sol.Iters, sol.Degenerate, sol.Refreshes)
+	return sol, nil
 }
 
 func validate(p *Problem) error {

@@ -47,7 +47,9 @@ type solver struct {
 	iters   int
 
 	bland      bool
-	degenCount int
+	degenCount int // consecutive degenerate steps (resets; drives Bland's rule)
+	degenTotal int // all degenerate steps this solve (never resets; health counter)
+	refreshes  int // primal refreshes / refactorizations this solve
 
 	// ctx carries the solve's cancellation signal; polled by the pivot
 	// loops every ctxCheckIters iterations. nil disables the checks.
@@ -244,7 +246,7 @@ func (s *solver) run() (*Solution, error) {
 			return nil, s.ctx.Err()
 		}
 		if st == IterLimit {
-			return &Solution{Status: IterLimit, Iters: s.iters}, nil
+			return s.stamp(&Solution{Status: IterLimit, Iters: s.iters}), nil
 		}
 		infeas := 0.0
 		for j := s.artStart; j < s.n; j++ {
@@ -257,7 +259,7 @@ func (s *solver) run() (*Solution, error) {
 			}
 		}
 		if infeas > 1e-6*scale {
-			return &Solution{Status: Infeasible, Iters: s.iters}, nil
+			return s.stamp(&Solution{Status: Infeasible, Iters: s.iters}), nil
 		}
 		// Pin artificials at zero for phase 2.
 		for j := s.artStart; j < s.n; j++ {
@@ -274,7 +276,7 @@ func (s *solver) run() (*Solution, error) {
 	if st == statusCanceled {
 		return nil, s.ctx.Err()
 	}
-	sol := &Solution{Status: st, Iters: s.iters}
+	sol := s.stamp(&Solution{Status: st, Iters: s.iters})
 	if st == Optimal {
 		sol.X = append([]float64(nil), s.x[:s.nStruct]...)
 		obj := 0.0
@@ -443,6 +445,7 @@ func (s *solver) iterate(cost []float64) Status {
 		}
 		if t < degTol {
 			s.degenCount++
+			s.degenTotal++
 			if s.degenCount > blandTrg {
 				s.bland = true
 			}
@@ -507,9 +510,18 @@ func (s *solver) iterate(cost []float64) Status {
 	return IterLimit
 }
 
+// stamp copies the solver's numerical-health counters onto a solution;
+// every Solution a solver returns passes through it.
+func (s *solver) stamp(sol *Solution) *Solution {
+	sol.Degenerate = s.degenTotal
+	sol.Refreshes = s.refreshes
+	return sol
+}
+
 // refresh recomputes basic values from the nonbasic solution to curb
 // drift from accumulated pivot updates.
 func (s *solver) refresh() {
+	s.refreshes++
 	r := append([]float64(nil), s.b...)
 	for j := 0; j < s.n; j++ {
 		if s.vstat[j] == basic || s.x[j] == 0 {

@@ -47,14 +47,29 @@ func (s *solver) snapshot() *Basis {
 	return b
 }
 
+// Warm-start reject reasons, as journaled by the flight recorder and
+// labeled on the agingfp_lp_warmstart_rejects_total counter.
+const (
+	// rejectDimMismatch: the snapshot's shape does not fit the problem.
+	rejectDimMismatch = "dim_mismatch"
+	// rejectStaleBasis: the shape fits but the combinatorial state is
+	// inconsistent (wrong basic count, duplicates, bad statuses) or the
+	// dual reoptimization was inconclusive.
+	rejectStaleBasis = "stale_basis"
+	// rejectSingular: the recorded basis matrix would not factorize
+	// against the current data.
+	rejectSingular = "singular"
+)
+
 // newWarmSolver builds a solver positioned at the snapshot basis, or
-// reports ok=false when the snapshot does not fit the problem (shape
-// mismatch, inconsistent statuses, or a singular basis matrix).
-func newWarmSolver(p *Problem, opt Options, ws *Basis) (*solver, bool) {
+// reports a non-empty reject reason when the snapshot does not fit the
+// problem (shape mismatch, inconsistent statuses, or a singular basis
+// matrix).
+func newWarmSolver(p *Problem, opt Options, ws *Basis) (*solver, string) {
 	s := newCore(p, opt)
 	if int(ws.nStruct) != s.nStruct || int(ws.m) != s.m ||
 		len(ws.vstat) != s.n || len(ws.basis) != s.m {
-		return nil, false
+		return nil, rejectDimMismatch
 	}
 
 	// Statuses from the snapshot; verify the basis set is consistent.
@@ -66,14 +81,14 @@ func newWarmSolver(p *Problem, opt Options, ws *Basis) (*solver, bool) {
 		}
 	}
 	if basicCount != s.m {
-		return nil, false
+		return nil, rejectStaleBasis
 	}
 	s.basis = make([]int, s.m)
 	seen := make([]bool, s.n)
 	for i, bj := range ws.basis {
 		j := int(bj)
 		if j < 0 || j >= s.n || s.vstat[j] != basic || seen[j] {
-			return nil, false
+			return nil, rejectStaleBasis
 		}
 		seen[j] = true
 		s.basis[i] = j
@@ -122,11 +137,11 @@ func newWarmSolver(p *Problem, opt Options, ws *Basis) (*solver, bool) {
 	}
 
 	if !s.factorize() {
-		return nil, false
+		return nil, rejectSingular
 	}
 	s.xB = make([]float64, s.m)
 	s.refresh() // basic values for the new bounds/RHS
-	return s, true
+	return s, ""
 }
 
 // factorize computes the explicit basis inverse for the current basis
@@ -263,7 +278,7 @@ func (s *solver) runWarm() (*Solution, bool, error) {
 		case statusCanceled:
 			return nil, false, s.ctx.Err()
 		case Infeasible:
-			return &Solution{Status: Infeasible, Iters: s.iters}, true, nil
+			return s.stamp(&Solution{Status: Infeasible, Iters: s.iters}), true, nil
 		case IterLimit:
 			return nil, false, nil
 		}
@@ -278,7 +293,7 @@ func (s *solver) runWarm() (*Solution, bool, error) {
 	if st == statusCanceled {
 		return nil, false, s.ctx.Err()
 	}
-	sol := &Solution{Status: st, Iters: s.iters}
+	sol := s.stamp(&Solution{Status: st, Iters: s.iters})
 	if st == Optimal {
 		sol.X = append([]float64(nil), s.x[:s.nStruct]...)
 		obj := 0.0

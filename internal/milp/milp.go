@@ -16,6 +16,7 @@ import (
 	"math"
 	"time"
 
+	"agingfp/internal/flight"
 	"agingfp/internal/lp"
 	"agingfp/internal/obs"
 )
@@ -55,6 +56,11 @@ type Options struct {
 	// counter agingfp_milp_nodes_total when a metrics registry is
 	// attached. nil (the default) costs nothing.
 	Trace *obs.Tracer
+	// Flight, when non-nil, journals the search's decisions — every
+	// branch, incumbent, and prune with its reason — into the per-solve
+	// flight recorder, alongside the coarser Trace events. nil falls
+	// back to the context-carried recorder (flight.WithRecorder).
+	Flight *flight.Recorder
 }
 
 // Validate rejects nonsense option values with a descriptive error.
@@ -177,6 +183,12 @@ type searcher struct {
 	nodeCtr   *obs.Counter  // agingfp_milp_nodes_total (nil-safe)
 	rep       *obs.Reporter // ctx-carried live progress; nil when unwatched
 	rootBound float64       // root relaxation objective (NaN until known)
+
+	rec *flight.Recorder // per-solve decision journal (nil-safe)
+	// budgetLogged makes the budget prune a one-shot journal entry: a
+	// hit budget unwinds the whole recursion, and one event per unwound
+	// frame would say nothing new.
+	budgetLogged bool
 }
 
 // publishProgress stamps the branch-and-bound group of the job's live
@@ -235,6 +247,13 @@ func Solve(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 		// tracer unless the caller wired the LP layer separately.
 		opts.LP.Trace = opts.Trace
 	}
+	if opts.Flight == nil {
+		opts.Flight = flight.FromContext(ctx)
+	}
+	if opts.LP.Flight == nil {
+		// Node relaxations journal into the same recorder.
+		opts.LP.Flight = opts.Flight
+	}
 	s := &searcher{
 		ctx:     ctx,
 		base:    p.LP.CloneBounds(),
@@ -248,6 +267,7 @@ func Solve(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 		nodeCtr:   opts.Trace.Registry().Counter("agingfp_milp_nodes_total"),
 		rep:       obs.ReporterFrom(ctx),
 		rootBound: math.NaN(),
+		rec:       opts.Flight,
 	}
 	if opts.TimeLimit > 0 {
 		s.deadline = time.Now().Add(opts.TimeLimit)
@@ -300,6 +320,7 @@ func Solve(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 		obs.Int("simplex_iters", res.SimplexIters),
 		obs.Int("warm_starts", res.WarmStarts),
 		obs.Int("warm_rejects", res.WarmStartRejects))
+	s.rec.NoteNodes(res.Nodes)
 	if s.rep != nil {
 		s.publishProgress()
 	}
@@ -324,9 +345,17 @@ func (s *searcher) dfs(depth int, rootObj *float64, warm *lp.Basis) (searchState
 		return searchCanceled, err
 	}
 	if s.nodes >= s.opts.MaxNodes {
+		if !s.budgetLogged {
+			s.budgetLogged = true
+			s.rec.Record(flight.Event{Kind: flight.KindPrune, Node: s.nodes, Depth: depth, Cause: "budget"})
+		}
 		return searchBudget, nil
 	}
 	if s.hasDL && time.Now().After(s.deadline) {
+		if !s.budgetLogged {
+			s.budgetLogged = true
+			s.rec.Record(flight.Event{Kind: flight.KindPrune, Node: s.nodes, Depth: depth, Cause: "budget"})
+		}
 		return searchBudget, nil
 	}
 	s.nodes++
@@ -367,15 +396,18 @@ func (s *searcher) dfs(depth int, rootObj *float64, warm *lp.Basis) (searchState
 	}
 	switch sol.Status {
 	case lp.Infeasible:
+		s.rec.Record(flight.Event{Kind: flight.KindPrune, Node: s.nodes, Depth: depth, Cause: "infeasible"})
 		return searchExhausted, nil
 	case lp.Unbounded:
 		return searchExhausted, fmt.Errorf("milp: LP relaxation unbounded at depth %d", depth)
 	case lp.IterLimit:
 		// Treat as unexplorable; conservative (cannot prune optimality
 		// claims below, so report budget).
+		s.rec.Record(flight.Event{Kind: flight.KindPrune, Node: s.nodes, Depth: depth, Cause: "iterlimit"})
 		return searchBudget, nil
 	}
 	if s.hasInc && sol.Obj >= s.incObj-1e-9 {
+		s.rec.Record(flight.Event{Kind: flight.KindPrune, Node: s.nodes, Depth: depth, Cause: "bound", Obj: sol.Obj})
 		return searchExhausted, nil // bound-dominated
 	}
 
@@ -406,6 +438,7 @@ func (s *searcher) dfs(depth int, rootObj *float64, warm *lp.Basis) (searchState
 			obs.Float("obj", sol.Obj),
 			obs.Int("nodes", s.nodes),
 			obs.Int("depth", depth))
+		s.rec.Record(flight.Event{Kind: flight.KindIncumbent, Node: s.nodes, Depth: depth, Obj: sol.Obj})
 		if s.rep != nil {
 			s.publishProgress()
 		}
@@ -416,6 +449,7 @@ func (s *searcher) dfs(depth int, rootObj *float64, warm *lp.Basis) (searchState
 	}
 
 	v := sol.X[branch]
+	s.rec.Record(flight.Event{Kind: flight.KindBranch, Node: s.nodes, Depth: depth, Var: branch, F: v})
 	lo, hi := s.base.Bounds(branch)
 	floorV, ceilV := math.Floor(v), math.Ceil(v)
 

@@ -295,3 +295,26 @@ func TestStopAtFirst(t *testing.T) {
 		}
 	}
 }
+
+// TestStatusString pins the Stringer for every declared status plus the
+// unknown-value fallback, which log lines and flight-recorder events
+// rely on for stable text.
+func TestStatusString(t *testing.T) {
+	cases := []struct {
+		s    Status
+		want string
+	}{
+		{Optimal, "optimal"},
+		{Feasible, "feasible"},
+		{NodeLimit, "node-limit"},
+		{Canceled, "canceled"},
+		{Infeasible, "infeasible"},
+		{Status(42), "Status(42)"},
+		{Status(-1), "Status(-1)"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("Status(%d).String() = %q, want %q", int(c.s), got, c.want)
+		}
+	}
+}

@@ -236,6 +236,15 @@ func labeledName(name, label string) string {
 	return name + "{" + label + "}"
 }
 
+// Labeled attaches one label to a metric name in the registry's inline
+// convention: Labeled("x_total", "reason", "singular") is
+// `x_total{reason="singular"}`. Instrument layers use it to key one
+// Counter per label value while WritePrometheus still groups the family
+// under a single # TYPE line.
+func Labeled(name, key, value string) string {
+	return labeledName(name, key+`="`+value+`"`)
+}
+
 // WritePrometheus writes a text-exposition snapshot of every
 // instrument, sorted by name with one # TYPE line per metric family.
 // Counter values are integers; gauge values and histogram sums are

@@ -65,6 +65,35 @@ agingfp_st_probes_total 1
 	}
 }
 
+// TestWarmRejectLabelsExposed pins the labeled warm-start reject family:
+// every reject reason the LP layer can emit must surface as its own
+// labeled series in the exposition, so dashboards can break rejects down
+// by cause instead of seeing one opaque total.
+func TestWarmRejectLabelsExposed(t *testing.T) {
+	r := obs.NewRegistry()
+	const family = "agingfp_lp_warmstart_rejects_total"
+	for i, reason := range []string{"stale_basis", "singular", "dim_mismatch"} {
+		r.Counter(obs.Labeled(family, "reason", reason)).Add(int64(i + 1))
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		`agingfp_lp_warmstart_rejects_total{reason="stale_basis"} 1`,
+		`agingfp_lp_warmstart_rejects_total{reason="singular"} 2`,
+		`agingfp_lp_warmstart_rejects_total{reason="dim_mismatch"} 3`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing labeled series %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "# TYPE agingfp_lp_warmstart_rejects_total counter") {
+		t.Errorf("exposition missing TYPE line for the reject family:\n%s", got)
+	}
+}
+
 // TestHistogramExponentialBuckets pins the bucket layout contract: bounds
 // are exponential (base 100µs, factor 2), every observation lands in the
 // first bucket whose bound is >= it, and the bucket count matches what

@@ -86,12 +86,19 @@ func NewReporter() *Reporter {
 // timestamp. Concurrent updates linearize via compare-and-swap (f may
 // run more than once under contention; it must be a pure function of its
 // argument). On a nil reporter Update returns without calling f.
+//
+// A terminal snapshot (Done set) is final: once published, every later
+// Update is dropped, so a job's first outcome — "failed", "canceled" —
+// can't be overwritten by a racing late writer publishing "done".
 func (r *Reporter) Update(f func(p *Progress)) {
 	if r == nil {
 		return
 	}
 	for {
 		old := r.cur.Load()
+		if old.Done {
+			return
+		}
 		next := *old
 		f(&next)
 		next.Seq = old.Seq + 1

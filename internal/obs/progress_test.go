@@ -31,6 +31,32 @@ func TestReporterLatestValue(t *testing.T) {
 	}
 }
 
+// TestReporterTerminalIdempotent pins the terminal-state contract: once
+// a Done snapshot is published, later updates — including a second,
+// conflicting terminal publish — are dropped, and Seq stops advancing.
+func TestReporterTerminalIdempotent(t *testing.T) {
+	r := obs.NewReporter()
+	r.Update(func(p *obs.Progress) { p.Phase = "probe"; p.STProbes = 3 })
+	r.Update(func(p *obs.Progress) { p.Done = true; p.Status = "failed" })
+	final := r.Latest()
+	if !final.Done || final.Status != "failed" {
+		t.Fatalf("terminal snapshot = %+v, want Done/failed", final)
+	}
+
+	r.Update(func(p *obs.Progress) { p.Done = true; p.Status = "done" })
+	r.Update(func(p *obs.Progress) { p.LPSolves = 99 })
+	got := r.Latest()
+	if got.Status != "failed" {
+		t.Fatalf("second terminal publish overwrote the first: Status = %q, want %q", got.Status, "failed")
+	}
+	if got.Seq != final.Seq {
+		t.Fatalf("Seq advanced past terminal state: %d -> %d", final.Seq, got.Seq)
+	}
+	if got.LPSolves != final.LPSolves {
+		t.Fatalf("non-terminal field mutated after terminal state: %+v", got)
+	}
+}
+
 // TestReporterNilInert pins the nil contract: Update never calls its
 // closure, Latest returns zero, Watch returns a nil (never-ready)
 // channel.

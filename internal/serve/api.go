@@ -13,7 +13,9 @@ import (
 
 	"agingfp/internal/arch"
 	"agingfp/internal/bench"
+	"agingfp/internal/buildinfo"
 	"agingfp/internal/core"
+	"agingfp/internal/flight"
 	"agingfp/internal/nbti"
 	"agingfp/internal/obs"
 	"agingfp/internal/place"
@@ -243,7 +245,10 @@ func (s *Server) execute(ctx context.Context, req *JobRequest) ([]byte, error) {
 //	GET    /v1/jobs/{id}/progress latest solver-progress snapshot
 //	GET    /v1/jobs/{id}/events   server-sent-events progress stream
 //	GET    /v1/jobs/{id}/trace    captured JSONL span trace (if enabled)
+//	GET    /v1/jobs/{id}/report   flight-recorder explainability report
+//	                              (?format=json|text|journal, default json)
 //	DELETE /v1/jobs/{id}          cooperative cancel
+//	GET    /v1/version            build identity (VCS revision, Go version)
 //	GET    /healthz               liveness + drain state
 //	GET    /metrics               Prometheus text-format snapshot
 //	GET    /debug/pprof/...       runtime profiles (Config.EnablePprof)
@@ -259,7 +264,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.EnablePprof {
@@ -361,7 +368,7 @@ func httpError(w http.ResponseWriter, err error) {
 		code = http.StatusBadRequest
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 		code = http.StatusServiceUnavailable
-	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoTrace):
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoTrace), errors.Is(err, ErrNoFlight):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrNotDone):
 		code = http.StatusConflict
@@ -497,6 +504,44 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Write(out) //nolint:errcheck
+}
+
+// handleReport serves the job's flight-recorder output: the raw journal
+// (?format=journal), the human-readable report (?format=text), or the
+// deterministic report JSON (default). The journal snapshot is
+// consistent mid-solve, so a report of a running job shows the search
+// so far.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if snap, err := s.Job(r.PathValue("id")); err == nil {
+		setTraceHeader(w, snap)
+	}
+	journal, err := s.FlightJournal(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "journal":
+		w.Header().Set("Content-Type", "application/json")
+		journal.WriteJSON(w) //nolint:errcheck // response already committed
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, flight.BuildReport(journal).Text()) //nolint:errcheck
+	case "", "json":
+		out, err := flight.BuildReport(journal).JSON()
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(out) //nolint:errcheck
+	default:
+		httpError(w, badRequest("serve: unknown report format %q (want json, text, or journal)", format))
+	}
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, buildinfo.Get())
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"agingfp/internal/flight"
 	"agingfp/internal/obs"
 )
 
@@ -58,6 +59,11 @@ type Config struct {
 	// TraceBytesPerJob bounds each job's captured trace (default 1 MiB);
 	// events past the cap are counted and dropped, never buffered.
 	TraceBytesPerJob int
+	// FlightEvents bounds each job's flight-recorder journal (default
+	// flight.DefaultMaxEvents); events past the cap are counted and
+	// dropped while the journal's aggregates keep advancing. Negative
+	// disables per-job recording (and GET /v1/jobs/{id}/report).
+	FlightEvents int
 	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/
 	// on Handler. Off by default: the profiles expose internals, so
 	// operators opt in per deployment.
@@ -80,6 +86,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceBytesPerJob < 1 {
 		c.TraceBytesPerJob = 1 << 20
 	}
+	if c.FlightEvents == 0 {
+		c.FlightEvents = flight.DefaultMaxEvents
+	}
 	return c
 }
 
@@ -96,6 +105,10 @@ var (
 	ErrNotDone = errors.New("serve: job not finished")
 	// ErrNoTrace reports a trace request when capture is disabled (404).
 	ErrNoTrace = errors.New("serve: per-job trace capture disabled")
+	// ErrNoFlight reports a report request for a job without a flight
+	// journal — recording disabled, or the job was served from the result
+	// cache without running the solver (404).
+	ErrNoFlight = errors.New("serve: no flight journal for this job")
 )
 
 // JobState is the lifecycle phase of a submitted job.
@@ -118,8 +131,9 @@ type job struct {
 	ctx       context.Context
 	cancel    context.CancelFunc
 	submitted time.Time
-	rep       *obs.Reporter // live solver progress (always non-nil)
-	capture   *traceCapture // per-job span capture; nil unless enabled
+	rep       *obs.Reporter    // live solver progress (always non-nil)
+	capture   *traceCapture    // per-job span capture; nil unless enabled
+	flight    *flight.Recorder // per-job decision journal; nil for cache hits or when disabled
 
 	mu       sync.Mutex
 	state    JobState
@@ -292,6 +306,12 @@ func (s *Server) Submit(req *JobRequest) (Snapshot, error) {
 		return j.snapshot(), nil
 	}
 	s.reg.Counter(`agingfp_serve_cache_misses_total`).Inc()
+	// Only jobs that actually run the solver get a flight recorder: a
+	// cache hit replays stored bytes, so there are no decisions to
+	// journal and the report endpoint answers 404 for it.
+	if s.cfg.FlightEvents > 0 {
+		j.flight = flight.NewRecorder(s.cfg.FlightEvents)
+	}
 
 	deadline := s.cfg.DefaultDeadline
 	if req.DeadlineMs > 0 {
@@ -429,6 +449,24 @@ func (s *Server) Trace(id string) ([]byte, error) {
 	return j.capture.bytes(), nil
 }
 
+// FlightJournal snapshots the job's flight-recorder journal. It works
+// on live jobs too (the snapshot is consistent mid-solve) and keeps
+// working after Drain, so an operator can pull the journal of a job
+// that was force-canceled. ErrNoFlight when the job has no recorder
+// (recording disabled, or a cache-hit job that never ran the solver).
+func (s *Server) FlightJournal(id string) (*flight.Journal, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if j.flight == nil {
+		return nil, ErrNoFlight
+	}
+	return j.flight.Snapshot(), nil
+}
+
 // Draining reports whether Drain has begun (used by /healthz).
 func (s *Server) Draining() bool {
 	s.mu.Lock()
@@ -540,6 +578,9 @@ func (s *Server) runJob(j *job) {
 	ctx := obs.WithTracer(j.ctx, tr)
 	ctx = obs.WithTraceID(ctx, j.traceID)
 	ctx = obs.WithReporter(ctx, j.rep)
+	if j.flight != nil {
+		ctx = flight.WithRecorder(ctx, j.flight)
+	}
 
 	out, err := s.execute(ctx, j.req)
 
