@@ -42,6 +42,7 @@ import (
 	"agingfp/internal/nbti"
 	"agingfp/internal/obs"
 	"agingfp/internal/place"
+	"agingfp/internal/telemetry"
 	"agingfp/internal/thermal"
 	"agingfp/internal/timing"
 )
@@ -128,6 +129,7 @@ func run() int {
 		journalF  = flag.String("journal", "", "write the solve's flight-recorder journal (JSON) to this file")
 		explainF  = flag.String("explain", "", "write the human-readable explainability report to this file")
 		flightEvs = flag.Int("flight-events", 0, "bound the flight journal's event count (0 = default, negative disables recording)")
+		telemDir  = flag.String("telemetry-dir", "", "append this run's wide telemetry event to the durable store in this directory (shared with agingfloord)")
 		version   = flag.Bool("version", false, "print build identity (VCS revision, Go version) and exit")
 	)
 	flag.Parse()
@@ -313,6 +315,43 @@ func run() int {
 		r.Stats.Step1Time.Round(time.Millisecond), r.Stats.RotateTime.Round(time.Millisecond),
 		r.Stats.Step2Time.Round(time.Millisecond), r.Stats.TimingTime.Round(time.Millisecond),
 		r.Stats.Elapsed.Round(time.Millisecond))
+
+	// One wide event per run: the CLI feeds the same longitudinal store
+	// agingfloord reads, so batch experiments and served jobs land in one
+	// history. Best-effort — a telemetry problem never fails the solve.
+	if *telemDir != "" {
+		if p, err := telemetry.Open(telemetry.Config{Dir: *telemDir}); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+		} else {
+			ms := func(dur time.Duration) float64 { return float64(dur) / float64(time.Millisecond) }
+			p.Record(&telemetry.SolveEvent{
+				Time:          time.Now(),
+				Source:        telemetry.SourceCLI,
+				Bench:         d.Name,
+				Ops:           d.NumOps(),
+				Contexts:      d.NumContexts,
+				Mode:          *mode,
+				Status:        r.Status.String(),
+				ElapsedMs:     ms(r.Stats.Elapsed),
+				Step1Ms:       ms(r.Stats.Step1Time),
+				RotateMs:      ms(r.Stats.RotateTime),
+				Step2Ms:       ms(r.Stats.Step2Time),
+				TimingMs:      ms(r.Stats.TimingTime),
+				LPSolves:      r.Stats.LPSolves,
+				SimplexIters:  r.Stats.SimplexIters,
+				ILPNodes:      r.Stats.ILPNodes,
+				STProbes:      r.Stats.STProbes,
+				ProbeTimeouts: r.Stats.ProbeTimeouts,
+				WarmStarts:    r.Stats.WarmStarts,
+				WarmRejects:   r.Stats.WarmStartRejects,
+			})
+			if err := p.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			} else {
+				fmt.Println("recorded solve telemetry in", *telemDir)
+			}
+		}
+	}
 
 	if rec != nil {
 		journal := rec.Snapshot()

@@ -17,6 +17,12 @@
 // bounded per-job copy behind GET /v1/jobs/{id}/trace, and -pprof
 // mounts the runtime profiles under /debug/pprof/.
 //
+// -telemetry-dir enables the longitudinal telemetry pipeline: one
+// durable wide event per job, windowed percentiles behind GET
+// /v1/stats, the operator dashboard at GET /debug/dash, drift detection
+// against -telemetry-baseline, and automatic flight-journal capture of
+// slow-outlier solves (-slow-percentile) under <dir>/slow/.
+//
 // SIGTERM (or Ctrl-C) drains gracefully: intake stops with 503, queued
 // and running jobs finish (bounded by -drain-timeout), buffered trace
 // sinks are flushed, then the process exits. A second signal
@@ -34,9 +40,11 @@ import (
 	"syscall"
 	"time"
 
+	"agingfp/internal/bench"
 	"agingfp/internal/buildinfo"
 	"agingfp/internal/obs"
 	"agingfp/internal/serve"
+	"agingfp/internal/telemetry"
 )
 
 func main() { os.Exit(run()) }
@@ -56,6 +64,10 @@ func run() int {
 		logFormat    = flag.String("log-format", "text", "request/lifecycle log format: text or json")
 		quietLog     = flag.Bool("no-log", false, "disable request and lifecycle logging")
 		flightEvs    = flag.Int("flight-events", 0, "bound each job's flight journal (0 = default, negative disables GET /v1/jobs/{id}/report)")
+		telemDir     = flag.String("telemetry-dir", "", "durable solve-telemetry directory; enables GET /v1/stats and GET /debug/dash (empty disables)")
+		telemBase    = flag.String("telemetry-baseline", "", "perf baseline JSON (e.g. BENCH_baseline.json) to arm drift detection against")
+		driftFactor  = flag.Float64("drift-factor", 2.0, "tolerated slowdown factor before a benchmark is flagged as drifted (mirrors CI's perf gate)")
+		slowPct      = flag.Float64("slow-percentile", 0.99, "auto-capture the flight journal of solves beyond this latency percentile of their shape bucket (<=0 disables)")
 		version      = flag.Bool("version", false, "print build identity (VCS revision, Go version) and exit")
 	)
 	flag.Parse()
@@ -103,6 +115,44 @@ func run() int {
 		tracer = obs.New(sinks...)
 	}
 
+	// Telemetry is strictly additive: with no -telemetry-dir the pipeline
+	// stays nil and the server pays nothing per job (the stats/dash
+	// routes answer 404).
+	var pipeline *telemetry.Pipeline
+	if *telemDir != "" {
+		tcfg := telemetry.Config{
+			Dir:            *telemDir,
+			DriftFactor:    *driftFactor,
+			SlowPercentile: *slowPct,
+			Registry:       reg,
+			Logger:         logger,
+		}
+		if *slowPct <= 0 {
+			tcfg.SlowPercentile = -1 // zero means "default"; force off
+		}
+		if *telemBase != "" {
+			f, err := os.Open(*telemBase)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "agingfloord: %v\n", err)
+				return 1
+			}
+			base, err := bench.ReadPerfReport(f)
+			f.Close() //nolint:errcheck // read-only
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "agingfloord: %v\n", err)
+				return 1
+			}
+			tcfg.Baseline = base
+		}
+		p, err := telemetry.Open(tcfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "agingfloord: %v\n", err)
+			return 1
+		}
+		pipeline = p
+		defer pipeline.Close() //nolint:errcheck // drain already flushed jobs
+	}
+
 	srv := serve.New(serve.Config{
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
@@ -115,6 +165,7 @@ func run() int {
 		CaptureTraces:   *traceJobs,
 		EnablePprof:     *pprofOn,
 		FlightEvents:    *flightEvs,
+		Telemetry:       pipeline,
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

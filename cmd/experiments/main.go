@@ -131,11 +131,11 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			if err := bench.CompareMedian(rep, base, *perfFactor); err != nil {
+			if err := bench.Compare(rep, base, *perfFactor); err != nil {
 				fmt.Fprintf(os.Stderr, "perf regression gate: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Printf("perf gate ok: median %.0fms vs baseline %.0fms (limit %.1fx)\n",
+			fmt.Printf("perf gate ok: median %.0fms vs baseline %.0fms, effort medians within %.1fx\n",
 				rep.MedianSolveMs, base.MedianSolveMs, *perfFactor)
 		}
 	}

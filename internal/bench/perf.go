@@ -145,3 +145,57 @@ func CompareMedian(current, baseline *PerfReport, factor float64) error {
 	}
 	return nil
 }
+
+// CompareEffort gates the solver-effort counters the same way
+// CompareMedian gates wall-clock: the per-benchmark medians of
+// simplex_iters and lp_solves must not exceed factor x the baseline's.
+// Unlike wall-clock, these counters are deterministic for a fixed seed,
+// so a regression here is algorithmic (a lost warm start falls straight
+// into the simplex-iteration count) rather than runner noise — the same
+// generous factor is kept anyway so intentional algorithm changes fail
+// with a message, not a mystery. Baselines whose median is below 1 are
+// skipped, mirroring the wall-clock rule.
+func CompareEffort(current, baseline *PerfReport, factor float64) error {
+	if factor <= 1 {
+		return fmt.Errorf("bench: regression factor %g must exceed 1", factor)
+	}
+	if current.Suite != baseline.Suite {
+		return fmt.Errorf("bench: perf suites differ: current %q vs baseline %q", current.Suite, baseline.Suite)
+	}
+	metrics := []struct {
+		name string
+		of   func(*PerfRecord) float64
+	}{
+		{"simplex_iters", func(r *PerfRecord) float64 { return float64(r.SimplexIters) }},
+		{"lp_solves", func(r *PerfRecord) float64 { return float64(r.LPSolves) }},
+	}
+	for _, m := range metrics {
+		cur := medianOf(current.Records, m.of)
+		base := medianOf(baseline.Records, m.of)
+		if base < 1 {
+			continue
+		}
+		if limit := base * factor; cur > limit {
+			return fmt.Errorf("bench: median %s regressed: %.0f > %.1fx baseline %.0f",
+				m.name, cur, factor, base)
+		}
+	}
+	return nil
+}
+
+// Compare is the combined CI gate: wall-clock median plus the effort
+// medians, first failure wins.
+func Compare(current, baseline *PerfReport, factor float64) error {
+	if err := CompareMedian(current, baseline, factor); err != nil {
+		return err
+	}
+	return CompareEffort(current, baseline, factor)
+}
+
+func medianOf(records []PerfRecord, of func(*PerfRecord) float64) float64 {
+	v := make([]float64, 0, len(records))
+	for i := range records {
+		v = append(v, of(&records[i]))
+	}
+	return median(v)
+}

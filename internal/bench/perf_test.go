@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -80,5 +81,79 @@ func TestCompareMedian(t *testing.T) {
 	}
 	if err := CompareMedian(ok, base, 1); err == nil {
 		t.Fatal("want factor validation error")
+	}
+}
+
+// effortReport builds a report whose records carry the given per-bench
+// effort counters (wall-clock kept sub-ms so CompareMedian stays out of
+// the way in Compare tests that target the effort gate).
+func effortReport(suite string, simplex, lp []int) *PerfReport {
+	rep := &PerfReport{Schema: PerfSchema, Suite: suite, MedianSolveMs: 0.5}
+	for i := range simplex {
+		rep.Records = append(rep.Records, PerfRecord{
+			Name: fmt.Sprintf("B%d", i+1), SimplexIters: simplex[i], LPSolves: lp[i],
+		})
+	}
+	return rep
+}
+
+func TestCompareEffort(t *testing.T) {
+	base := effortReport("smoke", []int{1000, 2000, 3000}, []int{50, 60, 70})
+
+	// Within budget: both effort medians under 2x.
+	ok := effortReport("smoke", []int{1500, 3500, 2500}, []int{80, 100, 110})
+	if err := CompareEffort(ok, base, 2); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+
+	// A lost warm start shows up as a simplex-iteration blowup even when
+	// wall-clock noise hides it.
+	iterRegress := effortReport("smoke", []int{5000, 4100, 4500}, []int{60, 65, 70})
+	err := CompareEffort(iterRegress, base, 2)
+	if err == nil || !strings.Contains(err.Error(), "simplex_iters") {
+		t.Fatalf("want simplex_iters regression, got %v", err)
+	}
+
+	lpRegress := effortReport("smoke", []int{1000, 2000, 3000}, []int{130, 140, 150})
+	err = CompareEffort(lpRegress, base, 2)
+	if err == nil || !strings.Contains(err.Error(), "lp_solves") {
+		t.Fatalf("want lp_solves regression, got %v", err)
+	}
+
+	// Suites must match, factor must be a factor.
+	if err := CompareEffort(effortReport("full", nil, nil), base, 2); err == nil {
+		t.Fatal("want suite mismatch error")
+	}
+	if err := CompareEffort(ok, base, 1); err == nil {
+		t.Fatal("want factor validation error")
+	}
+
+	// Zero-effort baselines (predating the counters) skip the gate.
+	empty := effortReport("smoke", []int{0, 0, 0}, []int{0, 0, 0})
+	if err := CompareEffort(iterRegress, empty, 2); err != nil {
+		t.Fatalf("zero baseline must skip: %v", err)
+	}
+}
+
+func TestCombinedCompare(t *testing.T) {
+	base := effortReport("smoke", []int{1000, 1000, 1000}, []int{50, 50, 50})
+	base.MedianSolveMs = 100
+
+	good := effortReport("smoke", []int{1100, 1100, 1100}, []int{55, 55, 55})
+	good.MedianSolveMs = 150
+	if err := Compare(good, base, 2); err != nil {
+		t.Fatalf("combined gate within budget: %v", err)
+	}
+
+	slow := effortReport("smoke", []int{1100, 1100, 1100}, []int{55, 55, 55})
+	slow.MedianSolveMs = 250
+	if err := Compare(slow, base, 2); err == nil {
+		t.Fatal("combined gate must catch wall-clock regressions")
+	}
+
+	churn := effortReport("smoke", []int{9000, 9000, 9000}, []int{55, 55, 55})
+	churn.MedianSolveMs = 150
+	if err := Compare(churn, base, 2); err == nil {
+		t.Fatal("combined gate must catch effort regressions")
 	}
 }

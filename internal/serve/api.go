@@ -19,6 +19,7 @@ import (
 	"agingfp/internal/nbti"
 	"agingfp/internal/obs"
 	"agingfp/internal/place"
+	"agingfp/internal/telemetry"
 	"agingfp/internal/thermal"
 )
 
@@ -120,6 +121,10 @@ func (r *JobRequest) canonicalize() ([]byte, error) {
 // cached bytes equal what a fresh run would produce.
 type JobResult struct {
 	Design string `json:"design"`
+	// Ops / Contexts are the workload shape (telemetry buckets jobs by
+	// them; clients get them for free).
+	Ops      int `json:"ops"`
+	Contexts int `json:"contexts"`
 	// Status is the solver's typed outcome (optimal, feasible,
 	// node-limit, canceled, infeasible).
 	Status   string  `json:"status"`
@@ -151,10 +156,24 @@ type JobResult struct {
 	Mapping [][2]int `json:"mapping"`
 }
 
+// solveInfo is what execute reports back for the job's telemetry wide
+// event: workload identity and shape plus the solver-effort statistics.
+// Partially filled on failure paths (shape is known once the design
+// builds, stats once the solver returns).
+type solveInfo struct {
+	design   string
+	ops      int
+	contexts int
+	status   string
+	stats    core.Stats
+}
+
 // execute runs one job under its context and marshals the result
 // document. Cancellation surfaces as ctx's error (the partial solver
 // result is discarded — a half-searched floorplan is not a deliverable).
-func (s *Server) execute(ctx context.Context, req *JobRequest) ([]byte, error) {
+// The returned solveInfo is non-nil whenever the design was built, even
+// when the solve itself failed.
+func (s *Server) execute(ctx context.Context, req *JobRequest) ([]byte, *solveInfo, error) {
 	var (
 		d   *arch.Design
 		m0  arch.Mapping
@@ -171,17 +190,18 @@ func (s *Server) execute(ctx context.Context, req *JobRequest) ([]byte, error) {
 		}
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	info := &solveInfo{design: d.Name, ops: d.NumOps(), contexts: d.NumContexts}
 	if m0 == nil {
 		m0, err = place.Place(d, place.DefaultConfig())
 		if err != nil {
-			return nil, err
+			return nil, info, err
 		}
 	}
 	opts, err := req.options()
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
 	if req.Bench != "" && req.Seed == 0 {
 		spec, _ := bench.SpecByName(req.Bench)
@@ -196,22 +216,28 @@ func (s *Server) execute(ctx context.Context, req *JobRequest) ([]byte, error) {
 	}
 
 	res, err := core.Remap(ctx, d, m0, opts)
+	if res != nil {
+		info.stats = res.Stats
+		info.status = res.Status.String()
+	}
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
 
 	model, tcfg := nbti.DefaultModel(), thermal.DefaultConfig()
 	before, err := core.Evaluate(d, m0, model, tcfg)
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
 	ratio, err := core.MTTFIncrease(d, m0, res.Mapping, model, tcfg)
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
 
 	out := &JobResult{
 		Design:        d.Name,
+		Ops:           d.NumOps(),
+		Contexts:      d.NumContexts,
 		Status:        res.Status.String(),
 		Improved:      res.Improved,
 		STTarget:      res.STTarget,
@@ -234,7 +260,8 @@ func (s *Server) execute(ctx context.Context, req *JobRequest) ([]byte, error) {
 	for i, c := range res.Mapping {
 		out.Mapping[i] = [2]int{c.X, c.Y}
 	}
-	return json.MarshalIndent(out, "", "  ")
+	b, err := json.MarshalIndent(out, "", "  ")
+	return b, info, err
 }
 
 // Handler returns the service's HTTP routes:
@@ -249,8 +276,12 @@ func (s *Server) execute(ctx context.Context, req *JobRequest) ([]byte, error) {
 //	                              (?format=json|text|journal, default json)
 //	DELETE /v1/jobs/{id}          cooperative cancel
 //	GET    /v1/version            build identity (VCS revision, Go version)
+//	GET    /v1/stats              windowed telemetry summary
+//	                              (?window=15m; Config.Telemetry)
 //	GET    /healthz               liveness + drain state
 //	GET    /metrics               Prometheus text-format snapshot
+//	GET    /debug/dash            self-contained HTML operator dashboard
+//	                              (?window=15m; Config.Telemetry)
 //	GET    /debug/pprof/...       runtime profiles (Config.EnablePprof)
 //
 // Every response carries X-Trace-Id when the route resolves a job, and
@@ -267,8 +298,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/dash", s.handleDash)
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -368,7 +401,7 @@ func httpError(w http.ResponseWriter, err error) {
 		code = http.StatusBadRequest
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 		code = http.StatusServiceUnavailable
-	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoTrace), errors.Is(err, ErrNoFlight):
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoTrace), errors.Is(err, ErrNoFlight), errors.Is(err, ErrNoTelemetry):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrNotDone):
 		code = http.StatusConflict
@@ -443,7 +476,11 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents streams progress updates as server-sent events: one
 // `data:` line per published snapshot (deduplicated by Seq), ending
-// after the terminal Done event or when the client goes away.
+// after the terminal Done event or when the client goes away. Quiet
+// stretches (a long simplex phase publishes nothing for a while) are
+// bridged with `: keep-alive` comment frames every Config.SSEKeepAlive,
+// so idle-timeout reverse proxies keep the stream open and a vanished
+// client is noticed by the failed write instead of lingering forever.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	rep, err := s.reporter(id)
@@ -463,6 +500,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
+
+	var keepC <-chan time.Time
+	if s.cfg.SSEKeepAlive > 0 {
+		ticker := time.NewTicker(s.cfg.SSEKeepAlive)
+		defer ticker.Stop()
+		keepC = ticker.C
+	}
 
 	var lastSeq uint64
 	sent := false
@@ -487,6 +531,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-ch:
+		case <-keepC:
+			if _, err := io.WriteString(w, ": keep-alive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
 		case <-r.Context().Done():
 			return
 		}
@@ -542,6 +591,56 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, buildinfo.Get())
+}
+
+// statsWindow resolves the ?window= query (default: the pipeline's
+// drift window, the horizon operators usually care about first).
+func (s *Server) statsWindow(r *http.Request) (time.Duration, error) {
+	window := s.cfg.Telemetry.DriftWindow()
+	q := r.URL.Query().Get("window")
+	if q == "" {
+		return window, nil
+	}
+	d, err := time.ParseDuration(q)
+	if err != nil {
+		return 0, badRequest("serve: bad window %q: %v", q, err)
+	}
+	if d <= 0 {
+		return 0, badRequest("serve: window %q must be positive", q)
+	}
+	return d, nil
+}
+
+// handleStats serves the windowed telemetry summary: percentiles per
+// shape bucket and benchmark, throughput, cache hit rate, and drift
+// findings. 404 when no telemetry pipeline is configured.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Telemetry == nil {
+		httpError(w, ErrNoTelemetry)
+		return
+	}
+	window, err := s.statsWindow(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Telemetry.Stats(window))
+}
+
+// handleDash serves the self-contained HTML operator dashboard over the
+// same windowed summary /v1/stats exposes as JSON.
+func (s *Server) handleDash(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Telemetry == nil {
+		httpError(w, ErrNoTelemetry)
+		return
+	}
+	window, err := s.statsWindow(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, telemetry.Dashboard(s.cfg.Telemetry, window, "agingfloord")) //nolint:errcheck
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

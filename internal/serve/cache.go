@@ -4,6 +4,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"sync"
+
+	"agingfp/internal/obs"
 )
 
 // resultCache is the content-addressed result store: completed job
@@ -15,18 +17,24 @@ import (
 // The floorplanner is deterministic for a fixed request (fixed seed,
 // fixed design, fixed options), which is what makes caching sound: the
 // cached bytes are the bytes a fresh run would produce.
+// Cache occupancy and churn are exported alongside the hit/miss
+// counters Submit maintains, so /metrics tells the whole cache story:
+// hits vs misses (effectiveness), entries (occupancy against the
+// configured bound), evictions (churn — a high rate at full occupancy
+// means the working set exceeds CacheEntries).
 type resultCache struct {
 	mu      sync.Mutex
 	entries map[string][]byte
 	order   []string // insertion order, for FIFO eviction
 	cap     int
+	reg     *obs.Registry
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, reg *obs.Registry) *resultCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &resultCache{entries: make(map[string][]byte), cap: capacity}
+	return &resultCache{entries: make(map[string][]byte), cap: capacity, reg: reg}
 }
 
 // requestKey derives the cache key from the canonical request bytes.
@@ -56,7 +64,9 @@ func (c *resultCache) put(key string, val []byte) {
 		oldest := c.order[0]
 		c.order = c.order[1:]
 		delete(c.entries, oldest)
+		c.reg.Counter(`agingfp_serve_cache_evictions_total`).Inc()
 	}
 	c.entries[key] = val
 	c.order = append(c.order, key)
+	c.reg.Gauge(`agingfp_serve_cache_entries`).Set(float64(len(c.entries)))
 }

@@ -16,6 +16,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -24,6 +25,7 @@ import (
 
 	"agingfp/internal/flight"
 	"agingfp/internal/obs"
+	"agingfp/internal/telemetry"
 )
 
 // Config sizes the service.
@@ -68,6 +70,16 @@ type Config struct {
 	// on Handler. Off by default: the profiles expose internals, so
 	// operators opt in per deployment.
 	EnablePprof bool
+	// Telemetry is the longitudinal wide-event pipeline: every finished
+	// job (cache hits included) emits one durable event, and the
+	// pipeline backs GET /v1/stats and GET /debug/dash. nil disables
+	// both (the routes answer 404) at zero per-job cost.
+	Telemetry *telemetry.Pipeline
+	// SSEKeepAlive is the idle interval after which the /events stream
+	// emits a `: keep-alive` comment, so reverse proxies do not reap
+	// quiet connections and dead clients are detected by the failed
+	// write. Zero defaults to 15s; negative disables.
+	SSEKeepAlive time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +101,9 @@ func (c Config) withDefaults() Config {
 	if c.FlightEvents == 0 {
 		c.FlightEvents = flight.DefaultMaxEvents
 	}
+	if c.SSEKeepAlive == 0 {
+		c.SSEKeepAlive = 15 * time.Second
+	}
 	return c
 }
 
@@ -109,6 +124,9 @@ var (
 	// journal — recording disabled, or the job was served from the result
 	// cache without running the solver (404).
 	ErrNoFlight = errors.New("serve: no flight journal for this job")
+	// ErrNoTelemetry reports a /v1/stats or /debug/dash request when no
+	// telemetry pipeline is configured (404).
+	ErrNoTelemetry = errors.New("serve: telemetry disabled")
 )
 
 // JobState is the lifecycle phase of a submitted job.
@@ -246,7 +264,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		reg:        cfg.Registry,
-		cache:      newResultCache(cfg.CacheEntries),
+		cache:      newResultCache(cfg.CacheEntries, cfg.Registry),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *job, cfg.QueueDepth),
@@ -303,6 +321,7 @@ func (s *Server) Submit(req *JobRequest) (Snapshot, error) {
 		s.gaugeState(StateDone, 1)
 		j.rep.Update(func(p *obs.Progress) { p.Phase = "done"; p.Done = true; p.Status = string(StateDone) })
 		s.logJob(j, "job served from cache", slog.Bool("cache_hit", true))
+		s.emitCacheHitEvent(j, cached)
 		return j.snapshot(), nil
 	}
 	s.reg.Counter(`agingfp_serve_cache_misses_total`).Inc()
@@ -334,6 +353,40 @@ func (s *Server) Submit(req *JobRequest) (Snapshot, error) {
 	s.reg.Gauge(`agingfp_serve_queue_depth`).Set(float64(len(s.queue)))
 	s.logJob(j, "job submitted", slog.String("bench", req.Bench), slog.String("mode", req.Mode))
 	return j.snapshot(), nil
+}
+
+// emitCacheHitEvent records a cache-served job as a wide event: it
+// counts toward throughput and the hit rate but is excluded from solve
+// latency percentiles (the pipeline keys that off cache_hit). The
+// workload identity and shape are read back out of the cached result
+// document, which carries them precisely so replays stay attributable.
+func (s *Server) emitCacheHitEvent(j *job, cached []byte) {
+	tp := s.cfg.Telemetry
+	if tp == nil {
+		return
+	}
+	var res struct {
+		Design   string `json:"design"`
+		Ops      int    `json:"ops"`
+		Contexts int    `json:"contexts"`
+	}
+	json.Unmarshal(cached, &res) //nolint:errcheck // best-effort attribution
+	mode := j.req.Mode
+	if mode == "" {
+		mode = "rotate"
+	}
+	tp.Record(&telemetry.SolveEvent{
+		Time:     time.Now(),
+		Source:   telemetry.SourceServe,
+		JobID:    j.id,
+		TraceID:  j.traceID,
+		Bench:    res.Design,
+		Ops:      res.Ops,
+		Contexts: res.Contexts,
+		Mode:     mode,
+		Status:   string(StateDone),
+		CacheHit: true,
+	})
 }
 
 // gaugeState moves the live per-state job-count gauges: +1 when a job
@@ -582,7 +635,7 @@ func (s *Server) runJob(j *job) {
 		ctx = flight.WithRecorder(ctx, j.flight)
 	}
 
-	out, err := s.execute(ctx, j.req)
+	out, info, err := s.execute(ctx, j.req)
 
 	j.mu.Lock()
 	j.finished = time.Now()
@@ -621,4 +674,62 @@ func (s *Server) runJob(j *job) {
 		attrs = append(attrs, slog.String("error", err.Error()))
 	}
 	s.logJob(j, "job finished", attrs...)
+	s.emitSolveEvent(j, info, final, elapsed, queueWait, err)
 }
+
+// emitSolveEvent folds the finished job into the telemetry pipeline as
+// one wide event, and — when the pipeline flags the solve as a slow
+// outlier for its shape bucket — persists the job's flight journal next
+// to the event store so the decision log is on disk before anyone asks.
+// A nil pipeline makes the whole call a no-op.
+func (s *Server) emitSolveEvent(j *job, info *solveInfo, final JobState, elapsed, queueWait time.Duration, jobErr error) {
+	tp := s.cfg.Telemetry
+	if tp == nil {
+		return
+	}
+	mode := j.req.Mode
+	if mode == "" {
+		mode = "rotate"
+	}
+	ev := &telemetry.SolveEvent{
+		Time:        time.Now(),
+		Source:      telemetry.SourceServe,
+		JobID:       j.id,
+		TraceID:     j.traceID,
+		Mode:        mode,
+		Status:      string(final),
+		ElapsedMs:   durMs(elapsed),
+		QueueWaitMs: durMs(queueWait),
+	}
+	if jobErr != nil {
+		ev.Error = jobErr.Error()
+	}
+	if info != nil {
+		ev.Bench = info.design
+		ev.Ops = info.ops
+		ev.Contexts = info.contexts
+		st := info.stats
+		ev.Step1Ms = durMs(st.Step1Time)
+		ev.RotateMs = durMs(st.RotateTime)
+		ev.Step2Ms = durMs(st.Step2Time)
+		ev.TimingMs = durMs(st.TimingTime)
+		ev.LPSolves = st.LPSolves
+		ev.SimplexIters = st.SimplexIters
+		ev.ILPNodes = st.ILPNodes
+		ev.STProbes = st.STProbes
+		ev.ProbeTimeouts = st.ProbeTimeouts
+		ev.WarmStarts = st.WarmStarts
+		ev.WarmRejects = st.WarmStartRejects
+	}
+	out := tp.Record(ev)
+	if out.Slow && j.flight != nil {
+		path := tp.CaptureSlow(j.id, j.flight.Snapshot().WriteJSON)
+		s.logJob(j, "slow solve captured",
+			slog.Float64("elapsed_ms", ev.ElapsedMs),
+			slog.Float64("threshold_ms", out.SlowThreshold),
+			slog.String("journal", path))
+	}
+}
+
+// durMs converts a duration to float milliseconds for the wide event.
+func durMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sort"
+
+	"agingfp/internal/bench"
+	"agingfp/internal/obs"
+)
+
+// DriftMetric names for DriftFinding.Metric and the drift gauge's
+// metric label.
+const (
+	DriftSolveMs      = "solve_ms"
+	DriftSimplexIters = "simplex_iters"
+	DriftLPSolves     = "lp_solves"
+)
+
+// DriftGauge is the exported gauge family: one series per
+// (benchmark, metric) pair carrying the live-over-baseline ratio. A
+// value at or above the configured factor means the perf gate would
+// fail on this traffic.
+const DriftGauge = "agingfp_telemetry_drift"
+
+// DriftFinding is one baseline comparison: a benchmark's windowed
+// median against the committed BENCH_baseline.json record, for one
+// metric. Exceeded mirrors the CI perf gate's verdict (ratio > factor).
+type DriftFinding struct {
+	Benchmark string  `json:"benchmark"`
+	Metric    string  `json:"metric"`
+	Baseline  float64 `json:"baseline"`
+	Current   float64 `json:"current"`
+	Ratio     float64 `json:"ratio"`
+	Samples   int64   `json:"samples"`
+	Exceeded  bool    `json:"exceeded"`
+}
+
+// driftDetector compares windowed per-benchmark medians against the
+// perf baseline and keeps the agingfp_telemetry_drift gauge current.
+// It applies the same posture as the CI perf gate (internal/bench):
+// generous factor over a median, meant to catch order-of-magnitude
+// regressions in live traffic, not 10% noise.
+//
+// One caveat, documented rather than hidden: baseline records sum the
+// Freeze and Rotate arms (the bench suite runs both), while a service
+// job runs one arm. The ratio is therefore conservative — live medians
+// sit naturally below baseline — and a reading above the factor is all
+// the more significant.
+type driftDetector struct {
+	records    map[string]bench.PerfRecord
+	factor     float64
+	minSamples int64
+
+	reg    *obs.Registry
+	logger *slog.Logger
+}
+
+func newDriftDetector(baseline *bench.PerfReport, factor float64, minSamples int64, reg *obs.Registry, logger *slog.Logger) *driftDetector {
+	if baseline == nil {
+		return nil
+	}
+	if factor <= 1 {
+		factor = 2.0
+	}
+	if minSamples < 1 {
+		minSamples = 3
+	}
+	d := &driftDetector{
+		records:    make(map[string]bench.PerfRecord, len(baseline.Records)),
+		factor:     factor,
+		minSamples: minSamples,
+		reg:        reg,
+		logger:     logger,
+	}
+	for _, r := range baseline.Records {
+		d.records[r.Name] = r
+	}
+	return d
+}
+
+// benchNames returns the baseline's benchmark names, sorted.
+func (d *driftDetector) benchNames() []string {
+	names := make([]string, 0, len(d.records))
+	for n := range d.records {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// check compares one benchmark's windowed summary against its baseline
+// record, updates the drift gauges, and logs a structured alert for
+// every metric whose ratio exceeds the factor. Nil-safe; returns nil
+// when the benchmark is not in the baseline or has too few samples.
+func (d *driftDetector) check(name string, s BucketSummary) []DriftFinding {
+	if d == nil {
+		return nil
+	}
+	base, ok := d.records[name]
+	if !ok || s.Solved < d.minSamples {
+		return nil
+	}
+	metrics := []struct {
+		metric   string
+		baseline float64
+		current  float64
+	}{
+		{DriftSolveMs, base.ElapsedMs, s.P50Ms},
+		{DriftSimplexIters, float64(base.SimplexIters), s.SimplexItersP50},
+		{DriftLPSolves, float64(base.LPSolves), s.LPSolvesP50},
+	}
+	var out []DriftFinding
+	for _, m := range metrics {
+		if m.baseline <= 0 {
+			continue // baseline predates the counter, or too small to gate
+		}
+		f := DriftFinding{
+			Benchmark: name,
+			Metric:    m.metric,
+			Baseline:  m.baseline,
+			Current:   m.current,
+			Ratio:     m.current / m.baseline,
+			Samples:   s.Solved,
+		}
+		f.Exceeded = f.Ratio > d.factor
+		d.reg.Gauge(gaugeName(name, m.metric)).Set(f.Ratio)
+		if f.Exceeded && d.logger != nil {
+			d.logger.LogAttrs(context.Background(), slog.LevelWarn, "solver performance drift",
+				slog.String("benchmark", f.Benchmark),
+				slog.String("metric", f.Metric),
+				slog.Float64("baseline", f.Baseline),
+				slog.Float64("current", f.Current),
+				slog.Float64("ratio", f.Ratio),
+				slog.Float64("factor", d.factor),
+				slog.Int64("samples", f.Samples),
+			)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// gaugeName builds the labeled drift gauge series name.
+func gaugeName(benchmark, metric string) string {
+	return fmt.Sprintf(`%s{metric=%q,benchmark=%q}`, DriftGauge, metric, benchmark)
+}

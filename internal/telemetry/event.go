@@ -1,0 +1,115 @@
+// Package telemetry is the longitudinal solve-observability layer: one
+// wide event per completed job (CLI run or agingfloord submission),
+// appended to a durable size-rotated JSONL store, aggregated into
+// time-windowed percentile summaries, and compared against the committed
+// perf baseline for drift.
+//
+// Where internal/obs answers "how is the process doing right now?" with
+// live counters and spans, and internal/flight answers "why did THIS
+// solve do what it did?" with a per-solve journal, telemetry answers
+// "how has the solver been doing over the last hours and across
+// restarts?" — the continuous-profiling view a long-running service
+// needs to check the paper's minutes-scale-solve claim against live
+// traffic instead of one-shot snapshots.
+//
+// The package is nil-safe throughout: every method on a nil *Pipeline
+// is a no-op, so callers wire it unconditionally and pay nothing when
+// telemetry is disabled.
+package telemetry
+
+import (
+	"fmt"
+	"time"
+)
+
+// Source values for SolveEvent.Source.
+const (
+	SourceServe = "serve" // an agingfloord job
+	SourceCLI   = "cli"   // a one-shot agingfloor run
+)
+
+// SolveEvent is the wide event one completed solve emits: everything an
+// operator needs to slice solver behavior after the fact, denormalized
+// into one flat record. One event per job — cache hits included (they
+// count toward throughput and hit-rate but are excluded from solve-time
+// percentiles, which describe actual solver runs).
+type SolveEvent struct {
+	// Time is the completion wall-clock timestamp. The store preserves
+	// it verbatim, so replayed history lands in the right aggregation
+	// cells after a restart.
+	Time time.Time `json:"time"`
+	// Source is serve or cli.
+	Source string `json:"source"`
+	// JobID / TraceID join the event with the job API, logs and spans.
+	JobID   string `json:"job_id,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
+
+	// Bench is the workload name (Table-I benchmark or design name).
+	Bench string `json:"bench,omitempty"`
+	// Ops / Contexts are the workload shape; ShapeBucket groups them.
+	Ops      int    `json:"ops,omitempty"`
+	Contexts int    `json:"contexts,omitempty"`
+	Mode     string `json:"mode,omitempty"`
+
+	// Status is the job's terminal state (done, failed, canceled) — or,
+	// for CLI runs, the solver's typed status string.
+	Status string `json:"status"`
+	// CacheHit marks a job answered from the content-addressed cache
+	// without running the solver.
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	Error    string `json:"error,omitempty"`
+
+	// ElapsedMs is the solve wall-clock; QueueWaitMs the time between
+	// submission and a worker picking the job up (serve only).
+	ElapsedMs   float64 `json:"elapsed_ms"`
+	QueueWaitMs float64 `json:"queue_wait_ms,omitempty"`
+
+	// Per-phase wall-clock, matching core.Stats.
+	Step1Ms  float64 `json:"step1_ms,omitempty"`
+	RotateMs float64 `json:"rotate_ms,omitempty"`
+	Step2Ms  float64 `json:"step2_ms,omitempty"`
+	TimingMs float64 `json:"timing_ms,omitempty"`
+
+	// Solver-effort counters, matching core.Stats.
+	LPSolves      int `json:"lp_solves,omitempty"`
+	SimplexIters  int `json:"simplex_iters,omitempty"`
+	ILPNodes      int `json:"ilp_nodes,omitempty"`
+	STProbes      int `json:"st_probes,omitempty"`
+	ProbeTimeouts int `json:"probe_timeouts,omitempty"`
+	WarmStarts    int `json:"warm_starts,omitempty"`
+	WarmRejects   int `json:"warm_rejects,omitempty"`
+}
+
+// solved reports whether the event describes a solver run whose elapsed
+// time belongs in the latency percentiles: a job that finished the
+// solver, not a cache replay and not a failure (a canceled 2-second job
+// says nothing about solve latency).
+func (e *SolveEvent) solved() bool {
+	return !e.CacheHit && (e.Status == "done" || e.Status == "optimal" || e.Status == "feasible")
+}
+
+// failed reports a job that ended in an error state.
+func (e *SolveEvent) failed() bool {
+	return e.Status == "failed" || e.Status == "infeasible" || e.Status == "error"
+}
+
+// canceled reports a job that was canceled (operator or deadline).
+func (e *SolveEvent) canceled() bool { return e.Status == "canceled" }
+
+// ShapeBucket groups workloads of similar size so percentiles compare
+// like with like: ops and contexts are rounded up to the next power of
+// two (floored at 16 and 4 — below that everything is "tiny" and the
+// distinction is noise). A B7-sized job (88 ops, 16 contexts) lands in
+// "ops<=128,ctx<=16" alongside every similarly sized submission.
+func (e *SolveEvent) ShapeBucket() string {
+	return fmt.Sprintf("ops<=%d,ctx<=%d", ceilPow2(e.Ops, 16), ceilPow2(e.Contexts, 4))
+}
+
+// ceilPow2 rounds n up to the next power of two, at least floor.
+func ceilPow2(n, floor int) int {
+	p := floor
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

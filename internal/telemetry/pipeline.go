@@ -1,0 +1,335 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"agingfp/internal/bench"
+	"agingfp/internal/obs"
+)
+
+// Config sizes the telemetry pipeline.
+type Config struct {
+	// Dir is the durable store directory. Required.
+	Dir string
+	// MaxSegmentBytes / MaxSegments bound the store (defaults
+	// DefaultMaxSegmentBytes / DefaultMaxSegments).
+	MaxSegmentBytes int64
+	MaxSegments     int
+
+	// Step and Cells shape the in-memory aggregation ring (defaults
+	// DefaultStep × DefaultCells = 3h at minute granularity).
+	Step  time.Duration
+	Cells int
+	// SketchAccuracy is the quantile sketches' relative error α
+	// (default DefaultAccuracy = 2%).
+	SketchAccuracy float64
+
+	// Baseline enables drift detection against a perf report (typically
+	// the committed BENCH_baseline.json). DriftFactor mirrors the CI
+	// perf gate's tolerated factor (default 2.0); DriftMinSamples is
+	// the fewest solved jobs of a benchmark in DriftWindow before its
+	// ratio is trusted (default 3); DriftWindow the comparison window
+	// (default 15m).
+	Baseline        *bench.PerfReport
+	DriftFactor     float64
+	DriftMinSamples int64
+	DriftWindow     time.Duration
+
+	// SlowPercentile arms adaptive slow-solve capture: a solve slower
+	// than this latency percentile of its shape bucket (over
+	// DriftWindow, needing SlowMinSamples solved jobs) is an outlier
+	// and its flight journal is written to Dir/slow/ at completion.
+	// Default 0.99; zero or negative disables capture. SlowKeep bounds
+	// the captured journals (default 32, oldest pruned).
+	SlowPercentile float64
+	SlowMinSamples int64
+	SlowKeep       int
+
+	// Registry receives the drift gauges and pipeline counters; Logger
+	// the drift and slow-solve alerts. Both may be nil.
+	Registry *obs.Registry
+	Logger   *slog.Logger
+
+	// Now injects a clock for tests (nil = time.Now).
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Step <= 0 {
+		c.Step = DefaultStep
+	}
+	if c.Cells < 2 {
+		c.Cells = DefaultCells
+	}
+	if c.SketchAccuracy <= 0 {
+		c.SketchAccuracy = DefaultAccuracy
+	}
+	if c.DriftFactor <= 1 {
+		c.DriftFactor = 2.0
+	}
+	if c.DriftMinSamples < 1 {
+		c.DriftMinSamples = 3
+	}
+	if c.DriftWindow <= 0 {
+		c.DriftWindow = 15 * time.Minute
+	}
+	if c.SlowPercentile == 0 {
+		c.SlowPercentile = 0.99
+	}
+	if c.SlowMinSamples < 1 {
+		c.SlowMinSamples = 20
+	}
+	if c.SlowKeep < 1 {
+		c.SlowKeep = 32
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Outcome is what Record reports back about one event: whether the
+// solve was a slow outlier for its shape (the caller should capture its
+// flight journal) and any drift findings the event's benchmark tripped.
+type Outcome struct {
+	Slow          bool
+	SlowThreshold float64 // ms; the percentile the solve exceeded
+	Drift         []DriftFinding
+}
+
+// Pipeline is the assembled telemetry flow: durable store + windowed
+// aggregator + drift detector + slow-solve capture directory. A nil
+// *Pipeline is a no-op on every method, so callers wire it
+// unconditionally.
+type Pipeline struct {
+	cfg   Config
+	store *Store
+	agg   *Aggregator
+	drift *driftDetector
+	reg   *obs.Registry
+}
+
+// Open builds the pipeline: opens (or creates) the durable store under
+// cfg.Dir, replays its history into the aggregation ring so windowed
+// statistics survive restarts, and arms drift detection when a baseline
+// is configured.
+func Open(cfg Config) (*Pipeline, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("telemetry: Config.Dir is required")
+	}
+	cfg = cfg.withDefaults()
+	store, err := OpenStore(cfg.Dir, cfg.MaxSegmentBytes, cfg.MaxSegments)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		cfg:   cfg,
+		store: store,
+		agg:   NewAggregator(cfg.Step, cfg.Cells, cfg.SketchAccuracy, cfg.Now),
+		drift: newDriftDetector(cfg.Baseline, cfg.DriftFactor, cfg.DriftMinSamples, cfg.Registry, cfg.Logger),
+		reg:   cfg.Registry,
+	}
+	replayed, skipped, err := store.Replay(func(ev *SolveEvent) error {
+		p.agg.Record(ev)
+		return nil
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	p.reg.Counter("agingfp_telemetry_events_replayed_total").Add(int64(replayed))
+	p.reg.Counter("agingfp_telemetry_events_skipped_total").Add(int64(skipped))
+	if cfg.Logger != nil && (replayed > 0 || skipped > 0 || store.RecoveredBytes() > 0) {
+		cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, "telemetry store recovered",
+			slog.String("dir", cfg.Dir),
+			slog.Int("events_replayed", replayed),
+			slog.Int("lines_skipped", skipped),
+			slog.Int64("torn_tail_bytes", store.RecoveredBytes()),
+		)
+	}
+	return p, nil
+}
+
+// Enabled reports whether the pipeline is live (non-nil).
+func (p *Pipeline) Enabled() bool { return p != nil }
+
+// Record appends ev to the durable store and folds it into the
+// windowed aggregates, then evaluates slow-solve capture (against the
+// shape bucket's percentile as it stood BEFORE this event, so the
+// outlier cannot raise its own bar) and the event benchmark's drift.
+// Store failures are counted, logged, and swallowed — telemetry never
+// fails the job that emitted the event.
+func (p *Pipeline) Record(ev *SolveEvent) Outcome {
+	if p == nil || ev == nil {
+		return Outcome{}
+	}
+	if ev.Time.IsZero() {
+		ev.Time = p.cfg.Now()
+	}
+
+	var out Outcome
+	if p.cfg.SlowPercentile > 0 && ev.solved() {
+		threshold, samples := p.agg.ShapeQuantile(ev.ShapeBucket(), p.cfg.SlowPercentile, p.cfg.DriftWindow)
+		if samples >= p.cfg.SlowMinSamples && ev.ElapsedMs > threshold {
+			out.Slow, out.SlowThreshold = true, threshold
+		}
+	}
+
+	if err := p.store.Append(ev); err != nil {
+		p.reg.Counter("agingfp_telemetry_append_errors_total").Inc()
+		if p.cfg.Logger != nil {
+			p.cfg.Logger.Warn("telemetry append failed", slog.String("error", err.Error()))
+		}
+	}
+	p.reg.Counter("agingfp_telemetry_events_total").Inc()
+	p.agg.Record(ev)
+
+	if ev.Bench != "" && p.drift != nil {
+		if s, ok := p.agg.BenchStats(ev.Bench, p.cfg.DriftWindow); ok {
+			out.Drift = p.drift.check(ev.Bench, s)
+		}
+	}
+	return out
+}
+
+// Stats summarizes the trailing window, drift findings included when a
+// baseline is armed. Nil on a nil pipeline.
+func (p *Pipeline) Stats(window time.Duration) *WindowStats {
+	if p == nil {
+		return nil
+	}
+	st := p.agg.Stats(window)
+	st.Drift = p.DriftFindings(p.cfg.DriftWindow)
+	return st
+}
+
+// DriftFindings evaluates every baseline benchmark against the trailing
+// window (gauges updated as a side effect). Nil without a baseline.
+func (p *Pipeline) DriftFindings(window time.Duration) []DriftFinding {
+	if p == nil || p.drift == nil {
+		return nil
+	}
+	var out []DriftFinding
+	for _, name := range p.drift.benchNames() {
+		if s, ok := p.agg.BenchStats(name, window); ok {
+			out = append(out, p.drift.check(name, s)...)
+		}
+	}
+	return out
+}
+
+// Series exposes the aggregator's per-cell time series for dashboards.
+func (p *Pipeline) Series(window time.Duration) []SeriesPoint {
+	if p == nil {
+		return nil
+	}
+	return p.agg.Series(window)
+}
+
+// Span is the longest window Stats can answer.
+func (p *Pipeline) Span() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.agg.Span()
+}
+
+// DriftWindow is the configured drift/slow-capture comparison window.
+func (p *Pipeline) DriftWindow() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.cfg.DriftWindow
+}
+
+// Dir returns the store directory ("" on a nil pipeline).
+func (p *Pipeline) Dir() string {
+	if p == nil {
+		return ""
+	}
+	return p.cfg.Dir
+}
+
+// slowDir is where captured outlier journals land.
+func (p *Pipeline) slowDir() string { return filepath.Join(p.cfg.Dir, "slow") }
+
+// CaptureSlow persists one slow solve's flight journal under
+// Dir/slow/<name>.journal.json so the outlier's decision log is already
+// on disk when an operator investigates. write receives the
+// destination; the oldest captures beyond SlowKeep are pruned. Errors
+// are logged and swallowed (capture is best-effort).
+func (p *Pipeline) CaptureSlow(name string, write func(io.Writer) error) string {
+	if p == nil || write == nil {
+		return ""
+	}
+	dir := p.slowDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		p.captureFailed(err)
+		return ""
+	}
+	path := filepath.Join(dir, name+".journal.json")
+	f, err := os.Create(path)
+	if err != nil {
+		p.captureFailed(err)
+		return ""
+	}
+	werr := write(f)
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(path)
+		if werr == nil {
+			werr = cerr
+		}
+		p.captureFailed(werr)
+		return ""
+	}
+	p.reg.Counter("agingfp_telemetry_slow_captures_total").Inc()
+	p.pruneSlow()
+	return path
+}
+
+func (p *Pipeline) captureFailed(err error) {
+	p.reg.Counter("agingfp_telemetry_capture_errors_total").Inc()
+	if p.cfg.Logger != nil {
+		p.cfg.Logger.Warn("slow-solve capture failed", slog.String("error", err.Error()))
+	}
+}
+
+// pruneSlow keeps the newest SlowKeep captured journals.
+func (p *Pipeline) pruneSlow() {
+	entries, err := os.ReadDir(p.slowDir())
+	if err != nil || len(entries) <= p.cfg.SlowKeep {
+		return
+	}
+	type aged struct {
+		name string
+		mod  time.Time
+	}
+	var files []aged
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, aged{e.Name(), info.ModTime()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
+	for i := 0; i < len(files)-p.cfg.SlowKeep; i++ {
+		os.Remove(filepath.Join(p.slowDir(), files[i].name))
+	}
+}
+
+// Close seals the durable store.
+func (p *Pipeline) Close() error {
+	if p == nil {
+		return nil
+	}
+	return p.store.Close()
+}

@@ -1,0 +1,470 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// bucketStats accumulates one slice of traffic (one ring cell × one
+// grouping key): throughput counters plus quantile sketches over the
+// solve-time and solver-effort distributions. Only events that actually
+// ran the solver to completion feed the sketches (see SolveEvent.solved)
+// — cache replays and canceled jobs would poison latency percentiles.
+type bucketStats struct {
+	jobs      int64
+	failures  int64
+	canceled  int64
+	cacheHits int64
+
+	elapsedMs    *Sketch
+	queueWaitMs  *Sketch
+	simplexIters *Sketch
+	lpSolves     *Sketch
+}
+
+func newBucketStats(alpha float64) *bucketStats {
+	return &bucketStats{
+		elapsedMs:    NewSketch(alpha),
+		queueWaitMs:  NewSketch(alpha),
+		simplexIters: NewSketch(alpha),
+		lpSolves:     NewSketch(alpha),
+	}
+}
+
+func (b *bucketStats) record(ev *SolveEvent) {
+	b.jobs++
+	switch {
+	case ev.CacheHit:
+		b.cacheHits++
+	case ev.failed():
+		b.failures++
+	case ev.canceled():
+		b.canceled++
+	}
+	if ev.QueueWaitMs > 0 {
+		b.queueWaitMs.Add(ev.QueueWaitMs)
+	}
+	if ev.solved() {
+		b.elapsedMs.Add(ev.ElapsedMs)
+		b.simplexIters.Add(float64(ev.SimplexIters))
+		b.lpSolves.Add(float64(ev.LPSolves))
+	}
+}
+
+func (b *bucketStats) merge(o *bucketStats) {
+	b.jobs += o.jobs
+	b.failures += o.failures
+	b.canceled += o.canceled
+	b.cacheHits += o.cacheHits
+	b.elapsedMs.Merge(o.elapsedMs)
+	b.queueWaitMs.Merge(o.queueWaitMs)
+	b.simplexIters.Merge(o.simplexIters)
+	b.lpSolves.Merge(o.lpSolves)
+}
+
+// cell is one time slot of the ring: totals plus per-shape-bucket and
+// per-benchmark breakdowns.
+type cell struct {
+	start   int64 // unix nanoseconds of the slot start; 0 = empty
+	total   *bucketStats
+	shapes  map[string]*bucketStats
+	benches map[string]*bucketStats
+}
+
+// Aggregator maintains a fixed ring of time cells (Step wide, Cells
+// long) holding windowed traffic statistics. Events are slotted by
+// their own timestamps — so replaying the durable store after a restart
+// rebuilds exactly the history the previous process had — and queries
+// merge the cells inside the requested window.
+//
+// All methods are safe for concurrent use.
+type Aggregator struct {
+	step  time.Duration
+	alpha float64
+	now   func() time.Time
+
+	mu    sync.Mutex
+	cells []cell
+}
+
+const (
+	// DefaultStep is the aggregation cell width.
+	DefaultStep = time.Minute
+	// DefaultCells is the ring length: 180 one-minute cells = 3 hours of
+	// windowed history (the durable store keeps far more; the ring is
+	// what /v1/stats can query).
+	DefaultCells = 180
+)
+
+// NewAggregator builds a ring of cells Step wide. now is the clock used
+// to resolve query windows (nil = time.Now; tests inject their own).
+func NewAggregator(step time.Duration, cells int, alpha float64, now func() time.Time) *Aggregator {
+	if step <= 0 {
+		step = DefaultStep
+	}
+	if cells < 2 {
+		cells = DefaultCells
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Aggregator{step: step, alpha: alpha, now: now, cells: make([]cell, cells)}
+}
+
+func (a *Aggregator) lock()   { a.mu.Lock() }
+func (a *Aggregator) unlock() { a.mu.Unlock() }
+
+// Span is the total history the ring can hold.
+func (a *Aggregator) Span() time.Duration { return a.step * time.Duration(len(a.cells)) }
+
+// Step is the cell width.
+func (a *Aggregator) Step() time.Duration { return a.step }
+
+// Record slots ev by its own timestamp. Events older than the cell
+// currently occupying their slot are dropped — they are beyond the
+// ring's horizon and still live in the durable store.
+func (a *Aggregator) Record(ev *SolveEvent) {
+	slotStart := ev.Time.Truncate(a.step).UnixNano()
+	idx := int((slotStart / int64(a.step)) % int64(len(a.cells)))
+	if idx < 0 {
+		idx += len(a.cells)
+	}
+	a.lock()
+	defer a.unlock()
+	c := &a.cells[idx]
+	if c.start != slotStart {
+		if c.start > slotStart {
+			return // older than the ring horizon
+		}
+		*c = cell{
+			start:   slotStart,
+			total:   newBucketStats(a.alpha),
+			shapes:  make(map[string]*bucketStats),
+			benches: make(map[string]*bucketStats),
+		}
+	}
+	c.total.record(ev)
+	shape := ev.ShapeBucket()
+	sb := c.shapes[shape]
+	if sb == nil {
+		sb = newBucketStats(a.alpha)
+		c.shapes[shape] = sb
+	}
+	sb.record(ev)
+	if ev.Bench != "" {
+		bb := c.benches[ev.Bench]
+		if bb == nil {
+			bb = newBucketStats(a.alpha)
+			c.benches[ev.Bench] = bb
+		}
+		bb.record(ev)
+	}
+}
+
+// BucketSummary is the JSON shape of one aggregated traffic slice.
+type BucketSummary struct {
+	Jobs      int64 `json:"jobs"`
+	Solved    int64 `json:"solved"`
+	Failures  int64 `json:"failures"`
+	Canceled  int64 `json:"canceled"`
+	CacheHits int64 `json:"cache_hits"`
+
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+
+	SimplexItersP50 float64 `json:"simplex_iters_p50"`
+	SimplexItersP99 float64 `json:"simplex_iters_p99"`
+	LPSolvesP50     float64 `json:"lp_solves_p50"`
+}
+
+func summarize(b *bucketStats) BucketSummary {
+	return BucketSummary{
+		Jobs:            b.jobs,
+		Solved:          b.elapsedMs.Count(),
+		Failures:        b.failures,
+		Canceled:        b.canceled,
+		CacheHits:       b.cacheHits,
+		P50Ms:           b.elapsedMs.Quantile(0.50),
+		P90Ms:           b.elapsedMs.Quantile(0.90),
+		P99Ms:           b.elapsedMs.Quantile(0.99),
+		MaxMs:           b.elapsedMs.Max(),
+		MeanMs:          b.elapsedMs.Mean(),
+		SimplexItersP50: b.simplexIters.Quantile(0.50),
+		SimplexItersP99: b.simplexIters.Quantile(0.99),
+		LPSolvesP50:     b.lpSolves.Quantile(0.50),
+	}
+}
+
+// WindowStats is the GET /v1/stats payload: totals, rates, and the
+// per-shape-bucket and per-benchmark percentile breakdowns for one
+// trailing window.
+type WindowStats struct {
+	Window string    `json:"window"`
+	Step   string    `json:"step"`
+	Since  time.Time `json:"since"`
+	Until  time.Time `json:"until"`
+
+	Jobs         int64   `json:"jobs"`
+	JobsPerMin   float64 `json:"jobs_per_min"`
+	FailureRate  float64 `json:"failure_rate"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	QueueWaitP50Ms float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99Ms float64 `json:"queue_wait_p99_ms"`
+
+	Total      BucketSummary            `json:"total"`
+	Shapes     map[string]BucketSummary `json:"shapes,omitempty"`
+	Benchmarks map[string]BucketSummary `json:"benchmarks,omitempty"`
+
+	// Drift carries the latest baseline comparison (nil without a
+	// baseline); see DriftFinding.
+	Drift []DriftFinding `json:"drift,omitempty"`
+}
+
+// Stats merges every cell inside the trailing window (clamped to the
+// ring span) into one summary document.
+func (a *Aggregator) Stats(window time.Duration) *WindowStats {
+	if window <= 0 || window > a.Span() {
+		window = a.Span()
+	}
+	now := a.now()
+	since := now.Add(-window)
+	out := &WindowStats{
+		Window: window.String(),
+		Step:   a.step.String(),
+		Since:  since,
+		Until:  now,
+	}
+	total := newBucketStats(a.alpha)
+	shapes := map[string]*bucketStats{}
+	benches := map[string]*bucketStats{}
+
+	a.lock()
+	for i := range a.cells {
+		c := &a.cells[i]
+		if c.start == 0 {
+			continue
+		}
+		start := time.Unix(0, c.start)
+		if start.Before(since.Truncate(a.step)) || start.After(now) {
+			continue
+		}
+		total.merge(c.total)
+		for k, b := range c.shapes {
+			if shapes[k] == nil {
+				shapes[k] = newBucketStats(a.alpha)
+			}
+			shapes[k].merge(b)
+		}
+		for k, b := range c.benches {
+			if benches[k] == nil {
+				benches[k] = newBucketStats(a.alpha)
+			}
+			benches[k].merge(b)
+		}
+	}
+	a.unlock()
+
+	out.Jobs = total.jobs
+	out.JobsPerMin = float64(total.jobs) / window.Minutes()
+	if total.jobs > 0 {
+		out.FailureRate = float64(total.failures) / float64(total.jobs)
+		out.CacheHitRate = float64(total.cacheHits) / float64(total.jobs)
+	}
+	out.QueueWaitP50Ms = total.queueWaitMs.Quantile(0.50)
+	out.QueueWaitP99Ms = total.queueWaitMs.Quantile(0.99)
+	out.Total = summarize(total)
+	if len(shapes) > 0 {
+		out.Shapes = make(map[string]BucketSummary, len(shapes))
+		for k, b := range shapes {
+			out.Shapes[k] = summarize(b)
+		}
+	}
+	if len(benches) > 0 {
+		out.Benchmarks = make(map[string]BucketSummary, len(benches))
+		for k, b := range benches {
+			out.Benchmarks[k] = summarize(b)
+		}
+	}
+	return out
+}
+
+// BenchStats summarizes one benchmark over the trailing window —
+// the drift detector's unit of comparison.
+func (a *Aggregator) BenchStats(name string, window time.Duration) (BucketSummary, bool) {
+	if window <= 0 || window > a.Span() {
+		window = a.Span()
+	}
+	now := a.now()
+	since := now.Add(-window).Truncate(a.step)
+	merged := newBucketStats(a.alpha)
+	found := false
+	a.lock()
+	for i := range a.cells {
+		c := &a.cells[i]
+		if c.start == 0 {
+			continue
+		}
+		start := time.Unix(0, c.start)
+		if start.Before(since) || start.After(now) {
+			continue
+		}
+		if b := c.benches[name]; b != nil {
+			merged.merge(b)
+			found = true
+		}
+	}
+	a.unlock()
+	return summarize(merged), found
+}
+
+// ShapeQuantile returns the q-th solve-time quantile (ms) for one shape
+// bucket over the trailing window, with the number of solved samples
+// behind it — the slow-solve capture threshold.
+func (a *Aggregator) ShapeQuantile(shape string, q float64, window time.Duration) (ms float64, samples int64) {
+	if window <= 0 || window > a.Span() {
+		window = a.Span()
+	}
+	now := a.now()
+	since := now.Add(-window).Truncate(a.step)
+	merged := NewSketch(a.alpha)
+	a.lock()
+	for i := range a.cells {
+		c := &a.cells[i]
+		if c.start == 0 {
+			continue
+		}
+		start := time.Unix(0, c.start)
+		if start.Before(since) || start.After(now) {
+			continue
+		}
+		if b := c.shapes[shape]; b != nil {
+			merged.Merge(b.elapsedMs)
+		}
+	}
+	a.unlock()
+	return merged.Quantile(q), merged.Count()
+}
+
+// SeriesPoint is one ring cell rendered for the dashboard sparklines.
+type SeriesPoint struct {
+	Start    time.Time `json:"start"`
+	Jobs     int64     `json:"jobs"`
+	Failures int64     `json:"failures"`
+	P90Ms    float64   `json:"p90_ms"`
+}
+
+// Series returns one point per cell across the trailing window, oldest
+// first, empty cells included as zeros — the dashboard's time axis.
+func (a *Aggregator) Series(window time.Duration) []SeriesPoint {
+	if window <= 0 || window > a.Span() {
+		window = a.Span()
+	}
+	now := a.now()
+	n := int(window / a.step)
+	if n < 1 {
+		n = 1
+	}
+	byStart := map[int64]*cell{}
+	a.lock()
+	for i := range a.cells {
+		if a.cells[i].start != 0 {
+			byStart[a.cells[i].start] = &a.cells[i]
+		}
+	}
+	end := now.Truncate(a.step)
+	out := make([]SeriesPoint, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		start := end.Add(-time.Duration(i) * a.step)
+		p := SeriesPoint{Start: start}
+		if c := byStart[start.UnixNano()]; c != nil {
+			p.Jobs = c.total.jobs
+			p.Failures = c.total.failures
+			p.P90Ms = c.total.elapsedMs.Quantile(0.90)
+		}
+		out = append(out, p)
+	}
+	a.unlock()
+	return out
+}
+
+// ShapeHeat coarsens the trailing window into at most cols time slices
+// and returns, per shape bucket seen in the window, the job count per
+// slice — the dashboard heatmap's matrix. Row labels (shapes, sorted),
+// column labels (slice start times, HH:MM), and vals[row][col] align.
+func (a *Aggregator) ShapeHeat(window time.Duration, cols int) (shapes, colLabels []string, vals [][]float64) {
+	if window <= 0 || window > a.Span() {
+		window = a.Span()
+	}
+	if cols < 1 {
+		cols = 1
+	}
+	cells := int(window / a.step)
+	if cells < 1 {
+		cells = 1
+	}
+	perCol := (cells + cols - 1) / cols
+	nCols := (cells + perCol - 1) / perCol
+
+	now := a.now()
+	end := now.Truncate(a.step)
+	byStart := map[int64]*cell{}
+	a.lock()
+	for i := range a.cells {
+		if a.cells[i].start != 0 {
+			byStart[a.cells[i].start] = &a.cells[i]
+		}
+	}
+	counts := map[string][]float64{} // shape -> per-column jobs
+	colLabels = make([]string, nCols)
+	for col := 0; col < nCols; col++ {
+		// Columns run oldest to newest; each spans perCol cells. A cell's
+		// offset d counts steps back from the newest cell (d = 0).
+		dLow := (nCols - 1 - col) * perCol
+		dHigh := dLow + perCol - 1
+		if dHigh > cells-1 {
+			dHigh = cells - 1
+		}
+		colLabels[col] = end.Add(-time.Duration(dHigh) * a.step).Format("15:04")
+		for d := dLow; d <= dHigh; d++ {
+			c := byStart[end.Add(-time.Duration(d)*a.step).UnixNano()]
+			if c == nil {
+				continue
+			}
+			for shape, b := range c.shapes {
+				if counts[shape] == nil {
+					counts[shape] = make([]float64, nCols)
+				}
+				counts[shape][col] += float64(b.jobs)
+			}
+		}
+	}
+	a.unlock()
+
+	shapes = make([]string, 0, len(counts))
+	for s := range counts {
+		shapes = append(shapes, s)
+	}
+	sort.Strings(shapes)
+	vals = make([][]float64, len(shapes))
+	for i, s := range shapes {
+		vals[i] = counts[s]
+	}
+	return shapes, colLabels, vals
+}
+
+// ShapeNames returns the shape buckets seen in the trailing window,
+// sorted for deterministic rendering.
+func (a *Aggregator) ShapeNames(window time.Duration) []string {
+	st := a.Stats(window)
+	names := make([]string, 0, len(st.Shapes))
+	for k := range st.Shapes {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

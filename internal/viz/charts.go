@@ -1,0 +1,137 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart primitives for server-rendered dashboards: inline SVG fragments
+// with no scripts and no external assets, colored through CSS custom
+// properties so one HTML page can restyle them (light/dark) without
+// re-rendering. The fragments assume the embedding page defines:
+//
+//	--series-1        sparkline stroke (categorical slot 1)
+//	--seq-1..--seq-7  sequential ramp, lightest ("near zero") first
+//	--surface-2       empty-cell fill
+//	--text-secondary  axis/label ink
+//
+// Values and labels ride along as <title> children, so every mark has a
+// browser-native hover tooltip without JavaScript.
+
+// SparklineSVG renders values as one thin polyline with a dot on the
+// final point — the at-a-glance trend mark for stat tiles. The fragment
+// is w×h pixels; an empty or all-equal series renders a flat midline.
+func SparklineSVG(values []float64, w, h int) string {
+	if w <= 0 {
+		w = 160
+	}
+	if h <= 0 {
+		h = 36
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" role="img">`, w, h, w, h)
+	if len(values) > 0 {
+		lo, hi := values[0], values[0]
+		for _, v := range values {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		span := hi - lo
+		pad := 3.0
+		xAt := func(i int) float64 {
+			if len(values) == 1 {
+				return float64(w) / 2
+			}
+			return pad + float64(i)*(float64(w)-2*pad)/float64(len(values)-1)
+		}
+		yAt := func(v float64) float64 {
+			if span == 0 {
+				return float64(h) / 2
+			}
+			return float64(h) - pad - (v-lo)*(float64(h)-2*pad)/span
+		}
+		pts := make([]string, len(values))
+		for i, v := range values {
+			pts[i] = fmt.Sprintf("%.1f,%.1f", xAt(i), yAt(v))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="var(--series-1)" stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>`,
+			strings.Join(pts, " "))
+		last := values[len(values)-1]
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="var(--series-1)"><title>latest: %s</title></circle>`,
+			xAt(len(values)-1), yAt(last), trimFloat(last))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// seqSteps is the number of sequential ramp steps HeatmapSVG bins
+// values into (matching the --seq-1..--seq-7 CSS custom properties).
+const seqSteps = 7
+
+// HeatmapSVG renders a labeled matrix as a sequential heatmap: one cell
+// per (row, col), filled from the --seq-* ramp by value normalized to
+// the matrix maximum (zero-valued cells recede to --surface-2). Each
+// cell carries a native tooltip naming its coordinates and value.
+// vals is indexed [row][col]; short rows render missing cells as empty.
+func HeatmapSVG(rowLabels, colLabels []string, vals [][]float64) string {
+	const (
+		cw, ch   = 42, 22 // cell size
+		gap      = 2      // surface gap between fills
+		labelW   = 150    // row-label gutter
+		labelH   = 16     // column-label row
+		fontSize = 10
+	)
+	rows, cols := len(rowLabels), len(colLabels)
+	width := labelW + cols*cw + 4
+	height := labelH + rows*ch + 4
+
+	max := 0.0
+	for _, r := range vals {
+		for _, v := range r {
+			max = math.Max(max, v)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" role="img" font-family="inherit">`,
+		width, height, width, height)
+	for j, cl := range colLabels {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="%d" text-anchor="middle" fill="var(--text-secondary)">%s</text>`,
+			labelW+j*cw+cw/2, labelH-5, fontSize, escape(cl))
+	}
+	for i, rl := range rowLabels {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="%d" text-anchor="end" fill="var(--text-secondary)">%s</text>`,
+			labelW-6, labelH+i*ch+ch/2+4, fontSize, escape(rl))
+		for j := range colLabels {
+			v := 0.0
+			if i < len(vals) && j < len(vals[i]) {
+				v = vals[i][j]
+			}
+			fill := "var(--surface-2)"
+			if v > 0 && max > 0 {
+				step := int(math.Ceil(v / max * seqSteps))
+				if step < 1 {
+					step = 1
+				}
+				if step > seqSteps {
+					step = seqSteps
+				}
+				fill = fmt.Sprintf("var(--seq-%d)", step)
+			}
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" rx="2" fill="%s"><title>%s × %s: %s</title></rect>`,
+				labelW+j*cw, labelH+i*ch, cw-gap, ch-gap, fill,
+				escape(rowLabels[i]), escape(colLabels[j]), trimFloat(v))
+		}
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// trimFloat formats a value compactly: integers without decimals,
+// everything else with one.
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.1f", v)
+}

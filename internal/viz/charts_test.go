@@ -1,0 +1,60 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparklineSVG(t *testing.T) {
+	svg := SparklineSVG([]float64{1, 5, 3, 8, 2}, 200, 40)
+	for _, want := range []string{
+		`<svg`, `</svg>`,
+		`<polyline`,
+		`stroke="var(--series-1)"`, // color rides CSS custom properties
+		`<title>latest: 2</title>`, // native tooltip on the end dot
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("sparkline missing %q:\n%s", want, svg)
+		}
+	}
+
+	// Empty and single-point series must render valid (if minimal) SVG.
+	if empty := SparklineSVG(nil, 100, 20); !strings.Contains(empty, "</svg>") || strings.Contains(empty, "polyline") {
+		t.Errorf("empty sparkline: %s", empty)
+	}
+	if one := SparklineSVG([]float64{7}, 100, 20); !strings.Contains(one, "<circle") {
+		t.Errorf("single-point sparkline has no mark: %s", one)
+	}
+	// All-equal values must not divide by a zero span.
+	if flat := SparklineSVG([]float64{4, 4, 4}, 100, 20); !strings.Contains(flat, "<polyline") {
+		t.Errorf("flat sparkline: %s", flat)
+	}
+}
+
+func TestHeatmapSVG(t *testing.T) {
+	svg := HeatmapSVG(
+		[]string{"ops<=32,ctx<=4", "ops<=128,ctx<=16"},
+		[]string{"12:00", "12:05", "12:10"},
+		[][]float64{{0, 3, 7}, {1, 0}}, // short row: missing cell renders empty
+	)
+	if n := strings.Count(svg, "<rect"); n != 6 {
+		t.Fatalf("%d cells, want rows x cols = 6", n)
+	}
+	// The maximum lands on the darkest ramp step, zeros recede to the
+	// surface, and labels are escaped.
+	for _, want := range []string{
+		`fill="var(--seq-7)"`,
+		`fill="var(--surface-2)"`,
+		`ops&lt;=32,ctx&lt;=4`,
+		`<title>ops&lt;=32,ctx&lt;=4 × 12:10: 7</title>`,
+		`fill="var(--text-secondary)"`,
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("heatmap missing %q:\n%s", want, svg)
+		}
+	}
+	// A mid value must not use the darkest step (binning, not binary).
+	if !strings.Contains(svg, `var(--seq-3)`) {
+		t.Errorf("value 3 of max 7 should bin to seq-3:\n%s", svg)
+	}
+}
