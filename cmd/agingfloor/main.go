@@ -50,8 +50,15 @@ import (
 // main delegates to run so deferred cleanup (trace flush, profile stop)
 // survives the exit path — os.Exit skips defers.
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "explain" {
-		os.Exit(runExplain(os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "explain":
+			os.Exit(runExplain(os.Args[2:]))
+		case "submit":
+			os.Exit(runSubmit(os.Args[2:]))
+		case "delta":
+			os.Exit(runDelta(os.Args[2:]))
+		}
 	}
 	os.Exit(run())
 }

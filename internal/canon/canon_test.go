@@ -1,0 +1,308 @@
+package canon
+
+import (
+	"math/rand"
+	"testing"
+
+	"agingfp/internal/arch"
+	"agingfp/internal/bench"
+	"agingfp/internal/place"
+)
+
+// clientRenumber simulates a messy resubmission of the same design:
+// ops renumbered by opPerm, contexts by ctxPerm, a different design
+// name, cosmetic op names preserved, and every mapping translated.
+// Semantically it is the identical instance.
+func clientRenumber(t *testing.T, doc *arch.Document, opPerm, ctxPerm []int) *arch.Document {
+	t.Helper()
+	out := &arch.Document{
+		Name:            doc.Name + "-renumbered",
+		FabricW:         doc.FabricW,
+		FabricH:         doc.FabricH,
+		NumContexts:     doc.NumContexts,
+		ClockPeriodNs:   doc.ClockPeriodNs,
+		UnitWireDelayNs: doc.UnitWireDelayNs,
+		Ops:             make([]arch.DocOp, len(doc.Ops)),
+	}
+	for i, op := range doc.Ops {
+		out.Ops[opPerm[i]] = arch.DocOp{Kind: op.Kind, Name: op.Name, Ctx: ctxPerm[op.Ctx]}
+	}
+	for _, e := range doc.Edges {
+		out.Edges = append(out.Edges, [2]int{opPerm[e[0]], opPerm[e[1]]})
+	}
+	if doc.Mappings != nil {
+		out.Mappings = make(map[string][][2]int)
+		for name, m := range doc.Mappings {
+			pm := make([][2]int, len(m))
+			for i, c := range m {
+				pm[opPerm[i]] = c
+			}
+			out.Mappings[name] = pm
+		}
+	}
+	return out
+}
+
+// randomOpPerm returns a uniformly random permutation of n ops.
+func randomOpPerm(rng *rand.Rand, n int) []int {
+	perm := rng.Perm(n)
+	return perm
+}
+
+// randomCtxPerm returns a random causality-preserving context
+// permutation: a random linear extension of the context-precedence DAG
+// induced by doc's cross-context edges.
+func randomCtxPerm(rng *rand.Rand, doc *arch.Document) []int {
+	n := doc.NumContexts
+	indeg := make([]int, n)
+	succ := make([]map[int]bool, n)
+	for i := range succ {
+		succ[i] = make(map[int]bool)
+	}
+	for _, e := range doc.Edges {
+		a, b := doc.Ops[e[0]].Ctx, doc.Ops[e[1]].Ctx
+		if a != b && !succ[a][b] {
+			succ[a][b] = true
+			indeg[b]++
+		}
+	}
+	perm := make([]int, n)
+	var ready []int
+	for c := 0; c < n; c++ {
+		if indeg[c] == 0 {
+			ready = append(ready, c)
+		}
+	}
+	placed := 0
+	for len(ready) > 0 {
+		i := rng.Intn(len(ready))
+		c := ready[i]
+		ready = append(ready[:i], ready[i+1:]...)
+		perm[c] = placed
+		placed++
+		for s := range succ[c] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	return perm
+}
+
+// benchDocument synthesizes a Table-I benchmark design with a baseline
+// placement, as serve would see it from a design submission.
+func benchDocument(t *testing.T, name string) *arch.Document {
+	t.Helper()
+	spec, ok := bench.SpecByName(name)
+	if !ok {
+		t.Fatalf("unknown bench %s", name)
+	}
+	d, err := bench.Synthesize(spec)
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	m0, err := place.Place(d, place.DefaultConfig())
+	if err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	return arch.ToDocument(d, map[string]arch.Mapping{BaselineMapping: m0})
+}
+
+// parallelDocument builds a design whose contexts are mutually
+// independent (no cross-context edges), so every context permutation
+// is causality-preserving — the hardest case for context ordering.
+func parallelDocument() *arch.Document {
+	doc := &arch.Document{
+		Name:        "parallel",
+		FabricW:     3,
+		FabricH:     3,
+		NumContexts: 3,
+	}
+	// ctx 0: DMU->ALU chain; ctx 1: two loose ALUs; ctx 2: ALU->ALU->ALU.
+	add := func(kind, ctx int) int {
+		doc.Ops = append(doc.Ops, arch.DocOp{Kind: kind, Ctx: ctx})
+		return len(doc.Ops) - 1
+	}
+	a := add(1, 0)
+	b := add(0, 0)
+	doc.Edges = append(doc.Edges, [2]int{a, b})
+	add(0, 1)
+	add(0, 1)
+	c := add(0, 2)
+	d := add(0, 2)
+	e := add(0, 2)
+	doc.Edges = append(doc.Edges, [2]int{c, d}, [2]int{d, e})
+	return doc
+}
+
+func TestIsomorphicRenumberingsHashEqual(t *testing.T) {
+	docs := map[string]*arch.Document{
+		"bench":    benchDocument(t, "B1"),
+		"parallel": parallelDocument(),
+	}
+	for label, doc := range docs {
+		base, err := Canonicalize(doc)
+		if err != nil {
+			t.Fatalf("%s: canonicalize: %v", label, err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 20; trial++ {
+			opPerm := randomOpPerm(rng, len(doc.Ops))
+			ctxPerm := randomCtxPerm(rng, doc)
+			ren := clientRenumber(t, doc, opPerm, ctxPerm)
+			got, err := Canonicalize(ren)
+			if err != nil {
+				t.Fatalf("%s trial %d: canonicalize renumbered: %v", label, trial, err)
+			}
+			if got.Hash != base.Hash {
+				t.Fatalf("%s trial %d: isomorphic renumbering changed hash\n  base %s\n  got  %s",
+					label, trial, base.Hash, got.Hash)
+			}
+		}
+	}
+}
+
+func TestCosmeticChangesHashEqual(t *testing.T) {
+	doc := benchDocument(t, "B1")
+	base, err := Canonicalize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	renamed := clientRenumber(t, doc, identity(len(doc.Ops)), identity(doc.NumContexts))
+	renamed.Name = "completely-different"
+	for i := range renamed.Ops {
+		renamed.Ops[i].Name = "op"
+	}
+	// An extra mapping the solver ignores must not change identity.
+	renamed.Mappings["alt"] = renamed.Mappings[BaselineMapping]
+
+	got, err := Canonicalize(renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash != base.Hash {
+		t.Fatalf("cosmetic changes altered hash: %s vs %s", base.Hash, got.Hash)
+	}
+}
+
+func TestNearMissesHashDiffer(t *testing.T) {
+	doc := benchDocument(t, "B1")
+	base, err := Canonicalize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := func(label string, f func(*arch.Document)) {
+		t.Helper()
+		m := clientRenumber(t, doc, identity(len(doc.Ops)), identity(doc.NumContexts))
+		m.Name = doc.Name
+		f(m)
+		got, err := Canonicalize(m)
+		if err != nil {
+			t.Fatalf("%s: canonicalize: %v", label, err)
+		}
+		if got.Hash == base.Hash {
+			t.Fatalf("%s: near-miss collided with base hash", label)
+		}
+	}
+
+	mutate("flip-op-kind", func(m *arch.Document) {
+		m.Ops[0].Kind = 1 - m.Ops[0].Kind
+	})
+	mutate("drop-edge", func(m *arch.Document) {
+		m.Edges = m.Edges[1:]
+	})
+	mutate("add-edge", func(m *arch.Document) {
+		// Link two previously unrelated same-context ops.
+		for i := range m.Ops {
+			for j := i + 1; j < len(m.Ops); j++ {
+				if m.Ops[i].Ctx == m.Ops[j].Ctx && !hasEdge(m, i, j) && !hasEdge(m, j, i) {
+					m.Edges = append(m.Edges, [2]int{i, j})
+					return
+				}
+			}
+		}
+		panic("no free same-context pair")
+	})
+	mutate("wider-fabric", func(m *arch.Document) {
+		m.FabricW++
+		// Baseline still valid on the wider fabric.
+	})
+	mutate("shift-baseline", func(m *arch.Document) {
+		bl := m.Mappings[BaselineMapping]
+		// Move op 0 to a coordinate free within its context.
+		used := map[[2]int]bool{}
+		for i, c := range bl {
+			if m.Ops[i].Ctx == m.Ops[0].Ctx {
+				used[c] = true
+			}
+		}
+		for x := 0; x < m.FabricW; x++ {
+			for y := 0; y < m.FabricH; y++ {
+				if !used[[2]int{x, y}] {
+					bl[0] = [2]int{x, y}
+					return
+				}
+			}
+		}
+		panic("fabric full")
+	})
+}
+
+func TestTranslateMappingRoundTrip(t *testing.T) {
+	doc := benchDocument(t, "B1")
+	form, err := Canonicalize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonBase := form.Doc.Mappings[BaselineMapping]
+	canonCoords := make([]arch.Coord, len(canonBase))
+	for i, c := range canonBase {
+		canonCoords[i] = arch.Coord{X: c[0], Y: c[1]}
+	}
+	back := TranslateMapping(canonCoords, form.OpPerm)
+	for i, c := range doc.Mappings[BaselineMapping] {
+		if back[i].X != c[0] || back[i].Y != c[1] {
+			t.Fatalf("op %d: round trip %v != original %v", i, back[i], c)
+		}
+	}
+}
+
+func TestCanonicalFormIsAFixedPoint(t *testing.T) {
+	doc := benchDocument(t, "B1")
+	form, err := Canonicalize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Canonicalize(form.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Hash != form.Hash {
+		t.Fatalf("canonical doc not a fixed point: %s vs %s", form.Hash, again.Hash)
+	}
+	for i, p := range again.OpPerm {
+		if p != i {
+			t.Fatalf("canonical doc re-permuted op %d -> %d", i, p)
+		}
+	}
+}
+
+func identity(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+func hasEdge(m *arch.Document, a, b int) bool {
+	for _, e := range m.Edges {
+		if e[0] == a && e[1] == b {
+			return true
+		}
+	}
+	return false
+}

@@ -180,6 +180,11 @@ type Options struct {
 	// rows recover the paper's "no CPD increase observed" behaviour on
 	// workloads where sub-threshold paths do regress (see DESIGN.md).
 	PathRepairRounds int
+
+	// prior carries a previous solve's artifacts for a seeded re-solve.
+	// Unexported on purpose: the only entry point is RemapFromPrior,
+	// which also opts into the warm heuristics the seeding relies on.
+	prior *Prior
 }
 
 // Validate rejects nonsense option values with a descriptive error.
@@ -398,8 +403,35 @@ type Result struct {
 	// flag are really freeze solutions and must not be read as evidence
 	// that rotation helped.
 	FallbackToFreeze bool
+	// FrozenOps records the Step-2.1 frozen critical-op positions the
+	// solution honors (rotated in Rotate mode, original in Freeze).
+	// Together with Bases and the ST bracket it forms the artifact set
+	// a delta re-solve of a near-identical design seeds from (see
+	// Prior / RemapFromPrior).
+	FrozenOps map[int]arch.Coord
+	// Bases holds the final per-batch LP basis snapshots recorded
+	// during the search, aligned with the run's context batching. nil
+	// entries mean that batch never reached an optimal relaxation.
+	Bases []*lp.Basis
+	// Resume describes how a Prior was used; nil for cold solves.
+	Resume *ResumeInfo
 	// Stats records solver effort.
 	Stats Stats
+}
+
+// ResumeInfo reports which parts of a Prior a seeded re-solve actually
+// reused — the honesty ledger for the delta API's "warm" claim.
+type ResumeInfo struct {
+	// FrozenReused: Step 2.1 was skipped because the prior's frozen
+	// rotations still cover this design's critical ops.
+	FrozenReused bool
+	// BasesSeeded is how many per-batch basis snapshots were imported
+	// (each may still be rejected at the LP layer if the batch's shape
+	// drifted; see Stats.WarmStartRejects).
+	BasesSeeded int
+	// BracketHit: the prior's ST_target bracket was probed first and
+	// was feasible, collapsing the budget search to O(1) probes.
+	BracketHit bool
 }
 
 // MTTFReport carries the reliability evaluation of one floorplan.

@@ -198,7 +198,25 @@ func Remap(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Options) (
 	rotT := time.Now()
 	rsp := root.Child("core.rotate", obs.String("mode", opts.Mode.String()), obs.Int("critical_ops", len(crit)))
 	rep.Update(func(p *obs.Progress) { p.Phase = "rotate" })
-	frozenPos := rotateFrozen(ctx, d, m0, crit, opts, rng, rsp)
+	if opts.prior != nil {
+		result.Resume = &ResumeInfo{}
+	}
+	var frozenPos map[int]arch.Coord
+	// A seeded re-solve first tries the prior's frozen rotations: when
+	// they still cover every critical op the rotation search is skipped
+	// outright. Only meaningful in Rotate mode — Freeze recomputes the
+	// original positions trivially. A bad reuse cannot corrupt results:
+	// the probes verify CPD against the budget regardless of where the
+	// frozen shapes sit.
+	if opts.Mode == Rotate {
+		if fp, ok := priorFrozen(d, crit, opts.prior); ok {
+			frozenPos = fp
+			result.Resume.FrozenReused = true
+		}
+	}
+	if frozenPos == nil {
+		frozenPos = rotateFrozen(ctx, d, m0, crit, opts, rng, rsp)
+	}
 	result.Stats.RotateTime += time.Since(rotT)
 	rsp.End(obs.Int("frozen_ops", len(frozenPos)))
 	if err := ctx.Err(); err != nil {
@@ -247,13 +265,15 @@ func Remap(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Options) (
 
 	// Basis snapshots shared across ST_target probes (consecutive probes
 	// rebuild the same per-batch LPs with only the stress budget and lazy
-	// path rows changed). Only with Options.WarmHeuristics: the relaxation
-	// vertex seeds the rounding dive's pin decisions, and a warm-started
-	// relaxation lands on a different (equally optimal) vertex than a cold
-	// one, so reuse here trades bit-identical floorplans for speed.
-	var probeCache *warmCache
-	if opts.WarmHeuristics {
-		probeCache = newWarmCache(len(batchList))
+	// path rows changed). The cache always records — the final slots are
+	// exported on Result.Bases for delta re-solves — but serves bases
+	// back only under Options.WarmHeuristics: the relaxation vertex
+	// seeds the rounding dive's pin decisions, and a warm-started
+	// relaxation lands on a different (equally optimal) vertex than a
+	// cold one, so serving trades bit-identical floorplans for speed.
+	probeCache := newWarmCache(len(batchList), opts.WarmHeuristics)
+	if opts.prior != nil {
+		result.Resume.BasesSeeded = probeCache.seed(opts.prior.Bases)
 	}
 
 	// probe attempts one ST_target: MILP solve (with lazy-path repair
@@ -426,13 +446,76 @@ func Remap(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Options) (
 		}
 		searched = ok
 	} else {
+		// Seeded re-solve: probe the prior solve's ST_target first. On a
+		// hit the budget search collapses to O(1) probes — one at the
+		// prior target plus one refinement a Delta below it — instead of
+		// the cold path's endpoint probes and O(log) bisection. On a
+		// miss (the delta genuinely tightened the instance) nothing is
+		// lost but the one probe: the cold search below runs as usual.
+		skipStart := false
+		if p := opts.prior; p != nil && p.STTarget > 0 {
+			st1 := p.STTarget
+			if st1 < stStart {
+				st1 = stStart
+			}
+			if st1 > stUp {
+				st1 = stUp
+			}
+			// Validate the prior floorplan directly before spending a
+			// MILP probe: if it is still structurally valid, meets the
+			// prior stress target on THIS design's stress rates, and
+			// stays under the delay budget, it IS a feasible floorplan
+			// at st1 — the bracket hit costs one timing analysis. A
+			// MILP re-probe could not give that guarantee: the probe
+			// pool's lazy path rows accumulate across a solve, so the
+			// prior's winning probe is not reproducible in isolation.
+			var m arch.Mapping
+			var cpd float64
+			ok := false
+			if pm := p.Mapping; pm != nil && arch.ValidateMapping(d, pm) == nil &&
+				arch.ComputeStress(d, pm).Max() <= st1+1e-9 {
+				vT := time.Now()
+				pres := timing.Analyze(d, pm)
+				result.Stats.TimingTime += time.Since(vT)
+				if pres.CPD <= budget+1e-9 {
+					m, cpd, ok = pm, pres.CPD, true
+					opts.Flight.Record(flight.Event{Kind: flight.KindProbe,
+						Round: result.Stats.OuterIterations, ST: st1, Status: "prior_validated", Obj: cpd})
+				}
+			}
+			if !ok {
+				var err error
+				m, cpd, ok, err = probe(st1)
+				if err != nil {
+					return fail(err)
+				}
+			}
+			if ok {
+				result.Resume.BracketHit = true
+				st0 := st1 - delta
+				if st0 > stStart {
+					if m2, cpd2, ok2, err := probe(st0); err != nil {
+						return fail(err)
+					} else if ok2 {
+						m, st1, cpd = m2, st0, cpd2
+					}
+				}
+				finish(m, st1, cpd)
+				searched = true
+			} else if st1 <= stStart+1e-15 {
+				// The resume probe already was the stStart probe.
+				skipStart = true
+			}
+		}
 		// Bisection over [stStart, stUp]: same smallest-feasible budget
 		// (within Delta), O(log) probes.
-		if m, cpd, ok, err := probe(stStart); err != nil {
-			return fail(err)
-		} else if ok {
-			finish(m, stStart, cpd)
-			searched = true
+		if !searched && !skipStart {
+			if m, cpd, ok, err := probe(stStart); err != nil {
+				return fail(err)
+			} else if ok {
+				finish(m, stStart, cpd)
+				searched = true
+			}
 		}
 		if !searched {
 			lo := stStart
@@ -492,6 +575,16 @@ func Remap(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts Options) (
 			result.Status = milp.Infeasible
 		}
 	}
+
+	// Export the re-solve artifact set (frozen rotations + final
+	// per-batch bases). Harvested by the serve layer's delta API; the
+	// freeze-fallback branch below returns the fallback run's own
+	// artifacts instead when its floorplan wins.
+	result.FrozenOps = make(map[int]arch.Coord, len(frozenPos))
+	for op, pe := range frozenPos {
+		result.FrozenOps[op] = pe
+	}
+	result.Bases = probeCache.export()
 
 	// Rotation can make the frozen-path geometry unreachable from its
 	// registered producers and consumers, especially on small context
@@ -746,10 +839,7 @@ func stressLowerBound(ctx context.Context, d *arch.Design, m0 arch.Mapping, stre
 	// Consecutive probes solve the same batch LPs with only the budget
 	// changed; with Options.WarmHeuristics each batch warm-starts from the
 	// previous probe's basis (see the option's caveats).
-	var cache *warmCache
-	if opts.WarmHeuristics {
-		cache = newWarmCache(len(batchList))
-	}
+	cache := newWarmCache(len(batchList), opts.WarmHeuristics)
 
 	probeCtr := opts.Trace.Registry().Counter("agingfp_st_probes_total")
 	rep := obs.ReporterFrom(ctx)

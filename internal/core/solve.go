@@ -18,15 +18,27 @@ import (
 // Step-1 budget probes and Step-2.3 ST_target probes: consecutive probes
 // rebuild each batch's LP with the same shape and only the stress-budget
 // data changed, exactly the case the LP layer's dual-simplex warm start
-// handles. A nil cache disables reuse.
+// handles.
+//
+// The cache always records snapshots (so a finished solve can export
+// its final per-batch bases for a later delta re-solve), but only
+// serves them back when the solve opted into warm heuristics: the
+// relaxation vertex seeds the rounding dive's pin decisions, and a
+// warm-started relaxation lands on a different (equally optimal)
+// vertex than a cold one, so serving trades bit-identical floorplans
+// for speed while recording alone is free of that effect. A nil cache
+// disables both.
 type warmCache struct {
 	slots []*lp.Basis
+	serve bool
 }
 
-func newWarmCache(n int) *warmCache { return &warmCache{slots: make([]*lp.Basis, n)} }
+func newWarmCache(n int, serve bool) *warmCache {
+	return &warmCache{slots: make([]*lp.Basis, n), serve: serve}
+}
 
 func (c *warmCache) get(i int) *lp.Basis {
-	if c == nil || i < 0 || i >= len(c.slots) {
+	if c == nil || !c.serve || i < 0 || i >= len(c.slots) {
 		return nil
 	}
 	return c.slots[i]
@@ -37,6 +49,32 @@ func (c *warmCache) put(i int, b *lp.Basis) {
 		return
 	}
 	c.slots[i] = b
+}
+
+// seed preloads slots from bases exported by a prior solve, returning
+// how many were installed. Only a full-length import is accepted: a
+// different batch count means the batching changed and slot indices no
+// longer correspond.
+func (c *warmCache) seed(bases []*lp.Basis) int {
+	if c == nil || len(bases) != len(c.slots) {
+		return 0
+	}
+	n := 0
+	for i, b := range bases {
+		if b != nil {
+			c.slots[i] = b
+			n++
+		}
+	}
+	return n
+}
+
+// export returns a copy of the recorded per-batch snapshots.
+func (c *warmCache) export() []*lp.Basis {
+	if c == nil {
+		return nil
+	}
+	return append([]*lp.Basis(nil), c.slots...)
 }
 
 // solveBatch runs the paper's two-step MILP scheme on one batch problem:

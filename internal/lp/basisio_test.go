@@ -1,0 +1,57 @@
+package lp
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBasisMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		p := randomProblem(rng)
+		sol, err := Solve(context.Background(), p, Options{})
+		if err != nil || sol.Status != Optimal {
+			continue
+		}
+		blob, err := sol.Basis.MarshalBinary()
+		if err != nil {
+			t.Fatalf("trial %d: marshal: %v", trial, err)
+		}
+		back, err := UnmarshalBasis(blob)
+		if err != nil {
+			t.Fatalf("trial %d: unmarshal: %v", trial, err)
+		}
+		// The decoded snapshot must warm-start the same problem to the
+		// same optimum with zero or near-zero extra pivots, exactly
+		// like the in-memory snapshot would.
+		warm, err := Solve(context.Background(), p, Options{WarmStart: back})
+		if err != nil {
+			t.Fatalf("trial %d: warm re-solve: %v", trial, err)
+		}
+		if warm.Status != Optimal {
+			t.Fatalf("trial %d: warm status %v", trial, warm.Status)
+		}
+		if math.Abs(warm.Obj-sol.Obj) > 1e-7*(1+math.Abs(sol.Obj)) {
+			t.Fatalf("trial %d: warm obj %g vs cold %g", trial, warm.Obj, sol.Obj)
+		}
+		if !warm.Warm {
+			t.Fatalf("trial %d: decoded basis rejected", trial)
+		}
+	}
+}
+
+func TestUnmarshalBasisRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":        nil,
+		"short":        {'L', 'P', 'B', '1', 0},
+		"bad-magic":    append([]byte("XXXX"), make([]byte, 20)...),
+		"length-drift": append([]byte("LPB1"), make([]byte, 9)...),
+	}
+	for label, blob := range cases {
+		if _, err := UnmarshalBasis(blob); err == nil {
+			t.Fatalf("%s: expected decode error", label)
+		}
+	}
+}

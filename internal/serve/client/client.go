@@ -1,0 +1,232 @@
+// Package client is the typed Go client for the agingfloord HTTP API.
+// It speaks the same wire types the server defines (serve.JobRequest,
+// serve.Snapshot, serve.JobResult, ...), decodes the unified error
+// envelope into *APIError, and owns the poll-until-done loop every
+// caller was otherwise hand-rolling.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"agingfp/internal/serve"
+)
+
+// APIError is a non-2xx response decoded from the server's error
+// envelope. Status is the HTTP code; Code the machine-readable
+// classification; TraceID correlates with the server's logs when the
+// route resolved a job.
+type APIError struct {
+	Status  int
+	Code    serve.ErrorCode
+	Message string
+	TraceID string
+}
+
+func (e *APIError) Error() string {
+	if e.TraceID != "" {
+		return fmt.Sprintf("%s (http %d, code %s, trace %s)", e.Message, e.Status, e.Code, e.TraceID)
+	}
+	return fmt.Sprintf("%s (http %d, code %s)", e.Message, e.Status, e.Code)
+}
+
+// Client talks to one agingfloord server.
+type Client struct {
+	base string
+	http *http.Client
+	// PollInterval paces Wait's status polling (default 150ms).
+	PollInterval time.Duration
+}
+
+// New builds a client for the server at base (e.g.
+// "http://localhost:8080"). A nil httpClient uses a dedicated client
+// with no global timeout — job waits are bounded by the caller's
+// context, not a transport knob.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{}
+	}
+	return &Client{
+		base:         strings.TrimRight(base, "/"),
+		http:         httpClient,
+		PollInterval: 150 * time.Millisecond,
+	}
+}
+
+// do issues one request and decodes errors into *APIError. A nil out
+// skips body decoding; *[]byte captures the raw body; anything else is
+// JSON-decoded into.
+func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+		var envelope serve.ErrorBody
+		if json.Unmarshal(raw, &envelope) == nil && envelope.Error.Message != "" {
+			apiErr.Code = envelope.Error.Code
+			apiErr.Message = envelope.Error.Message
+			apiErr.TraceID = envelope.Error.TraceID
+		}
+		return apiErr
+	}
+	switch dst := out.(type) {
+	case nil:
+		return nil
+	case *[]byte:
+		*dst = raw
+		return nil
+	default:
+		return json.Unmarshal(raw, out)
+	}
+}
+
+// Submit posts a job and returns its snapshot (202).
+func (c *Client) Submit(ctx context.Context, req *serve.JobRequest) (serve.Snapshot, error) {
+	var snap serve.Snapshot
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &snap)
+	return snap, err
+}
+
+// Delta posts an incremental re-solve against a finished base job.
+func (c *Client) Delta(ctx context.Context, baseID string, req *serve.DeltaRequest) (serve.Snapshot, error) {
+	var snap serve.Snapshot
+	err := c.do(ctx, http.MethodPost, "/v1/jobs/"+url.PathEscape(baseID)+"/delta", req, &snap)
+	return snap, err
+}
+
+// Job fetches a job's status snapshot.
+func (c *Client) Job(ctx context.Context, id string) (serve.Snapshot, error) {
+	var snap serve.Snapshot
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &snap)
+	return snap, err
+}
+
+// Result fetches a finished job's raw result document and its decoded
+// form. The raw bytes are returned so byte-exactness (the cache
+// contract) survives the client.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, *serve.JobResult, error) {
+	var raw []byte
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/result", nil, &raw); err != nil {
+		return nil, nil, err
+	}
+	var res serve.JobResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return raw, nil, err
+	}
+	return raw, &res, nil
+}
+
+// Progress fetches the latest solver-progress snapshot.
+func (c *Client) Progress(ctx context.Context, id string) (serve.ProgressSnapshot, error) {
+	var prog serve.ProgressSnapshot
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/progress", nil, &prog)
+	return prog, err
+}
+
+// Report fetches the flight-recorder report. format is "json", "text",
+// or "journal" ("" = server default).
+func (c *Client) Report(ctx context.Context, id, format string) ([]byte, error) {
+	path := "/v1/jobs/" + url.PathEscape(id) + "/report"
+	if format != "" {
+		path += "?format=" + url.QueryEscape(format)
+	}
+	var raw []byte
+	err := c.do(ctx, http.MethodGet, path, nil, &raw)
+	return raw, err
+}
+
+// Trace fetches the job's captured JSONL span trace.
+func (c *Client) Trace(ctx context.Context, id string) ([]byte, error) {
+	var raw []byte
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/trace", nil, &raw)
+	return raw, err
+}
+
+// Stats fetches the windowed telemetry summary ("" = server default
+// window; otherwise a Go duration string like "15m").
+func (c *Client) Stats(ctx context.Context, window string) ([]byte, error) {
+	path := "/v1/stats"
+	if window != "" {
+		path += "?window=" + url.QueryEscape(window)
+	}
+	var raw []byte
+	err := c.do(ctx, http.MethodGet, path, nil, &raw)
+	return raw, err
+}
+
+// Cancel requests cooperative cancellation and returns the job's
+// post-cancel snapshot.
+func (c *Client) Cancel(ctx context.Context, id string) (serve.Snapshot, error) {
+	var snap serve.Snapshot
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &snap)
+	return snap, err
+}
+
+// Version fetches the server's build identity.
+func (c *Client) Version(ctx context.Context) ([]byte, error) {
+	var raw []byte
+	err := c.do(ctx, http.MethodGet, "/v1/version", nil, &raw)
+	return raw, err
+}
+
+// OpenAPI fetches the served API description.
+func (c *Client) OpenAPI(ctx context.Context) ([]byte, error) {
+	var raw []byte
+	err := c.do(ctx, http.MethodGet, "/v1/openapi.json", nil, &raw)
+	return raw, err
+}
+
+// Wait polls until the job reaches a terminal state (done, failed,
+// canceled) and returns the final snapshot. The context bounds the
+// wait; a failed or canceled job is returned with a nil error — the
+// caller decides whether that is a problem.
+func (c *Client) Wait(ctx context.Context, id string) (serve.Snapshot, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 150 * time.Millisecond
+	}
+	for {
+		snap, err := c.Job(ctx, id)
+		if err != nil {
+			return snap, err
+		}
+		switch snap.State {
+		case serve.StateDone, serve.StateFailed, serve.StateCanceled:
+			return snap, nil
+		}
+		select {
+		case <-ctx.Done():
+			return snap, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}

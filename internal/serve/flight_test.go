@@ -1,6 +1,7 @@
-package serve
+package serve_test
 
 import (
+	"agingfp/internal/serve"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -16,13 +17,13 @@ import (
 // journal; bad formats 400; unknown jobs 404; and the report survives a
 // drain (the journal belongs to the job record, not the worker).
 func TestReportEndpoint(t *testing.T) {
-	s, hs, _ := testServer(t, Config{Workers: 1})
+	s, hs, _ := testServer(t, serve.Config{Workers: 1})
 
 	snap, code := postJob(t, hs, `{"bench": "B1", "seed": 21}`)
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: HTTP %d", code)
 	}
-	waitState(t, hs, snap.ID, StateDone, 30*time.Second)
+	waitState(t, hs, snap.ID, serve.StateDone, 30*time.Second)
 
 	var rep flight.Report
 	if code := getJSON(t, hs.URL+"/v1/jobs/"+snap.ID+"/report", &rep); code != http.StatusOK {
@@ -79,7 +80,7 @@ func TestReportEndpoint(t *testing.T) {
 	if code != http.StatusAccepted {
 		t.Fatalf("resubmit: HTTP %d", code)
 	}
-	if hit.State != StateDone {
+	if hit.State != serve.StateDone {
 		t.Fatalf("expected instant cache hit, state %q", hit.State)
 	}
 	if code, _, _ := get(hs.URL + "/v1/jobs/" + hit.ID + "/report"); code != http.StatusNotFound {
@@ -96,13 +97,13 @@ func TestReportEndpoint(t *testing.T) {
 // TestReportDisabled pins the opt-out: a negative FlightEvents bound
 // attaches no recorder, and the endpoint 404s even for solved jobs.
 func TestReportDisabled(t *testing.T) {
-	_, hs, _ := testServer(t, Config{Workers: 1, FlightEvents: -1})
+	_, hs, _ := testServer(t, serve.Config{Workers: 1, FlightEvents: -1})
 
 	snap, code := postJob(t, hs, `{"bench": "B1"}`)
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: HTTP %d", code)
 	}
-	waitState(t, hs, snap.ID, StateDone, 30*time.Second)
+	waitState(t, hs, snap.ID, serve.StateDone, 30*time.Second)
 	if code := getJSON(t, hs.URL+"/v1/jobs/"+snap.ID+"/report", nil); code != http.StatusNotFound {
 		t.Fatalf("report with recording disabled: HTTP %d, want 404", code)
 	}
@@ -111,7 +112,7 @@ func TestReportDisabled(t *testing.T) {
 // TestVersionEndpoint pins /v1/version: always 200, always a parseable
 // build-identity document with at least the Go version populated.
 func TestVersionEndpoint(t *testing.T) {
-	_, hs, _ := testServer(t, Config{Workers: 1})
+	_, hs, _ := testServer(t, serve.Config{Workers: 1})
 
 	resp, err := http.Get(hs.URL + "/v1/version")
 	if err != nil {

@@ -1,6 +1,7 @@
-package serve
+package serve_test
 
 import (
+	"agingfp/internal/serve"
 	"bufio"
 	"bytes"
 	"encoding/json"
@@ -41,13 +42,13 @@ var progressDocument = sync.OnceValue(func() string {
 // a terminal done=true snapshot behind. Run under -race this also
 // exercises the lock-free reporter against concurrent HTTP readers.
 func TestProgressPollingMidSolve(t *testing.T) {
-	_, hs, _ := testServer(t, Config{Workers: 1})
+	_, hs, _ := testServer(t, serve.Config{Workers: 1})
 
 	snap, code := postJob(t, hs, progressDocument())
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: HTTP %d", code)
 	}
-	waitState(t, hs, snap.ID, StateRunning, 10*time.Second)
+	waitState(t, hs, snap.ID, serve.StateRunning, 10*time.Second)
 
 	// Poll until the solver has demonstrably moved twice, asserting the
 	// monotone-counter contract on every observation.
@@ -56,7 +57,7 @@ func TestProgressPollingMidSolve(t *testing.T) {
 	advances := 0
 	deadline := time.Now().Add(90 * time.Second)
 	for (advances < 2 || lastLP == 0) && time.Now().Before(deadline) {
-		var ps ProgressSnapshot
+		var ps serve.ProgressSnapshot
 		if code := getJSON(t, hs.URL+"/v1/jobs/"+snap.ID+"/progress", &ps); code != http.StatusOK {
 			t.Fatalf("progress poll: HTTP %d", code)
 		}
@@ -93,11 +94,11 @@ func TestProgressPollingMidSolve(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	waitState(t, hs, snap.ID, StateCanceled, 10*time.Second)
+	waitState(t, hs, snap.ID, serve.StateCanceled, 10*time.Second)
 
-	var final ProgressSnapshot
+	var final serve.ProgressSnapshot
 	getJSON(t, hs.URL+"/v1/jobs/"+snap.ID+"/progress", &final)
-	if !final.Progress.Done || final.Progress.Status != string(StateCanceled) {
+	if !final.Progress.Done || final.Progress.Status != string(serve.StateCanceled) {
 		t.Fatalf("terminal progress = %+v, want done=true status=canceled", final.Progress)
 	}
 	if final.Progress.Seq <= lastSeq {
@@ -109,7 +110,7 @@ func TestProgressPollingMidSolve(t *testing.T) {
 // strictly increasing sequence numbers and the stream terminates itself
 // on the Done event.
 func TestEventsStream(t *testing.T) {
-	_, hs, _ := testServer(t, Config{Workers: 1})
+	_, hs, _ := testServer(t, serve.Config{Workers: 1})
 
 	snap, code := postJob(t, hs, `{"bench": "B1"}`)
 	if code != http.StatusAccepted {
@@ -127,7 +128,7 @@ func TestEventsStream(t *testing.T) {
 		t.Fatalf("X-Trace-Id = %q, want %q", got, snap.TraceID)
 	}
 
-	var events []ProgressSnapshot
+	var events []serve.ProgressSnapshot
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	for sc.Scan() {
@@ -135,7 +136,7 @@ func TestEventsStream(t *testing.T) {
 		if !strings.HasPrefix(line, "data: ") {
 			continue
 		}
-		var ev ProgressSnapshot
+		var ev serve.ProgressSnapshot
 		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
 			t.Fatalf("bad SSE payload %q: %v", line, err)
 		}
@@ -154,7 +155,7 @@ func TestEventsStream(t *testing.T) {
 		}
 	}
 	last := events[len(events)-1]
-	if !last.Progress.Done || last.Progress.Status != string(StateDone) {
+	if !last.Progress.Done || last.Progress.Status != string(serve.StateDone) {
 		t.Fatalf("final event = %+v, want done=true status=done", last.Progress)
 	}
 }
@@ -181,11 +182,11 @@ func (b *syncBuffer) lines() []string {
 // TestLogTraceCorrelation is the correlation golden test: every log
 // record the job produces — lifecycle lines from the worker and request
 // lines from the middleware — carries the same trace_id the API returns
-// in Snapshot.TraceID and the X-Trace-Id header.
+// in serve.Snapshot.TraceID and the X-Trace-Id header.
 func TestLogTraceCorrelation(t *testing.T) {
 	var logBuf syncBuffer
 	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
-	_, hs, _ := testServer(t, Config{Workers: 1, Logger: logger})
+	_, hs, _ := testServer(t, serve.Config{Workers: 1, Logger: logger})
 
 	snap, code := postJob(t, hs, `{"bench": "B1"}`)
 	if code != http.StatusAccepted {
@@ -194,7 +195,7 @@ func TestLogTraceCorrelation(t *testing.T) {
 	if len(snap.TraceID) != 16 {
 		t.Fatalf("TraceID = %q, want 16 hex chars", snap.TraceID)
 	}
-	waitState(t, hs, snap.ID, StateDone, 2*time.Minute)
+	waitState(t, hs, snap.ID, serve.StateDone, 2*time.Minute)
 
 	// A status poll after completion must echo the ID in the header.
 	resp, err := http.Get(hs.URL + "/v1/jobs/" + snap.ID)
@@ -240,13 +241,13 @@ func TestLogTraceCorrelation(t *testing.T) {
 // TestMetricsStateGauges checks the live per-state job gauges and the
 // queue metrics surface on /metrics after a job completes.
 func TestMetricsStateGauges(t *testing.T) {
-	_, hs, _ := testServer(t, Config{Workers: 1})
+	_, hs, _ := testServer(t, serve.Config{Workers: 1})
 
 	snap, code := postJob(t, hs, `{"bench": "B1"}`)
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: HTTP %d", code)
 	}
-	waitState(t, hs, snap.ID, StateDone, 2*time.Minute)
+	waitState(t, hs, snap.ID, serve.StateDone, 2*time.Minute)
 
 	resp, err := http.Get(hs.URL + "/metrics")
 	if err != nil {
@@ -288,7 +289,7 @@ func readAll(resp *http.Response) (string, error) {
 
 // TestPprofGated checks the profile handlers mount only on request.
 func TestPprofGated(t *testing.T) {
-	_, off, _ := testServer(t, Config{Workers: 1})
+	_, off, _ := testServer(t, serve.Config{Workers: 1})
 	resp, err := http.Get(off.URL + "/debug/pprof/")
 	if err != nil {
 		t.Fatal(err)
@@ -298,7 +299,7 @@ func TestPprofGated(t *testing.T) {
 		t.Fatalf("pprof disabled: HTTP %d, want 404", resp.StatusCode)
 	}
 
-	_, on, _ := testServer(t, Config{Workers: 1, EnablePprof: true})
+	_, on, _ := testServer(t, serve.Config{Workers: 1, EnablePprof: true})
 	resp, err = http.Get(on.URL + "/debug/pprof/")
 	if err != nil {
 		t.Fatal(err)
@@ -313,12 +314,12 @@ func TestPprofGated(t *testing.T) {
 // error when capture is off, JSONL spans mentioning the remap flow when
 // on — and the capture works without any process-wide sink configured.
 func TestTraceEndpoint(t *testing.T) {
-	_, off, _ := testServer(t, Config{Workers: 1})
+	_, off, _ := testServer(t, serve.Config{Workers: 1})
 	snap, code := postJob(t, off, `{"bench": "B1"}`)
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: HTTP %d", code)
 	}
-	waitState(t, off, snap.ID, StateDone, 2*time.Minute)
+	waitState(t, off, snap.ID, serve.StateDone, 2*time.Minute)
 	resp, err := http.Get(off.URL + "/v1/jobs/" + snap.ID + "/trace")
 	if err != nil {
 		t.Fatal(err)
@@ -328,12 +329,12 @@ func TestTraceEndpoint(t *testing.T) {
 		t.Fatalf("capture off: HTTP %d, want 404", resp.StatusCode)
 	}
 
-	_, on, _ := testServer(t, Config{Workers: 1, CaptureTraces: true})
+	_, on, _ := testServer(t, serve.Config{Workers: 1, CaptureTraces: true})
 	snap, code = postJob(t, on, `{"bench": "B1"}`)
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: HTTP %d", code)
 	}
-	waitState(t, on, snap.ID, StateDone, 2*time.Minute)
+	waitState(t, on, snap.ID, serve.StateDone, 2*time.Minute)
 	resp, err = http.Get(on.URL + "/v1/jobs/" + snap.ID + "/trace")
 	if err != nil {
 		t.Fatal(err)
@@ -371,26 +372,26 @@ func TestTraceEndpoint(t *testing.T) {
 // TestCacheHitTerminalProgress: a cache-served job must still expose a
 // terminal progress snapshot so SSE/poll clients terminate.
 func TestCacheHitTerminalProgress(t *testing.T) {
-	_, hs, _ := testServer(t, Config{Workers: 1})
+	_, hs, _ := testServer(t, serve.Config{Workers: 1})
 
 	first, code := postJob(t, hs, `{"bench": "B1"}`)
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: HTTP %d", code)
 	}
-	waitState(t, hs, first.ID, StateDone, 2*time.Minute)
+	waitState(t, hs, first.ID, serve.StateDone, 2*time.Minute)
 
 	second, code := postJob(t, hs, `{"bench": "B1"}`)
 	if code != http.StatusAccepted {
 		t.Fatalf("resubmit: HTTP %d", code)
 	}
-	if second.State != StateDone {
+	if second.State != serve.StateDone {
 		t.Fatalf("cache hit state %q, want done", second.State)
 	}
-	var ps ProgressSnapshot
+	var ps serve.ProgressSnapshot
 	if code := getJSON(t, hs.URL+"/v1/jobs/"+second.ID+"/progress", &ps); code != http.StatusOK {
 		t.Fatalf("progress: HTTP %d", code)
 	}
-	if !ps.Progress.Done || ps.Progress.Status != string(StateDone) {
+	if !ps.Progress.Done || ps.Progress.Status != string(serve.StateDone) {
 		t.Fatalf("cache-hit progress = %+v, want done=true status=done", ps.Progress)
 	}
 	if second.TraceID == first.TraceID {

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestOpenAPICoversRoutes walks the route table and the served spec in
+// both directions: every registered route must appear in the OpenAPI
+// document with the right method, and the document must not advertise
+// operations that are not in the table. This is the drift guard the
+// hand-maintained spec relies on.
+func TestOpenAPICoversRoutes(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Drain()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	resp, err := http.Get(hs.URL + "/v1/openapi.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("openapi: HTTP %d", resp.StatusCode)
+	}
+	var spec struct {
+		OpenAPI string                                `json:"openapi"`
+		Info    struct{ Version string }              `json:"info"`
+		Paths   map[string]map[string]json.RawMessage `json:"paths"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&spec); err != nil {
+		t.Fatal(err)
+	}
+	if spec.OpenAPI == "" || spec.Info.Version == "" {
+		t.Fatalf("spec missing identity: openapi=%q version=%q", spec.OpenAPI, spec.Info.Version)
+	}
+
+	methodKey := map[string]string{"GET": "get", "POST": "post", "DELETE": "delete"}
+	inTable := map[string]bool{}
+	for _, rt := range s.routes() {
+		key, ok := methodKey[rt.Method]
+		if !ok {
+			t.Fatalf("route %s %s uses a method the spec walker does not know", rt.Method, rt.Pattern)
+		}
+		inTable[rt.Pattern+" "+key] = true
+		ops, ok := spec.Paths[rt.Pattern]
+		if !ok {
+			t.Errorf("spec missing path %s", rt.Pattern)
+			continue
+		}
+		if _, ok := ops[key]; !ok {
+			t.Errorf("spec path %s missing %s operation", rt.Pattern, rt.Method)
+		}
+	}
+	for path, ops := range spec.Paths {
+		for method := range ops {
+			if !inTable[path+" "+method] {
+				t.Errorf("spec advertises %s %s, which is not a registered route", method, path)
+			}
+		}
+	}
+
+	// The mux must actually serve every GET route the table declares
+	// with something other than 404-from-the-mux (handler-level 404s
+	// for missing jobs are fine; a mux miss would be text/plain 404
+	// "404 page not found").
+	for _, rt := range s.routes() {
+		if rt.Method != "GET" {
+			continue
+		}
+		probe := rt.Pattern
+		if probe == "/v1/jobs/{id}" || len(probe) > len("/v1/jobs/{id}") && probe[:len("/v1/jobs/{id}")] == "/v1/jobs/{id}" {
+			continue // job routes need a live job; covered elsewhere
+		}
+		resp, err := http.Get(hs.URL + probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound && resp.Header.Get("Content-Type") == "text/plain; charset=utf-8" {
+			t.Errorf("route %s is in the table but the mux does not serve it", probe)
+		}
+	}
+}

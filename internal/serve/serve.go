@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"agingfp/internal/canon"
 	"agingfp/internal/flight"
 	"agingfp/internal/obs"
 	"agingfp/internal/telemetry"
@@ -140,12 +141,24 @@ const (
 	StateCanceled JobState = "canceled"
 )
 
+// Solve kinds: how a job's answer was (or will be) produced. They are
+// provenance, not workload identity — the result bytes are the same
+// whichever tier answered.
+const (
+	solveKindCold     = "cold"
+	solveKindExact    = "exact_hit"
+	solveKindSemantic = "semantic_hit"
+	solveKindDelta    = "delta"
+)
+
 // job is the internal record of one submission.
 type job struct {
 	id        string
-	key       string // cache key (canonical request hash)
+	key       string // exact-tier cache key; "" for delta jobs (never cached)
+	semKey    string // semantic-tier key; "" for bench and delta jobs
 	traceID   string // correlation ID across logs, spans, and the API
 	req       *JobRequest
+	canonForm *canon.Form // canonical form of a design submission; nil otherwise
 	ctx       context.Context
 	cancel    context.CancelFunc
 	submitted time.Time
@@ -153,36 +166,66 @@ type job struct {
 	capture   *traceCapture    // per-job span capture; nil unless enabled
 	flight    *flight.Recorder // per-job decision journal; nil for cache hits or when disabled
 
-	mu       sync.Mutex
-	state    JobState
-	errText  string
-	result   []byte
-	started  time.Time
-	finished time.Time
+	// Delta-job identity, fixed at submission.
+	solveKind     string
+	baseID        string        // delta jobs: the seeding job's id
+	delta         *DeltaRequest // nil unless this is a delta job
+	baseArtifacts *solveArtifacts
+
+	mu            sync.Mutex
+	state         JobState
+	errText       string
+	result        []byte
+	artifacts     *solveArtifacts // exported after a successful solve (or attached on cache hits)
+	deltaFallback string          // cold-fallback reason; "" when the seed was used
+	reuse         *ReuseInfo
+	started       time.Time
+	finished      time.Time
+}
+
+// ReuseInfo reports which of the base job's artifacts a delta re-solve
+// actually used — the honest version of "warm": a delta that fell back
+// cold says so here and in delta_fallback rather than pretending.
+type ReuseInfo struct {
+	FrozenReused bool `json:"frozen_reused"`
+	BasesSeeded  int  `json:"bases_seeded"`
+	BracketHit   bool `json:"bracket_hit"`
 }
 
 // Snapshot is a point-in-time copy of a job's externally visible state.
 type Snapshot struct {
-	ID        string    `json:"id"`
-	TraceID   string    `json:"trace_id,omitempty"`
-	State     JobState  `json:"state"`
-	Error     string    `json:"error,omitempty"`
-	Submitted time.Time `json:"submitted"`
-	Started   time.Time `json:"started,omitempty"`
-	Finished  time.Time `json:"finished,omitempty"`
+	ID      string   `json:"id"`
+	TraceID string   `json:"trace_id,omitempty"`
+	State   JobState `json:"state"`
+	Error   string   `json:"error,omitempty"`
+	// SolveKind is how the answer was produced: cold, exact_hit,
+	// semantic_hit, or delta.
+	SolveKind string `json:"solve_kind,omitempty"`
+	// BaseJob names the seeding job for delta submissions.
+	BaseJob string `json:"base_job,omitempty"`
+	// DeltaFallback carries the reason a delta ran cold ("" = seeded).
+	DeltaFallback string     `json:"delta_fallback,omitempty"`
+	Reuse         *ReuseInfo `json:"reuse,omitempty"`
+	Submitted     time.Time  `json:"submitted"`
+	Started       time.Time  `json:"started,omitempty"`
+	Finished      time.Time  `json:"finished,omitempty"`
 }
 
 func (j *job) snapshot() Snapshot {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return Snapshot{
-		ID:        j.id,
-		TraceID:   j.traceID,
-		State:     j.state,
-		Error:     j.errText,
-		Submitted: j.submitted,
-		Started:   j.started,
-		Finished:  j.finished,
+		ID:            j.id,
+		TraceID:       j.traceID,
+		State:         j.state,
+		Error:         j.errText,
+		SolveKind:     j.solveKind,
+		BaseJob:       j.baseID,
+		DeltaFallback: j.deltaFallback,
+		Reuse:         j.reuse,
+		Submitted:     j.submitted,
+		Started:       j.started,
+		Finished:      j.finished,
 	}
 }
 
@@ -278,9 +321,13 @@ func New(cfg Config) *Server {
 }
 
 // Submit validates, caches or enqueues a request and returns the job's
-// id. A content-cache hit completes the job immediately — the stored
-// bytes are served as-is, so replays are byte-identical to the original
-// run. ErrQueueFull and ErrDraining report back-pressure; validation
+// id. Two cache tiers answer without solver work: an exact tier keyed
+// by the canonical request bytes (replays are byte-identical to the
+// original run), and under it a semantic tier keyed by the design's
+// isomorphism hash — a renumbered-but-structurally-equal resubmission
+// misses on bytes but hits on structure, and the stored canonical
+// result is re-rendered through the new request's own op permutation.
+// ErrQueueFull and ErrDraining report back-pressure; validation
 // problems surface as *RequestError.
 func (s *Server) Submit(req *JobRequest) (Snapshot, error) {
 	canonical, err := req.canonicalize()
@@ -288,6 +335,17 @@ func (s *Server) Submit(req *JobRequest) (Snapshot, error) {
 		return Snapshot{}, err
 	}
 	key := requestKey(canonical)
+	var (
+		form   *canon.Form
+		semKey string
+	)
+	if req.Design != nil {
+		form, err = canon.Canonicalize(req.Design)
+		if err != nil {
+			return Snapshot{}, badRequest("serve: bad design: %v", err)
+		}
+		semKey = semanticKey(form.Hash, req.Mode, req.Seed, req.TimeLimitMs)
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -298,8 +356,11 @@ func (s *Server) Submit(req *JobRequest) (Snapshot, error) {
 	j := &job{
 		id:        fmt.Sprintf("job-%06d", s.nextID),
 		key:       key,
+		semKey:    semKey,
 		traceID:   newTraceID(),
 		req:       req,
+		canonForm: form,
+		solveKind: solveKindCold,
 		submitted: time.Now(),
 		state:     StateQueued,
 		rep:       obs.NewReporter(),
@@ -311,18 +372,31 @@ func (s *Server) Submit(req *JobRequest) (Snapshot, error) {
 
 	if cached, ok := s.cache.get(key); ok {
 		s.reg.Counter(`agingfp_serve_cache_hits_total`).Inc()
-		j.state = StateDone
-		j.result = cached
-		j.started = j.submitted
-		j.finished = j.submitted
-		j.ctx, j.cancel = context.WithCancel(s.baseCtx)
-		j.cancel() // nothing left to cancel
-		s.jobs[j.id] = j
-		s.gaugeState(StateDone, 1)
-		j.rep.Update(func(p *obs.Progress) { p.Phase = "done"; p.Done = true; p.Status = string(StateDone) })
-		s.logJob(j, "job served from cache", slog.Bool("cache_hit", true))
-		s.emitCacheHitEvent(j, cached)
+		s.reg.Counter(`agingfp_serve_cache_tier_hits_total{tier="exact"}`).Inc()
+		j.solveKind = solveKindExact
+		s.finishFromCache(j, cached)
 		return j.snapshot(), nil
+	}
+	if semKey != "" {
+		if e, ok := s.cache.getSemantic(semKey); ok {
+			out, rerr := renderResult(req.Design.Name, form.OpPerm, e.result)
+			if rerr == nil {
+				s.reg.Counter(`agingfp_cache_semantic_hits_total`).Inc()
+				s.reg.Counter(`agingfp_serve_cache_tier_hits_total{tier="semantic"}`).Inc()
+				// Promote into the exact tier so the next identical
+				// resubmission short-circuits even earlier — and serve
+				// the tier's stored slice so replays stay one allocation.
+				s.cache.put(key, out)
+				if cached, ok := s.cache.get(key); ok {
+					out = cached
+				}
+				j.solveKind = solveKindSemantic
+				s.finishFromCache(j, out)
+				return j.snapshot(), nil
+			}
+			// An unrenderable semantic entry means corrupted state;
+			// fall through to a cold solve rather than failing the job.
+		}
 	}
 	s.reg.Counter(`agingfp_serve_cache_misses_total`).Inc()
 	// Only jobs that actually run the solver get a flight recorder: a
@@ -355,6 +429,35 @@ func (s *Server) Submit(req *JobRequest) (Snapshot, error) {
 	return j.snapshot(), nil
 }
 
+// finishFromCache completes a cache-answered job at submission time:
+// the stored bytes become the result, the job is terminal immediately,
+// and — for design submissions whose semantic entry survives — the
+// canonical artifacts are rebound to this submission's numbering so
+// the job can still serve as a delta base. Called with s.mu held.
+func (s *Server) finishFromCache(j *job, cached []byte) {
+	j.state = StateDone
+	j.result = cached
+	if j.semKey != "" && j.canonForm != nil {
+		if e, ok := s.cache.getSemantic(j.semKey); ok && e.artifacts != nil {
+			art := *e.artifacts
+			art.clientDoc = j.req.Design
+			art.opPerm = j.canonForm.OpPerm
+			art.ctxPerm = j.canonForm.CtxPerm
+			j.artifacts = &art
+		}
+	}
+	j.started = j.submitted
+	j.finished = j.submitted
+	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	j.cancel() // nothing left to cancel
+	s.jobs[j.id] = j
+	s.gaugeState(StateDone, 1)
+	j.rep.Update(func(p *obs.Progress) { p.Phase = "done"; p.Done = true; p.Status = string(StateDone) })
+	s.logJob(j, "job served from cache",
+		slog.Bool("cache_hit", true), slog.String("solve_kind", j.solveKind))
+	s.emitCacheHitEvent(j, cached)
+}
+
 // emitCacheHitEvent records a cache-served job as a wide event: it
 // counts toward throughput and the hit rate but is excluded from solve
 // latency percentiles (the pipeline keys that off cache_hit). The
@@ -376,16 +479,17 @@ func (s *Server) emitCacheHitEvent(j *job, cached []byte) {
 		mode = "rotate"
 	}
 	tp.Record(&telemetry.SolveEvent{
-		Time:     time.Now(),
-		Source:   telemetry.SourceServe,
-		JobID:    j.id,
-		TraceID:  j.traceID,
-		Bench:    res.Design,
-		Ops:      res.Ops,
-		Contexts: res.Contexts,
-		Mode:     mode,
-		Status:   string(StateDone),
-		CacheHit: true,
+		Time:      time.Now(),
+		Source:    telemetry.SourceServe,
+		JobID:     j.id,
+		TraceID:   j.traceID,
+		Bench:     res.Design,
+		Ops:       res.Ops,
+		Contexts:  res.Contexts,
+		Mode:      mode,
+		Status:    string(StateDone),
+		CacheHit:  true,
+		SolveKind: j.solveKind,
 	})
 }
 
@@ -635,7 +739,7 @@ func (s *Server) runJob(j *job) {
 		ctx = flight.WithRecorder(ctx, j.flight)
 	}
 
-	out, info, err := s.execute(ctx, j.req)
+	eo, info, err := s.execute(ctx, j)
 
 	j.mu.Lock()
 	j.finished = time.Now()
@@ -643,14 +747,34 @@ func (s *Server) runJob(j *job) {
 	var final JobState
 	switch {
 	case err == nil:
-		// Store-then-load so the job serves the same byte slice future
-		// cache hits will.
-		s.cache.put(j.key, out)
-		if cached, ok := s.cache.get(j.key); ok {
-			out = cached
+		out := eo.result
+		// Delta jobs bypass the caches (key == ""): their results
+		// depend on the base job's artifacts, not the request alone.
+		if j.key != "" {
+			// Store-then-load so the job serves the same byte slice
+			// future cache hits will.
+			s.cache.put(j.key, out)
+			if cached, ok := s.cache.get(j.key); ok {
+				out = cached
+			}
+		}
+		// Only cold design solves feed the semantic tier: its contract
+		// is "the canonical instance's own solve outcome", which a
+		// seeded delta re-solve does not satisfy.
+		if j.semKey != "" && j.solveKind == solveKindCold && eo.cres != nil {
+			s.cache.putSemantic(j.semKey, &semanticEntry{result: eo.cres, artifacts: eo.artifacts})
 		}
 		final = StateDone
 		j.result = out
+		j.artifacts = eo.artifacts
+		j.deltaFallback = eo.fallback
+		if eo.reuse != nil {
+			j.reuse = &ReuseInfo{
+				FrozenReused: eo.reuse.FrozenReused,
+				BasesSeeded:  eo.reuse.BasesSeeded,
+				BracketHit:   eo.reuse.BracketHit,
+			}
+		}
 	case errors.Is(err, context.Canceled):
 		final = StateCanceled
 		j.errText = err.Error()
@@ -698,6 +822,7 @@ func (s *Server) emitSolveEvent(j *job, info *solveInfo, final JobState, elapsed
 		TraceID:     j.traceID,
 		Mode:        mode,
 		Status:      string(final),
+		SolveKind:   j.solveKind,
 		ElapsedMs:   durMs(elapsed),
 		QueueWaitMs: durMs(queueWait),
 	}

@@ -1,7 +1,8 @@
-package serve
+package serve_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -16,18 +17,20 @@ import (
 	"agingfp/internal/arch"
 	"agingfp/internal/bench"
 	"agingfp/internal/obs"
+	"agingfp/internal/serve"
+	"agingfp/internal/serve/client"
 )
 
-// testServer wires a Server into an httptest listener and tears both
-// down with the test.
-func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *obs.Registry) {
+// testServer wires a serve.Server into an httptest listener, builds a
+// typed client against it, and tears everything down with the test.
+func testServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server, *obs.Registry) {
 	t.Helper()
 	reg := obs.NewRegistry()
 	cfg.Registry = reg
 	if cfg.DrainTimeout == 0 {
 		cfg.DrainTimeout = 2 * time.Second
 	}
-	s := New(cfg)
+	s := serve.New(cfg)
 	hs := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		hs.Close()
@@ -36,14 +39,23 @@ func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *obs.Regis
 	return s, hs, reg
 }
 
-func postJob(t *testing.T, hs *httptest.Server, body string) (Snapshot, int) {
+// testClient builds the typed client the e2e tests drive the API with.
+func testClient(hs *httptest.Server) *client.Client {
+	cl := client.New(hs.URL, hs.Client())
+	cl.PollInterval = 5 * time.Millisecond
+	return cl
+}
+
+// postJob submits a raw body over plain HTTP — kept raw (not the typed
+// client) so the validation tests can send malformed JSON.
+func postJob(t *testing.T, hs *httptest.Server, body string) (serve.Snapshot, int) {
 	t.Helper()
 	resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var snap Snapshot
+	var snap serve.Snapshot
 	if resp.StatusCode == http.StatusAccepted {
 		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 			t.Fatal(err)
@@ -67,27 +79,30 @@ func getJSON(t *testing.T, url string, v interface{}) int {
 	return resp.StatusCode
 }
 
-// waitState polls the job until it reaches want (or any terminal state)
-// and returns the final snapshot.
-func waitState(t *testing.T, hs *httptest.Server, id string, want JobState, timeout time.Duration) Snapshot {
+// waitState polls the job through the typed client until it reaches
+// want (or any terminal state) and returns the final snapshot.
+func waitState(t *testing.T, hs *httptest.Server, id string, want serve.JobState, timeout time.Duration) serve.Snapshot {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
+	cl := testClient(hs)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
 	for {
-		var snap Snapshot
-		if code := getJSON(t, hs.URL+"/v1/jobs/"+id, &snap); code != http.StatusOK {
-			t.Fatalf("status poll: HTTP %d", code)
+		snap, err := cl.Job(ctx, id)
+		if err != nil {
+			t.Fatalf("status poll: %v", err)
 		}
 		if snap.State == want {
 			return snap
 		}
 		switch snap.State {
-		case StateDone, StateFailed, StateCanceled:
+		case serve.StateDone, serve.StateFailed, serve.StateCanceled:
 			t.Fatalf("job %s reached terminal state %q, want %q (err: %s)", id, snap.State, want, snap.Error)
 		}
-		if time.Now().After(deadline) {
+		select {
+		case <-ctx.Done():
 			t.Fatalf("job %s stuck in %q, want %q", id, snap.State, want)
+		case <-time.After(5 * time.Millisecond):
 		}
-		time.Sleep(5 * time.Millisecond)
 	}
 }
 
@@ -110,13 +125,13 @@ var slowDocument = sync.OnceValue(func() string {
 })
 
 func TestJobLifecycle(t *testing.T) {
-	_, hs, _ := testServer(t, Config{Workers: 1})
+	_, hs, _ := testServer(t, serve.Config{Workers: 1})
 
 	snap, code := postJob(t, hs, `{"bench": "B1"}`)
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: HTTP %d", code)
 	}
-	if snap.State != StateQueued && snap.State != StateDone {
+	if snap.State != serve.StateQueued && snap.State != serve.StateDone {
 		t.Fatalf("fresh job state %q", snap.State)
 	}
 
@@ -131,11 +146,12 @@ func TestJobLifecycle(t *testing.T) {
 		t.Fatalf("early result: HTTP %d", resp.StatusCode)
 	}
 
-	waitState(t, hs, snap.ID, StateDone, 30*time.Second)
+	waitState(t, hs, snap.ID, serve.StateDone, 30*time.Second)
 
-	var res JobResult
-	if code := getJSON(t, hs.URL+"/v1/jobs/"+snap.ID+"/result", &res); code != http.StatusOK {
-		t.Fatalf("result: HTTP %d", code)
+	cl := testClient(hs)
+	_, res, err := cl.Result(context.Background(), snap.ID)
+	if err != nil {
+		t.Fatalf("result: %v", err)
 	}
 	if res.Design != "B1" {
 		t.Fatalf("result design %q", res.Design)
@@ -150,20 +166,22 @@ func TestJobLifecycle(t *testing.T) {
 		t.Fatal("empty mapping in result")
 	}
 
-	// Unknown job ids 404.
-	if code := getJSON(t, hs.URL+"/v1/jobs/job-999999", nil); code != http.StatusNotFound {
-		t.Fatalf("unknown job: HTTP %d", code)
+	// Unknown job ids surface as a typed not_found APIError.
+	if _, err := cl.Job(context.Background(), "job-999999"); err == nil {
+		t.Fatal("unknown job: want error")
+	} else if apiErr, ok := err.(*client.APIError); !ok || apiErr.Status != http.StatusNotFound || apiErr.Code != serve.CodeNotFound {
+		t.Fatalf("unknown job error: %v", err)
 	}
 }
 
 func TestCacheHitByteIdentical(t *testing.T) {
-	_, hs, reg := testServer(t, Config{Workers: 1})
+	_, hs, reg := testServer(t, serve.Config{Workers: 1})
 
 	first, code := postJob(t, hs, `{"bench": "B1", "seed": 11}`)
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: HTTP %d", code)
 	}
-	waitState(t, hs, first.ID, StateDone, 30*time.Second)
+	waitState(t, hs, first.ID, serve.StateDone, 30*time.Second)
 
 	// Identical content in a different field order and spacing must hit
 	// the cache: the key hashes the canonicalized request.
@@ -171,24 +189,20 @@ func TestCacheHitByteIdentical(t *testing.T) {
 	if code != http.StatusAccepted {
 		t.Fatalf("resubmit: HTTP %d", code)
 	}
-	if second.State != StateDone {
+	if second.State != serve.StateDone {
 		t.Fatalf("cache hit not served instantly: state %q", second.State)
 	}
 	if got := reg.Counter(`agingfp_serve_cache_hits_total`).Value(); got != 1 {
 		t.Fatalf("cache hits = %d, want 1", got)
 	}
 
+	cl := testClient(hs)
 	read := func(id string) []byte {
-		resp, err := http.Get(hs.URL + "/v1/jobs/" + id + "/result")
+		raw, _, err := cl.Result(context.Background(), id)
 		if err != nil {
 			t.Fatal(err)
 		}
-		defer resp.Body.Close()
-		b, err := io.ReadAll(resp.Body)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return b
+		return raw
 	}
 	a, b := read(first.ID), read(second.ID)
 	if !bytes.Equal(a, b) {
@@ -200,34 +214,29 @@ func TestCacheHitByteIdentical(t *testing.T) {
 	if code != http.StatusAccepted {
 		t.Fatalf("third submit: HTTP %d", code)
 	}
-	if third.State == StateDone {
+	if third.State == serve.StateDone {
 		t.Fatal("different seed must not hit the cache")
 	}
 }
 
 func TestCancelRunningJob(t *testing.T) {
-	_, hs, _ := testServer(t, Config{Workers: 1})
+	_, hs, _ := testServer(t, serve.Config{Workers: 1})
 
 	snap, code := postJob(t, hs, slowDocument())
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: HTTP %d", code)
 	}
-	waitState(t, hs, snap.ID, StateRunning, 10*time.Second)
+	waitState(t, hs, snap.ID, serve.StateRunning, 10*time.Second)
 
-	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/jobs/"+snap.ID, nil)
+	cl := testClient(hs)
 	start := time.Now()
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("cancel: HTTP %d", resp.StatusCode)
+	if _, err := cl.Cancel(context.Background(), snap.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
 	}
 
 	// The solver must unwind cooperatively well before the solve would
 	// finish (the workload runs for minutes uncanceled).
-	got := waitState(t, hs, snap.ID, StateCanceled, 15*time.Second)
+	got := waitState(t, hs, snap.ID, serve.StateCanceled, 15*time.Second)
 	if elapsed := time.Since(start); elapsed > 15*time.Second {
 		t.Fatalf("cancellation took %v", elapsed)
 	}
@@ -236,13 +245,13 @@ func TestCancelRunningJob(t *testing.T) {
 	}
 
 	// Result for a canceled job is an error, not a document.
-	if code := getJSON(t, hs.URL+"/v1/jobs/"+snap.ID+"/result", nil); code == http.StatusOK {
+	if _, _, err := cl.Result(context.Background(), snap.ID); err == nil {
 		t.Fatal("canceled job served a result")
 	}
 }
 
 func TestCancelQueuedJob(t *testing.T) {
-	_, hs, _ := testServer(t, Config{Workers: 1})
+	_, hs, _ := testServer(t, serve.Config{Workers: 1})
 
 	running, code := postJob(t, hs, slowDocument())
 	if code != http.StatusAccepted {
@@ -253,39 +262,34 @@ func TestCancelQueuedJob(t *testing.T) {
 		t.Fatalf("second submit: HTTP %d", code)
 	}
 
-	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/jobs/"+queued.ID, nil)
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
+	cl := testClient(hs)
+	if _, err := cl.Cancel(context.Background(), queued.ID); err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	waitState(t, hs, queued.ID, StateCanceled, 5*time.Second)
+	waitState(t, hs, queued.ID, serve.StateCanceled, 5*time.Second)
 
 	// Unblock the worker so Cleanup's Drain stays fast.
-	req, _ = http.NewRequest(http.MethodDelete, hs.URL+"/v1/jobs/"+running.ID, nil)
-	resp, err = http.DefaultClient.Do(req)
-	if err != nil {
+	if _, err := cl.Cancel(context.Background(), running.ID); err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
 }
 
 func TestDeadlineExceeded(t *testing.T) {
-	_, hs, _ := testServer(t, Config{Workers: 1})
+	_, hs, _ := testServer(t, serve.Config{Workers: 1})
 
 	body := strings.Replace(slowDocument(), `{"design"`, `{"deadline_ms": 300, "design"`, 1)
 	snap, code := postJob(t, hs, body)
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: HTTP %d", code)
 	}
-	got := waitState(t, hs, snap.ID, StateFailed, 30*time.Second)
+	got := waitState(t, hs, snap.ID, serve.StateFailed, 30*time.Second)
 	if !strings.Contains(got.Error, "deadline") {
 		t.Fatalf("deadline job error %q", got.Error)
 	}
 }
 
 func TestSubmitValidation(t *testing.T) {
-	_, hs, _ := testServer(t, Config{Workers: 1})
+	_, hs, _ := testServer(t, serve.Config{Workers: 1})
 	for _, body := range []string{
 		`{}`,                                    // neither bench nor design
 		`{"bench": "B1", "design": {}}`,         // both
@@ -302,13 +306,13 @@ func TestSubmitValidation(t *testing.T) {
 }
 
 func TestQueueFullAndDrain(t *testing.T) {
-	s, hs, _ := testServer(t, Config{Workers: 1, QueueDepth: 1, DrainTimeout: time.Second})
+	s, hs, _ := testServer(t, serve.Config{Workers: 1, QueueDepth: 1, DrainTimeout: time.Second})
 
 	running, code := postJob(t, hs, slowDocument())
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: HTTP %d", code)
 	}
-	waitState(t, hs, running.ID, StateRunning, 10*time.Second)
+	waitState(t, hs, running.ID, serve.StateRunning, 10*time.Second)
 	if _, code := postJob(t, hs, `{"bench": "B4"}`); code != http.StatusAccepted {
 		t.Fatalf("queued submit: HTTP %d", code)
 	}
@@ -329,14 +333,14 @@ func TestQueueFullAndDrain(t *testing.T) {
 	if _, code := postJob(t, hs, `{"bench": "B6"}`); code != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain submit: HTTP %d, want 503", code)
 	}
-	final := waitState(t, hs, running.ID, StateCanceled, 5*time.Second)
-	if final.State != StateCanceled {
+	final := waitState(t, hs, running.ID, serve.StateCanceled, 5*time.Second)
+	if final.State != serve.StateCanceled {
 		t.Fatalf("drained job state %q", final.State)
 	}
 }
 
 func TestHealthzAndMetrics(t *testing.T) {
-	_, hs, _ := testServer(t, Config{Workers: 1})
+	_, hs, _ := testServer(t, serve.Config{Workers: 1})
 
 	var health struct {
 		Status   string `json:"status"`
@@ -350,7 +354,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 	}
 
 	snap, _ := postJob(t, hs, `{"bench": "B1"}`)
-	waitState(t, hs, snap.ID, StateDone, 30*time.Second)
+	waitState(t, hs, snap.ID, serve.StateDone, 30*time.Second)
 
 	resp, err := http.Get(hs.URL + "/metrics")
 	if err != nil {
@@ -374,8 +378,8 @@ func TestHealthzAndMetrics(t *testing.T) {
 // owns its goroutines completely.
 func TestDrainLeavesNoWorkers(t *testing.T) {
 	before := runtime.NumGoroutine()
-	s := New(Config{Workers: 4, DrainTimeout: time.Second})
-	if _, err := s.Submit(&JobRequest{Bench: "B1"}); err != nil {
+	s := serve.New(serve.Config{Workers: 4, DrainTimeout: time.Second})
+	if _, err := s.Submit(&serve.JobRequest{Bench: "B1"}); err != nil {
 		t.Fatal(err)
 	}
 	s.Drain()

@@ -1,6 +1,7 @@
-package serve
+package serve_test
 
 import (
+	"agingfp/internal/serve"
 	"bufio"
 	"io"
 	"net/http"
@@ -30,15 +31,15 @@ func openPipeline(t *testing.T, cfg telemetry.Config) *telemetry.Pipeline {
 func TestStatsAndDashEndpoints(t *testing.T) {
 	dir := t.TempDir()
 	p := openPipeline(t, telemetry.Config{Dir: dir})
-	_, hs, _ := testServer(t, Config{Workers: 1, Telemetry: p})
+	_, hs, _ := testServer(t, serve.Config{Workers: 1, Telemetry: p})
 
 	snap, code := postJob(t, hs, `{"bench": "B1", "seed": 41}`)
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: HTTP %d", code)
 	}
-	waitState(t, hs, snap.ID, StateDone, 30*time.Second)
+	waitState(t, hs, snap.ID, serve.StateDone, 30*time.Second)
 	// Byte-identical resubmission: a cache-hit wide event.
-	if again, _ := postJob(t, hs, `{"bench": "B1", "seed": 41}`); again.State != StateDone {
+	if again, _ := postJob(t, hs, `{"bench": "B1", "seed": 41}`); again.State != serve.StateDone {
 		t.Fatalf("resubmit not served from cache: %q", again.State)
 	}
 
@@ -86,7 +87,7 @@ func TestStatsAndDashEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	p2 := openPipeline(t, telemetry.Config{Dir: dir})
-	_, hs2, _ := testServer(t, Config{Workers: 1, Telemetry: p2})
+	_, hs2, _ := testServer(t, serve.Config{Workers: 1, Telemetry: p2})
 	var st2 telemetry.WindowStats
 	if code := getJSON(t, hs2.URL+"/v1/stats?window=1h", &st2); code != http.StatusOK {
 		t.Fatalf("post-restart /v1/stats: HTTP %d", code)
@@ -97,7 +98,7 @@ func TestStatsAndDashEndpoints(t *testing.T) {
 }
 
 func TestStatsWithoutTelemetry404s(t *testing.T) {
-	_, hs, _ := testServer(t, Config{Workers: 1})
+	_, hs, _ := testServer(t, serve.Config{Workers: 1})
 	if code := getJSON(t, hs.URL+"/v1/stats", nil); code != http.StatusNotFound {
 		t.Fatalf("/v1/stats without pipeline: HTTP %d, want 404", code)
 	}
@@ -117,13 +118,13 @@ func TestSlowSolveAutoCapture(t *testing.T) {
 		SlowPercentile: 0.5,
 		SlowMinSamples: 1,
 	})
-	_, hs, _ := testServer(t, Config{Workers: 1, Telemetry: p})
+	_, hs, _ := testServer(t, serve.Config{Workers: 1, Telemetry: p})
 
 	// Learn B1's shape from a first solve, then synthesize the fast
 	// population in that bucket.
 	snap, _ := postJob(t, hs, `{"bench": "B1", "seed": 51}`)
-	waitState(t, hs, snap.ID, StateDone, 30*time.Second)
-	var res JobResult
+	waitState(t, hs, snap.ID, serve.StateDone, 30*time.Second)
+	var res serve.JobResult
 	if code := getJSON(t, hs.URL+"/v1/jobs/"+snap.ID+"/result", &res); code != http.StatusOK {
 		t.Fatalf("result: HTTP %d", code)
 	}
@@ -139,7 +140,7 @@ func TestSlowSolveAutoCapture(t *testing.T) {
 	}
 
 	snap2, _ := postJob(t, hs, `{"bench": "B1", "seed": 52}`)
-	waitState(t, hs, snap2.ID, StateDone, 30*time.Second)
+	waitState(t, hs, snap2.ID, serve.StateDone, 30*time.Second)
 
 	entries, err := os.ReadDir(filepath.Join(dir, "slow"))
 	if err != nil {
@@ -160,13 +161,13 @@ func TestSlowSolveAutoCapture(t *testing.T) {
 // watches its event stream: with no progress to report, the server must
 // still emit `: keep-alive` comment frames at the configured interval.
 func TestSSEKeepAlive(t *testing.T) {
-	_, hs, _ := testServer(t, Config{Workers: 1, SSEKeepAlive: 40 * time.Millisecond})
+	_, hs, _ := testServer(t, serve.Config{Workers: 1, SSEKeepAlive: 40 * time.Millisecond})
 
 	running, code := postJob(t, hs, slowDocument())
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: HTTP %d", code)
 	}
-	waitState(t, hs, running.ID, StateRunning, 10*time.Second)
+	waitState(t, hs, running.ID, serve.StateRunning, 10*time.Second)
 	queued, code := postJob(t, hs, `{"bench": "B2"}`)
 	if code != http.StatusAccepted {
 		t.Fatalf("second submit: HTTP %d", code)
@@ -218,10 +219,10 @@ func TestSSEKeepAlive(t *testing.T) {
 }
 
 func TestCacheEvictionMetrics(t *testing.T) {
-	_, hs, reg := testServer(t, Config{Workers: 1, CacheEntries: 1})
+	_, hs, reg := testServer(t, serve.Config{Workers: 1, CacheEntries: 1})
 
 	first, _ := postJob(t, hs, `{"bench": "B1", "seed": 61}`)
-	waitState(t, hs, first.ID, StateDone, 30*time.Second)
+	waitState(t, hs, first.ID, serve.StateDone, 30*time.Second)
 	if got := reg.Gauge(`agingfp_serve_cache_entries`).Value(); got != 1 {
 		t.Fatalf("cache entries gauge = %g, want 1", got)
 	}
@@ -230,7 +231,7 @@ func TestCacheEvictionMetrics(t *testing.T) {
 	}
 
 	second, _ := postJob(t, hs, `{"bench": "B1", "seed": 62}`)
-	waitState(t, hs, second.ID, StateDone, 30*time.Second)
+	waitState(t, hs, second.ID, serve.StateDone, 30*time.Second)
 	if got := reg.Counter(`agingfp_serve_cache_evictions_total`).Value(); got != 1 {
 		t.Fatalf("evictions after overflow = %d, want 1", got)
 	}
@@ -241,8 +242,8 @@ func TestCacheEvictionMetrics(t *testing.T) {
 	// The first job's entry was evicted: an identical resubmission must
 	// miss and re-run rather than hit.
 	resubmit, _ := postJob(t, hs, `{"bench": "B1", "seed": 61}`)
-	if resubmit.State == StateDone {
+	if resubmit.State == serve.StateDone {
 		t.Fatal("evicted entry served a cache hit")
 	}
-	waitState(t, hs, resubmit.ID, StateDone, 30*time.Second)
+	waitState(t, hs, resubmit.ID, serve.StateDone, 30*time.Second)
 }

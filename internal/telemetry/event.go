@@ -56,8 +56,12 @@ type SolveEvent struct {
 	Status string `json:"status"`
 	// CacheHit marks a job answered from the content-addressed cache
 	// without running the solver.
-	CacheHit bool   `json:"cache_hit,omitempty"`
-	Error    string `json:"error,omitempty"`
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// SolveKind says how the answer was produced: "cold" (full solve),
+	// "exact_hit" / "semantic_hit" (cache tiers), or "delta" (re-solve
+	// seeded from a prior job's artifacts). Empty on CLI events.
+	SolveKind string `json:"solve_kind,omitempty"`
+	Error     string `json:"error,omitempty"`
 
 	// ElapsedMs is the solve wall-clock; QueueWaitMs the time between
 	// submission and a worker picking the job up (serve only).
