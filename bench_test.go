@@ -236,6 +236,24 @@ func BenchmarkWarmVsColdSimplex(b *testing.B) {
 			}
 		}
 	})
+	// The profiled arm measures the kernel profiler's overhead against
+	// "cold" directly: same probes, profiling armed. The gap between the
+	// two is the cost of the sampled phase clocks (<2% is the budget; see
+	// lp.TestKernelProfilerOverhead for the hard gate).
+	b.Run("cold-profiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for k, p := range probes {
+				sol, err := lp.Solve(context.Background(), p, lp.Options{Profile: true})
+				if err != nil || sol.Status != lp.Optimal {
+					b.Fatalf("probe %d: %v %v", k, err, sol.Status)
+				}
+				if sol.Profile == nil {
+					b.Fatal("profiled solve returned no profile")
+				}
+			}
+		}
+	})
 	b.Run("warm", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {

@@ -20,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -136,6 +137,7 @@ func run() int {
 		journalF  = flag.String("journal", "", "write the solve's flight-recorder journal (JSON) to this file")
 		explainF  = flag.String("explain", "", "write the human-readable explainability report to this file")
 		flightEvs = flag.Int("flight-events", 0, "bound the flight journal's event count (0 = default, negative disables recording)")
+		kernProfF = flag.String("kernel-profile", "", "arm the LP kernel profiler and write the aggregated kernel profile (phase times, basis health, tree shape) as JSON to this file")
 		telemDir  = flag.String("telemetry-dir", "", "append this run's wide telemetry event to the durable store in this directory (shared with agingfloord)")
 		version   = flag.Bool("version", false, "print build identity (VCS revision, Go version) and exit")
 	)
@@ -251,8 +253,11 @@ func run() int {
 	// Flight recorder: only attached when an output was requested, so the
 	// default path journals nothing.
 	var rec *flight.Recorder
-	if (*journalF != "" || *explainF != "") && *flightEvs >= 0 {
+	if (*journalF != "" || *explainF != "" || *kernProfF != "") && *flightEvs >= 0 {
 		rec = flight.NewRecorder(*flightEvs)
+		if *kernProfF != "" {
+			rec.EnableKernel(0)
+		}
 		opts.Flight = rec
 	}
 	// Reject nonsense flag combinations with the library's own
@@ -331,7 +336,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
 		} else {
 			ms := func(dur time.Duration) float64 { return float64(dur) / float64(time.Millisecond) }
-			p.Record(&telemetry.SolveEvent{
+			ev := &telemetry.SolveEvent{
 				Time:          time.Now(),
 				Source:        telemetry.SourceCLI,
 				Bench:         d.Name,
@@ -351,7 +356,9 @@ func run() int {
 				ProbeTimeouts: r.Stats.ProbeTimeouts,
 				WarmStarts:    r.Stats.WarmStarts,
 				WarmRejects:   r.Stats.WarmStartRejects,
-			})
+			}
+			ev.FillKernel(rec.KernelSnapshot())
+			p.Record(ev)
 			if err := p.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
 			} else {
@@ -383,6 +390,23 @@ func run() int {
 				return 1
 			}
 			fmt.Println("wrote explainability report to", *explainF)
+		}
+		if *kernProfF != "" {
+			out := struct {
+				Kernel *flight.Kernel    `json:"kernel"`
+				Tree   *flight.TreeStats `json:"tree,omitempty"`
+			}{journal.Kernel, journal.Tree}
+			data, err := json.MarshalIndent(out, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			if err := os.WriteFile(*kernProfF, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			fmt.Printf("wrote kernel profile to %s (%.1f%% of LP wall-clock attributed to phases)\n",
+				*kernProfF, 100*journal.Kernel.Coverage())
 		}
 	}
 

@@ -68,6 +68,10 @@ func run() int {
 		telemBase    = flag.String("telemetry-baseline", "", "perf baseline JSON (e.g. BENCH_baseline.json) to arm drift detection against")
 		driftFactor  = flag.Float64("drift-factor", 2.0, "tolerated slowdown factor before a benchmark is flagged as drifted (mirrors CI's perf gate)")
 		slowPct      = flag.Float64("slow-percentile", 0.99, "auto-capture the flight journal of solves beyond this latency percentile of their shape bucket (<=0 disables)")
+		kernelProf   = flag.Bool("kernel-profile", false, "arm the LP kernel profiler on every job: phase-attributed solver time in journals, reports, metrics, /v1/stats, and /debug/dash")
+		profRingDir  = flag.String("profile-ring", "", "continuous CPU profiling: keep rolling fixed-window pprof captures in this directory (empty disables)")
+		profWindow   = flag.Duration("profile-window", 30*time.Second, "length of one continuous-profiling capture window")
+		profKeep     = flag.Int("profile-keep", 8, "rolling pprof captures kept on disk (oldest pruned; slow-solve copies are kept separately)")
 		version      = flag.Bool("version", false, "print build identity (VCS revision, Go version) and exit")
 	)
 	flag.Parse()
@@ -153,6 +157,25 @@ func run() int {
 		defer pipeline.Close() //nolint:errcheck // drain already flushed jobs
 	}
 
+	// The continuous profiler rides next to telemetry: rolling CPU
+	// captures, with the window covering a slow-outlier solve copied
+	// aside under the job's id (next to its captured flight journal).
+	var ring *telemetry.ProfRing
+	if *profRingDir != "" {
+		r, err := telemetry.StartProfRing(telemetry.RingConfig{
+			Dir:    *profRingDir,
+			Window: *profWindow,
+			Keep:   *profKeep,
+			Logger: logger,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "agingfloord: %v\n", err)
+			return 1
+		}
+		ring = r
+		defer ring.Close()
+	}
+
 	srv := serve.New(serve.Config{
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
@@ -166,6 +189,8 @@ func run() int {
 		EnablePprof:     *pprofOn,
 		FlightEvents:    *flightEvs,
 		Telemetry:       pipeline,
+		KernelProfile:   *kernelProf,
+		ProfileRing:     ring,
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -42,6 +42,7 @@ func main() {
 		csvOut  = flag.String("csv", "", "also write Table-I results as CSV to this file")
 		par     = flag.Int("parallel", 1, "run this many benchmarks concurrently")
 
+		kernProf   = flag.Bool("kernel-profile", false, "arm the LP kernel profiler per benchmark; phase medians land in the perf report")
 		perfOut    = flag.String("perf", "", "write a perf trajectory report (per-benchmark phase wall-clock, simplex iterations, warm-start hits) as JSON to this file")
 		perfBase   = flag.String("perf-baseline", "", "compare the perf run against this baseline report and fail on a median solve-time regression")
 		perfFactor = flag.Float64("perf-factor", 2.0, "tolerated median solve-time factor vs the baseline")
@@ -61,6 +62,7 @@ func main() {
 	cfg := bench.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Parallel = *par
+	cfg.KernelProfile = *kernProf
 	if !*quiet {
 		cfg.Progress = func(s string) { fmt.Println(s) }
 	}

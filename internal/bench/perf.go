@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"agingfp/internal/buildinfo"
+	"agingfp/internal/flight"
 )
 
 // PerfSchema identifies the perf-report JSON layout; bump on breaking
@@ -33,6 +34,17 @@ type PerfRecord struct {
 	SimplexIters int `json:"simplex_iters"`
 	WarmStarts   int `json:"warm_starts"`
 	STProbes     int `json:"st_probes"`
+
+	// Per-phase LP kernel wall-clock (both arms summed), present only
+	// when the suite ran with kernel profiling. Additive to the v1
+	// schema: baselines without them simply omit the fields, and the
+	// phase gate skips comparison against such baselines.
+	LPSetupMs   float64 `json:"lp_setup_ms,omitempty"`
+	LPPricingMs float64 `json:"lp_pricing_ms,omitempty"`
+	LPFtranMs   float64 `json:"lp_ftran_ms,omitempty"`
+	LPRatioMs   float64 `json:"lp_ratio_ms,omitempty"`
+	LPUpdateMs  float64 `json:"lp_update_ms,omitempty"`
+	LPRefreshMs float64 `json:"lp_refresh_ms,omitempty"`
 }
 
 // PerfReport is the perf trajectory document the bench suite emits
@@ -48,6 +60,10 @@ type PerfReport struct {
 	// regression-gate statistic. The median (not the mean) so one noisy
 	// outlier benchmark cannot fail CI on its own.
 	MedianSolveMs float64 `json:"median_solve_ms"`
+	// PhaseMedianMs is the per-benchmark median of each LP kernel phase's
+	// wall-clock, keyed by flight's phase names. Present only when the
+	// suite ran with kernel profiling (additive to the v1 schema).
+	PhaseMedianMs map[string]float64 `json:"phase_median_ms,omitempty"`
 	// Build identity of the binary that produced the report, so a
 	// regression flagged against a committed baseline can name the exact
 	// commits being compared. Optional (additive to the v1 schema):
@@ -83,10 +99,40 @@ func NewPerfReport(suite string, results []*Result) *PerfReport {
 			WarmStarts:   fs.WarmStarts + rs.WarmStarts,
 			STProbes:     fs.STProbes + rs.STProbes,
 		}
+		if k := r.Kernel; k != nil {
+			ms := func(name string) float64 {
+				if ph := k.Phases[name]; ph != nil {
+					return float64(ph.Nanos) / 1e6
+				}
+				return 0
+			}
+			rec.LPSetupMs = ms(flight.PhaseSetup)
+			rec.LPPricingMs = ms(flight.PhasePricing)
+			rec.LPFtranMs = ms(flight.PhaseFtran)
+			rec.LPRatioMs = ms(flight.PhaseRatio)
+			rec.LPUpdateMs = ms(flight.PhaseUpdate)
+			rec.LPRefreshMs = ms(flight.PhaseRefresh)
+		}
 		rep.Records = append(rep.Records, rec)
 		elapsed = append(elapsed, rec.ElapsedMs)
 	}
 	rep.MedianSolveMs = median(elapsed)
+	phaseOf := map[string]func(*PerfRecord) float64{
+		flight.PhaseSetup:   func(r *PerfRecord) float64 { return r.LPSetupMs },
+		flight.PhasePricing: func(r *PerfRecord) float64 { return r.LPPricingMs },
+		flight.PhaseFtran:   func(r *PerfRecord) float64 { return r.LPFtranMs },
+		flight.PhaseRatio:   func(r *PerfRecord) float64 { return r.LPRatioMs },
+		flight.PhaseUpdate:  func(r *PerfRecord) float64 { return r.LPUpdateMs },
+		flight.PhaseRefresh: func(r *PerfRecord) float64 { return r.LPRefreshMs },
+	}
+	for name, of := range phaseOf {
+		if m := medianOf(rep.Records, of); m > 0 {
+			if rep.PhaseMedianMs == nil {
+				rep.PhaseMedianMs = make(map[string]float64)
+			}
+			rep.PhaseMedianMs[name] = m
+		}
+	}
 	return rep
 }
 

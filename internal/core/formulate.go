@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"agingfp/internal/arch"
+	"agingfp/internal/flight"
 	"agingfp/internal/lp"
 	"agingfp/internal/timing"
 )
@@ -115,6 +116,15 @@ type batchProblem struct {
 	infeasibleReason string
 }
 
+// addRow appends one constraint and labels its family, so the kernel
+// profiler can attribute simplex pivots to the formulation rows that
+// drive them.
+func (bp *batchProblem) addRow(family string, sense lp.Sense, rhs float64, idx []int, val []float64) {
+	row := bp.lp.NumRows()
+	bp.lp.MustAddRow(sense, rhs, idx, val)
+	bp.lp.SetRowFamily(row, family)
+}
+
 // buildBatch constructs formulation (3) for the ops of the given contexts:
 //
 //	assignment equalities      sum_k OP_ijk = 1
@@ -165,7 +175,7 @@ func buildBatch(d *arch.Design, mCur arch.Mapping, inBatch map[int]bool,
 			bp.ints = append(bp.ints, vars[i])
 		}
 		bp.varOf[op] = vars
-		bp.lp.MustAddRow(lp.EQ, 1, vars, ones)
+		bp.addRow(flight.FamilyAssignment, lp.EQ, 1, vars, ones)
 	}
 
 	// Capacity: at most one op per PE per context (among movable ops;
@@ -200,7 +210,7 @@ func buildBatch(d *arch.Design, mCur arch.Mapping, inBatch map[int]bool,
 		for i := range ones {
 			ones[i] = 1
 		}
-		bp.lp.MustAddRow(lp.LE, 1, vars, ones)
+		bp.addRow(flight.FamilyCapacity, lp.LE, 1, vars, ones)
 	}
 
 	// Accumulated stress budget per PE.
@@ -231,7 +241,7 @@ func buildBatch(d *arch.Design, mCur arch.Mapping, inBatch map[int]bool,
 			rhs = 0
 		}
 		bp.stressRows = append(bp.stressRows, bp.lp.NumRows())
-		bp.lp.MustAddRow(lp.LE, rhs, term.vars, term.val)
+		bp.addRow(flight.FamilyStressBudget, lp.LE, rhs, term.vars, term.val)
 	}
 
 	// Path wire-length budgets. Positions of non-movable endpoints are
@@ -291,14 +301,14 @@ func buildBatch(d *arch.Design, mCur arch.Mapping, inBatch map[int]bool,
 		rhs := 0.0
 		build(+1, aOp, &idx, &val, &rhs)
 		build(-1, bOp, &idx, &val, &rhs)
-		bp.lp.MustAddRow(lp.GE, rhs, idx, val)
+		bp.addRow(flight.FamilyWireAxis, lp.GE, rhs, idx, val)
 		// d + coord(a) - coord(b) >= 0  =>  d >= coord(b) - coord(a)
 		idx = []int{dvar}
 		val = []float64{1}
 		rhs = 0.0
 		build(-1, aOp, &idx, &val, &rhs)
 		build(+1, bOp, &idx, &val, &rhs)
-		bp.lp.MustAddRow(lp.GE, rhs, idx, val)
+		bp.addRow(flight.FamilyWireAxis, lp.GE, rhs, idx, val)
 	}
 
 	for _, p := range paths {
@@ -351,7 +361,7 @@ func buildBatch(d *arch.Design, mCur arch.Mapping, inBatch map[int]bool,
 		// Deduplicate arc variables repeated within one path row.
 		di, dv := dedupIdx(rowIdx, rowVal)
 		bp.pathRows = append(bp.pathRows, bp.lp.NumRows())
-		bp.lp.MustAddRow(lp.LE, rhs, di, dv)
+		bp.addRow(flight.FamilyPathDelay, lp.LE, rhs, di, dv)
 	}
 
 	return bp

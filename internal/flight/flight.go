@@ -87,6 +87,14 @@ const (
 	FamilyAssignment   = "assignment"
 )
 
+// Additional row families used only by the kernel profiler's pivot
+// attribution (they never block feasibility on their own, so the
+// infeasibility diagnosis does not relax them).
+const (
+	FamilyCapacity = "capacity"
+	FamilyWireAxis = "wire-axis"
+)
+
 // Event is one journaled decision. It is a flat value struct — no
 // pointers, no interfaces — so recording is one slice append and the
 // journal serializes deterministically. Fields beyond Seq/Kind are
@@ -153,6 +161,14 @@ type Recorder struct {
 	events  []Event
 	agg     Aggregates
 	stress  *StressAttribution
+
+	// Kernel profiling state (see kernel.go); armed by EnableKernel,
+	// populated by NoteKernel/NoteTree. Both stay nil when unarmed so
+	// existing journals serialize unchanged.
+	kernelOn   bool
+	kernelRate int
+	kernel     *Kernel
+	tree       *TreeStats
 }
 
 // NewRecorder returns a recorder bounded to max events; max <= 0
@@ -271,6 +287,8 @@ func (r *Recorder) Snapshot() *Journal {
 		Dropped:    r.dropped,
 		Aggregates: r.agg,
 		Stress:     r.stress,
+		Kernel:     r.kernel.clone(),
+		Tree:       r.tree.clone(),
 		Events:     append([]Event(nil), r.events...),
 	}
 	j.Aggregates.WarmRejects = copyCounts(r.agg.WarmRejects)

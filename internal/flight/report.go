@@ -33,7 +33,11 @@ type Journal struct {
 	Dropped    int                `json:"dropped"`
 	Aggregates Aggregates         `json:"aggregates"`
 	Stress     *StressAttribution `json:"stress,omitempty"`
-	Events     []Event            `json:"events"`
+	// Kernel/Tree carry the solver-kernel profile when profiling was
+	// armed (EnableKernel); both are absent otherwise.
+	Kernel *Kernel    `json:"kernel,omitempty"`
+	Tree   *TreeStats `json:"tree,omitempty"`
+	Events []Event    `json:"events"`
 }
 
 // WriteJSON writes the journal as indented JSON.
@@ -149,6 +153,10 @@ type Report struct {
 	Numerics      NumericsSummary    `json:"numerics"`
 	Infeasibility *Digest            `json:"infeasibility,omitempty"`
 	Stress        *StressAttribution `json:"stress,omitempty"`
+	// Kernel/Tree pass the journal's solver-kernel profile through when
+	// profiling was armed.
+	Kernel *Kernel    `json:"kernel,omitempty"`
+	Tree   *TreeStats `json:"tree,omitempty"`
 }
 
 // BuildReport synthesizes a journal into a report. The pass over the
@@ -180,6 +188,8 @@ func BuildReport(j *Journal) *Report {
 		Refactorizations: agg.Refactorizations,
 	}
 	r.Stress = j.Stress
+	r.Kernel = j.Kernel
+	r.Tree = j.Tree
 
 	var rot *RotationSummary
 	for _, e := range j.Events {
@@ -274,6 +284,23 @@ func (r *Report) HeatmapSVG() string {
 	return viz.HeatSVG("per-PE stress attribution", r.Stress.Total)
 }
 
+// KernelSVG renders the per-phase wall-clock breakdown as a horizontal
+// bar chart, or "" when the journal carried no kernel profile.
+func (r *Report) KernelSVG() string {
+	if r.Kernel == nil || len(r.Kernel.Phases) == 0 {
+		return ""
+	}
+	var labels []string
+	var ms []float64
+	for _, name := range PhaseOrder {
+		if ph := r.Kernel.Phases[name]; ph != nil {
+			labels = append(labels, name)
+			ms = append(ms, float64(ph.Nanos)/1e6)
+		}
+	}
+	return viz.BarsSVG(labels, ms, "ms")
+}
+
 // Text renders the human-readable report: the tables an operator reads
 // top to bottom to answer "what happened and why".
 func (r *Report) Text() string {
@@ -346,6 +373,65 @@ func (r *Report) Text() string {
 	n := r.Numerics
 	fmt.Fprintf(&b, "numerics: %d LP solves, %d simplex iterations, %d degenerate pivots, %d refactorizations\n",
 		n.LPSolves, n.SimplexIters, n.DegeneratePivots, n.Refactorizations)
+
+	if k := r.Kernel; k != nil {
+		fmt.Fprintf(&b, "\n-- solver kernel (profiled) --\n")
+		fmt.Fprintf(&b, "%d profiled LP solves, %.2f ms measured, coverage %.1f%% (timing 1/%d iterations, refresh every %d)\n",
+			k.Solves, float64(k.TotalNanos)/1e6, 100*k.Coverage(), k.SampleRate, k.RefreshEvery)
+		fmt.Fprintf(&b, "basis: max %d rows x %d cols, dense binv %d bytes; %d iterations, %d degenerate (longest run %d), %d refreshes\n",
+			k.MaxM, k.MaxN, k.BinvBytes, k.Iters, k.Degenerate, k.MaxDegenerateRun, k.Refreshes)
+		fmt.Fprintf(&b, "%-8s  %10s  %10s  %10s  %6s\n", "phase", "count", "sampled", "ms", "share")
+		for _, name := range PhaseOrder {
+			ph := k.Phases[name]
+			if ph == nil {
+				continue
+			}
+			share := 0.0
+			if k.TotalNanos > 0 {
+				share = 100 * float64(ph.Nanos) / float64(k.TotalNanos)
+			}
+			fmt.Fprintf(&b, "%-8s  %10d  %10d  %10.2f  %5.1f%%\n",
+				name, ph.Count, ph.Sampled, float64(ph.Nanos)/1e6, share)
+		}
+		if len(k.FamilyPivots) > 0 {
+			fmt.Fprintf(&b, "pivots by constraint family:")
+			for _, fam := range sortedKeys(k.FamilyPivots) {
+				fmt.Fprintf(&b, " %s=%d", fam, k.FamilyPivots[fam])
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+	}
+	if t := r.Tree; t != nil {
+		fmt.Fprintf(&b, "\n-- branch-and-bound tree shape --\n")
+		throughput := ""
+		if t.ElapsedNanos > 0 {
+			throughput = fmt.Sprintf(", %.0f nodes/s", float64(t.Nodes)/(float64(t.ElapsedNanos)/1e9))
+		}
+		fmt.Fprintf(&b, "%d solves, %d nodes, max depth %d%s\n", t.Solves, t.Nodes, t.MaxDepth, throughput)
+		if len(t.DepthHist) > 0 {
+			fmt.Fprintf(&b, "nodes by depth:")
+			for d, c := range t.DepthHist {
+				if c > 0 {
+					fmt.Fprintf(&b, " %d:%d", d, c)
+				}
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+		if len(t.Prunes) > 0 {
+			fmt.Fprintf(&b, "prunes:")
+			for _, cause := range sortedKeys(t.Prunes) {
+				fmt.Fprintf(&b, " %s=%d", cause, t.Prunes[cause])
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+		if len(t.Incumbents) > 0 {
+			fmt.Fprintf(&b, "incumbent trajectory (node:obj):")
+			for _, inc := range t.Incumbents {
+				fmt.Fprintf(&b, " %d:%.4f", inc.Node, inc.Obj)
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+	}
 
 	if d := r.Infeasibility; d != nil {
 		fmt.Fprintf(&b, "\n-- infeasibility digest --\n")

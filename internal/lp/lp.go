@@ -32,6 +32,21 @@ import (
 // stale_basis, singular) via obs.Labeled.
 const WarmRejectsMetric = "agingfp_lp_warmstart_rejects_total"
 
+// Prometheus families for the solver's numerical-health counters and
+// the kernel profiler's phase attribution, named consistently with
+// WarmRejectsMetric.
+const (
+	// DegeneratePivotsMetric counts degenerate (zero-step) pivots across
+	// all solves reaching one registry.
+	DegeneratePivotsMetric = "agingfp_lp_degenerate_pivots_total"
+	// RefactorizationsMetric counts primal refreshes / basis
+	// refactorizations.
+	RefactorizationsMetric = "agingfp_lp_refactorizations_total"
+	// PhaseSecondsMetric accumulates profiled wall-clock per simplex
+	// phase, labeled {phase="pricing"|...}; only profiled solves feed it.
+	PhaseSecondsMetric = "agingfp_lp_phase_seconds_total"
+)
+
 // Sense is a row's comparison sense.
 type Sense int
 
@@ -73,6 +88,10 @@ type Problem struct {
 	c      []float64
 	lb, ub []float64
 	rows   []Row
+	// rowFam optionally names each row's constraint family (the flight
+	// recorder's taxonomy); the kernel profiler attributes pivots to it.
+	// Sparse: shorter than rows means the tail is unlabeled.
+	rowFam []string
 }
 
 // NewProblem returns an empty problem.
@@ -130,6 +149,27 @@ func (p *Problem) MustAddRow(sense Sense, rhs float64, idx []int, val []float64)
 // modify). Used by diagnostics and solution checkers.
 func (p *Problem) Rows() []Row { return p.rows }
 
+// SetRowFamily labels row i with a constraint-family name (e.g. the
+// flight taxonomy's "stress-budget"); the kernel profiler attributes
+// simplex pivots to these labels. Unlabeled rows count as "other".
+func (p *Problem) SetRowFamily(i int, family string) {
+	if i < 0 || i >= len(p.rows) {
+		return
+	}
+	for len(p.rowFam) < len(p.rows) {
+		p.rowFam = append(p.rowFam, "")
+	}
+	p.rowFam[i] = family
+}
+
+// RowFamily returns row i's family label, "" when unlabeled.
+func (p *Problem) RowFamily(i int) string {
+	if i < 0 || i >= len(p.rowFam) {
+		return ""
+	}
+	return p.rowFam[i]
+}
+
 // SetObj overwrites variable j's objective coefficient.
 func (p *Problem) SetObj(j int, c float64) { p.c[j] = c }
 
@@ -149,10 +189,11 @@ func (p *Problem) SetBounds(j int, lb, ub float64) {
 // can tighten bounds independently.
 func (p *Problem) CloneBounds() *Problem {
 	return &Problem{
-		c:    p.c,
-		lb:   append([]float64(nil), p.lb...),
-		ub:   append([]float64(nil), p.ub...),
-		rows: p.rows,
+		c:      p.c,
+		lb:     append([]float64(nil), p.lb...),
+		ub:     append([]float64(nil), p.ub...),
+		rows:   p.rows,
+		rowFam: p.rowFam,
 	}
 }
 
@@ -212,6 +253,10 @@ type Solution struct {
 	// Refreshes counts primal refreshes / basis refactorizations the
 	// solve performed (periodic hygiene plus warm-start installs).
 	Refreshes int
+	// Profile is the kernel profile (phase-attributed wall-clock and
+	// basis-health stats); non-nil only when Options.Profile was set or
+	// a flight recorder armed kernel profiling.
+	Profile *Profile
 }
 
 // Options tunes the solver.
@@ -237,6 +282,27 @@ type Options struct {
 	// outcome into the per-solve flight recorder. nil falls back to the
 	// context-carried recorder (flight.WithRecorder), mirroring Trace.
 	Flight *flight.Recorder
+	// Profile enables the kernel profiler: the Solution carries a Profile
+	// attributing wall-clock to simplex phases. When false, a flight
+	// recorder with kernel profiling armed (Recorder.EnableKernel) turns
+	// it on too. Profiler-off solves pay only nil checks.
+	Profile bool
+	// ProfileRate is the iteration-sampling stride (time one in N
+	// iterations, extrapolate); 0 selects DefaultProfileRate.
+	ProfileRate int
+	// RefreshEvery overrides the periodic primal-refresh cadence of the
+	// simplex loop (iterations between refreshes); 0 keeps the built-in
+	// default. The effective value is recorded in the kernel profile so
+	// refactor-frequency experiments are reproducible.
+	RefreshEvery int
+	// ProfileClock replaces the profiler's monotonic clock (nanoseconds
+	// since an arbitrary origin) — determinism tests inject a fake clock
+	// so same-seed profiles are byte-identical. nil selects wall-clock.
+	ProfileClock func() int64
+
+	// prof is the per-Solve profiler instance, threaded to the solver
+	// constructors so setup work is attributed too. Set by Solve.
+	prof *profiler
 }
 
 // Validate rejects nonsense option values with a descriptive error.
@@ -250,6 +316,12 @@ func (o Options) Validate() error {
 	}
 	if math.IsNaN(o.Tol) || o.Tol < 0 || o.Tol >= 1 {
 		return fmt.Errorf("lp: Options.Tol %g outside [0, 1) (0 selects the default 1e-9)", o.Tol)
+	}
+	if o.ProfileRate < 0 {
+		return fmt.Errorf("lp: Options.ProfileRate %d is negative (0 selects the default %d)", o.ProfileRate, DefaultProfileRate)
+	}
+	if o.RefreshEvery < 0 {
+		return fmt.Errorf("lp: Options.RefreshEvery %d is negative (0 keeps the built-in cadence)", o.RefreshEvery)
 	}
 	return nil
 }
@@ -283,7 +355,29 @@ func Solve(ctx context.Context, p *Problem, opt Options) (*Solution, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	if err := validate(p); err != nil {
+	// Arm the kernel profiler: explicitly via Options.Profile, or because
+	// the attached flight recorder asked for it (Recorder.EnableKernel).
+	if !opt.Profile {
+		if rate, on := opt.Flight.KernelProfiling(); on {
+			opt.Profile = true
+			if opt.ProfileRate == 0 {
+				opt.ProfileRate = rate
+			}
+		}
+	}
+	var tStart int64
+	if opt.Profile {
+		opt.prof = newProfiler(opt.ProfileRate, opt.ProfileClock)
+		tStart = opt.prof.clock()
+	}
+	if prof := opt.prof; prof != nil {
+		t0 := prof.clock()
+		err := validate(p)
+		prof.direct(phSetup, t0)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := validate(p); err != nil {
 		return nil, err
 	}
 	if opt.WarmStart != nil {
@@ -298,7 +392,7 @@ func Solve(ctx context.Context, p *Problem, opt Options) (*Solution, error) {
 				sol.Warm = true
 				opt.Trace.Event("lp.warm_start", obs.Bool("hit", true), obs.Int("iters", sol.Iters))
 				opt.Flight.NoteWarm(true, "")
-				opt.Flight.NoteLP(sol.Iters, sol.Degenerate, sol.Refreshes)
+				finishSolve(opt, ws, sol, tStart)
 				return sol, nil
 			}
 			// The installed basis reoptimized inconclusively (dual budget
@@ -317,8 +411,32 @@ func Solve(ctx context.Context, p *Problem, opt Options) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	opt.Flight.NoteLP(sol.Iters, sol.Degenerate, sol.Refreshes)
+	finishSolve(opt, s, sol, tStart)
 	return sol, nil
+}
+
+// finishSolve runs the common completion path: flight accounting, the
+// numerical-health Prometheus counters, and — when profiling — building
+// the Profile, exporting per-phase seconds, and contributing the kernel
+// section to the flight journal.
+func finishSolve(opt Options, s *solver, sol *Solution, tStart int64) {
+	opt.Flight.NoteLP(sol.Iters, sol.Degenerate, sol.Refreshes)
+	reg := opt.Trace.Registry()
+	if sol.Degenerate > 0 {
+		reg.Counter(DegeneratePivotsMetric).Add(int64(sol.Degenerate))
+	}
+	if sol.Refreshes > 0 {
+		reg.Counter(RefactorizationsMetric).Add(int64(sol.Refreshes))
+	}
+	prof := opt.prof
+	if prof == nil {
+		return
+	}
+	sol.Profile = prof.build(s, prof.clock()-tStart)
+	for name, ph := range sol.Profile.Phases {
+		reg.Gauge(obs.Labeled(PhaseSecondsMetric, "phase", name)).Add(float64(ph.Nanos) / 1e9)
+	}
+	opt.Flight.NoteKernel(sol.Profile.Kernel())
 }
 
 func validate(p *Problem) error {

@@ -46,10 +46,22 @@ type solver struct {
 	maxIter int
 	iters   int
 
-	bland      bool
-	degenCount int // consecutive degenerate steps (resets; drives Bland's rule)
-	degenTotal int // all degenerate steps this solve (never resets; health counter)
-	refreshes  int // primal refreshes / refactorizations this solve
+	bland       bool
+	degenCount  int // consecutive degenerate steps (resets; drives Bland's rule)
+	degenTotal  int // all degenerate steps this solve (never resets; health counter)
+	degenRunMax int // longest consecutive degenerate run this solve
+	refreshes   int // primal refreshes / refactorizations this solve
+
+	// refreshEvery is the periodic primal-refresh cadence
+	// (Options.RefreshEvery, default refreshN).
+	refreshEvery int
+
+	// prof is the kernel profiler, nil when profiling is off; the hot
+	// loops pay one nil check per phase.
+	prof *profiler
+	// rowFam is the problem's row-family labels (shared, read-only),
+	// for pivot attribution.
+	rowFam []string
 
 	// ctx carries the solve's cancellation signal; polled by the pivot
 	// loops every ctxCheckIters iterations. nil disables the checks.
@@ -80,15 +92,25 @@ func (s *solver) canceled() bool {
 // one slack per row (indices nStruct..nStruct+m-1, in row order). No
 // basis is installed; artStart is provisionally n (no artificials).
 func newCore(p *Problem, opt Options) *solver {
+	var t0 int64
+	if opt.prof != nil {
+		t0 = opt.prof.clock()
+	}
 	m := len(p.rows)
 	nStruct := len(p.c)
 	s := &solver{
 		m:       m,
 		nStruct: nStruct,
 		tol:     opt.Tol,
+		prof:    opt.prof,
+		rowFam:  p.rowFam,
 	}
 	if s.tol <= 0 {
 		s.tol = 1e-7
+	}
+	s.refreshEvery = opt.RefreshEvery
+	if s.refreshEvery <= 0 {
+		s.refreshEvery = refreshN
 	}
 
 	// Structural columns from the row-wise input.
@@ -157,11 +179,18 @@ func newCore(p *Problem, opt Options) *solver {
 			s.maxIter = 400000
 		}
 	}
+	if s.prof != nil {
+		s.prof.direct(phSetup, t0)
+	}
 	return s
 }
 
 func newSolver(p *Problem, opt Options) *solver {
 	s := newCore(p, opt)
+	var t0 int64
+	if s.prof != nil {
+		t0 = s.prof.clock()
+	}
 	m := s.m
 	nStruct := s.nStruct
 
@@ -216,6 +245,9 @@ func newSolver(p *Problem, opt Options) *solver {
 	for i := 0; i < m; i++ {
 		s.binv[i] = make([]float64, m)
 		s.binv[i][i] = diag[i]
+	}
+	if s.prof != nil {
+		s.prof.direct(phSetup, t0)
 	}
 	return s
 }
@@ -307,25 +339,49 @@ func (s *solver) computeDuals(cost, y []float64) {
 	}
 }
 
+// dualsProfiled is computeDuals with the O(m²) dual recomputation
+// attributed to the pricing phase when profiling is armed.
+func (s *solver) dualsProfiled(cost, y []float64) {
+	if s.prof == nil {
+		s.computeDuals(cost, y)
+		return
+	}
+	t0 := s.prof.clock()
+	s.computeDuals(cost, y)
+	s.prof.direct(phPricing, t0)
+}
+
 // iterate runs bounded simplex iterations under the given cost vector
 // until optimality, unboundedness, or the iteration budget.
 func (s *solver) iterate(cost []float64) Status {
 	m := s.m
 	y := make([]float64, m)
 	w := make([]float64, m)
+	prof := s.prof
 
 	// Duals: y = cB' * Binv, recomputed from scratch here and at
 	// every refresh, and updated incrementally after each pivot via
 	// y' = y + d_entering * Binv'[leaving,:] (an O(m) identity).
-	s.computeDuals(cost, y)
+	s.dualsProfiled(cost, y)
 
 	for ; s.iters < s.maxIter; s.iters++ {
 		if s.iters%ctxCheckIters == 0 && s.canceled() {
 			return statusCanceled
 		}
-		if s.iters > 0 && s.iters%refreshN == 0 {
+		if s.iters > 0 && s.iters%s.refreshEvery == 0 {
 			s.refresh()
-			s.computeDuals(cost, y)
+			s.dualsProfiled(cost, y)
+		}
+
+		// Phase counts advance every iteration; wall-clock is read only
+		// on sampled iterations and extrapolated (see profiler).
+		var timed bool
+		var t0 int64
+		if prof != nil {
+			timed = prof.beginIter()
+			if timed {
+				t0 = prof.clock()
+			}
 		}
 
 		// Pricing.
@@ -367,6 +423,9 @@ func (s *solver) iterate(cost []float64) Status {
 				bestViol = viol
 			}
 		}
+		if prof != nil {
+			t0 = prof.phase(phPricing, timed, t0)
+		}
 		if entering == -1 {
 			return Optimal
 		}
@@ -381,6 +440,9 @@ func (s *solver) iterate(cost []float64) Status {
 			for r := 0; r < m; r++ {
 				w[r] += s.binv[r][int(i)] * v
 			}
+		}
+		if prof != nil {
+			t0 = prof.phase(phFtran, timed, t0)
 		}
 
 		// Ratio test.
@@ -428,6 +490,9 @@ func (s *solver) iterate(cost []float64) Status {
 				tBest, leaving, leavingToUpper = lim, i, toUpper
 			}
 		}
+		if prof != nil {
+			t0 = prof.phase(phRatio, timed, t0)
+		}
 		if math.IsInf(tBest, 1) {
 			return Unbounded
 		}
@@ -446,6 +511,9 @@ func (s *solver) iterate(cost []float64) Status {
 		if t < degTol {
 			s.degenCount++
 			s.degenTotal++
+			if s.degenCount > s.degenRunMax {
+				s.degenRunMax = s.degenCount
+			}
 			if s.degenCount > blandTrg {
 				s.bland = true
 			}
@@ -464,6 +532,9 @@ func (s *solver) iterate(cost []float64) Status {
 			} else {
 				s.vstat[entering] = atLower
 				s.x[entering] = s.lb[entering]
+			}
+			if prof != nil {
+				prof.phase(phUpdate, timed, t0)
 			}
 			continue
 		}
@@ -506,6 +577,10 @@ func (s *solver) iterate(cost []float64) Status {
 				y[k] += enterD * rowL[k]
 			}
 		}
+		if prof != nil {
+			prof.phase(phUpdate, timed, t0)
+			prof.pivotFamily(s.rowFamilyOf(leaving))
+		}
 	}
 	return IterLimit
 }
@@ -519,8 +594,14 @@ func (s *solver) stamp(sol *Solution) *Solution {
 }
 
 // refresh recomputes basic values from the nonbasic solution to curb
-// drift from accumulated pivot updates.
+// drift from accumulated pivot updates. Self-instrumented (every call
+// site — periodic hygiene, warm install, dual reverify — is timed
+// uniformly as the refresh phase).
 func (s *solver) refresh() {
+	var t0 int64
+	if s.prof != nil {
+		t0 = s.prof.clock()
+	}
 	s.refreshes++
 	r := append([]float64(nil), s.b...)
 	for j := 0; j < s.n; j++ {
@@ -540,5 +621,8 @@ func (s *solver) refresh() {
 		}
 		s.xB[i] = v
 		s.x[s.basis[i]] = v
+	}
+	if s.prof != nil {
+		s.prof.direct(phRefresh, t0)
 	}
 }

@@ -148,6 +148,11 @@ func newWarmSolver(p *Problem, opt Options, ws *Basis) (*solver, string) {
 // assignment by Gauss-Jordan elimination with partial pivoting, reporting
 // false on a (near-)singular basis.
 func (s *solver) factorize() bool {
+	var t0 int64
+	if s.prof != nil {
+		t0 = s.prof.clock()
+		defer func() { s.prof.direct(phSetup, t0) }()
+	}
 	m := s.m
 	B := make([][]float64, m)
 	R := make([][]float64, m)
@@ -266,11 +271,26 @@ func (s *solver) dualFeasible(cost []float64) bool {
 // mid-reoptimization); the warm basis itself is never modified, so the
 // caller may reuse it after a cancellation.
 func (s *solver) runWarm() (*Solution, bool, error) {
+	// Both feasibility checks are reduced-cost/bound scans; attribute
+	// them to the pricing phase so a short warm solve's wall-clock does
+	// not escape the profile.
+	var t0 int64
+	if s.prof != nil {
+		t0 = s.prof.clock()
+	}
+	primalOK := s.primalFeasible()
+	dualOK := false
+	if !primalOK {
+		dualOK = s.dualFeasible(s.cost)
+	}
+	if s.prof != nil {
+		s.prof.direct(phPricing, t0)
+	}
 	switch {
-	case s.primalFeasible():
+	case primalOK:
 		// The basis survived the data change primal feasible: plain
 		// phase-2 primal simplex, no phase 1 needed.
-	case s.dualFeasible(s.cost):
+	case dualOK:
 		// The usual warm case: a bound/RHS tightening left the basis
 		// dual feasible but primal infeasible — reoptimize directly
 		// with the dual simplex.
@@ -317,6 +337,7 @@ func (s *solver) dualSimplex(cost []float64) Status {
 	m := s.m
 	y := make([]float64, m)
 	w := make([]float64, m)
+	prof := s.prof
 	budget := 1000 + 10*m
 	if budget > s.maxIter {
 		budget = s.maxIter
@@ -326,7 +347,10 @@ func (s *solver) dualSimplex(cost []float64) Status {
 		if it%ctxCheckIters == 0 && s.canceled() {
 			return statusCanceled
 		}
-		s.computeDuals(cost, y)
+		// The per-iteration dual recomputation dominates here (O(m²));
+		// it is direct-timed into pricing, while ratio/ftran/update use
+		// the sampled scheme shared with the primal loop.
+		s.dualsProfiled(cost, y)
 
 		// Leaving row: the basic variable with the largest bound
 		// violation; none means primal feasible.
@@ -344,6 +368,15 @@ func (s *solver) dualSimplex(cost []float64) Status {
 		}
 		if r < 0 {
 			return Optimal
+		}
+
+		var timed bool
+		var t0 int64
+		if prof != nil {
+			timed = prof.beginIter()
+			if timed {
+				t0 = prof.clock()
+			}
 		}
 
 		// Dual ratio test: among nonbasic columns whose movement pushes
@@ -385,6 +418,9 @@ func (s *solver) dualSimplex(cost []float64) Status {
 				enter, bestRatio, bestAlpha = j, ratio, alpha
 			}
 		}
+		if prof != nil {
+			t0 = prof.phase(phRatio, timed, t0)
+		}
 		if enter < 0 {
 			// No column can repair the row: primal infeasible. Refresh
 			// once and re-verify before trusting the certificate.
@@ -408,6 +444,9 @@ func (s *solver) dualSimplex(cost []float64) Status {
 			for q := 0; q < m; q++ {
 				w[q] += s.binv[q][int(i)] * v
 			}
+		}
+		if prof != nil {
+			t0 = prof.phase(phFtran, timed, t0)
 		}
 
 		// Entering direction and step length driving xB[r] to target.
@@ -475,6 +514,10 @@ func (s *solver) dualSimplex(cost []float64) Status {
 			for k := 0; k < m; k++ {
 				row[k] -= f * rowR[k]
 			}
+		}
+		if prof != nil {
+			prof.phase(phUpdate, timed, t0)
+			prof.pivotFamily(s.rowFamilyOf(r))
 		}
 	}
 	return IterLimit

@@ -196,6 +196,41 @@ type searcher struct {
 	// hit budget unwinds the whole recursion, and one event per unwound
 	// frame would say nothing new.
 	budgetLogged bool
+
+	// tree collects B&B tree-shape stats (depth histogram, prune
+	// taxonomy, incumbent trajectory) when the recorder armed kernel
+	// profiling; nil otherwise, so unprofiled journals stay
+	// byte-identical. Contributed via NoteTree when the solve ends.
+	tree      *flight.TreeStats
+	treeStart time.Time
+
+	incCtr    *obs.Counter            // agingfp_milp_incumbents_total (nil-safe)
+	pruneCtrs map[string]*obs.Counter // agingfp_milp_prunes_total{reason}, cached per reason
+}
+
+// Tree-shape Prometheus families, alongside agingfp_milp_nodes_total.
+const (
+	// PrunesMetric counts pruned B&B subtrees, labeled
+	// {reason="bound"|"infeasible"|"integral"|"iterlimit"|"budget"}.
+	PrunesMetric = "agingfp_milp_prunes_total"
+	// IncumbentsMetric counts incumbent improvements.
+	IncumbentsMetric = "agingfp_milp_incumbents_total"
+)
+
+// notePrune records one pruned subtree in the tree stats (when
+// profiling) and the per-reason Prometheus counter (always, cached so
+// the hot path pays one map lookup, mirroring nodeCtr).
+func (s *searcher) notePrune(cause string) {
+	s.tree.Prune(cause)
+	c, ok := s.pruneCtrs[cause]
+	if !ok {
+		c = s.opts.Trace.Registry().Counter(obs.Labeled(PrunesMetric, "reason", cause))
+		if s.pruneCtrs == nil {
+			s.pruneCtrs = make(map[string]*obs.Counter, 4)
+		}
+		s.pruneCtrs[cause] = c
+	}
+	c.Inc()
 }
 
 // publishProgress stamps the branch-and-bound group of the job's live
@@ -272,9 +307,14 @@ func Solve(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 			obs.Int("int_vars", len(p.IntVars)),
 			obs.Int("rows", p.LP.NumRows())),
 		nodeCtr:   opts.Trace.Registry().Counter("agingfp_milp_nodes_total"),
+		incCtr:    opts.Trace.Registry().Counter(IncumbentsMetric),
 		rep:       obs.ReporterFrom(ctx),
 		rootBound: math.NaN(),
 		rec:       opts.Flight,
+	}
+	if _, on := s.rec.KernelProfiling(); on {
+		s.tree = &flight.TreeStats{Solves: 1}
+		s.treeStart = time.Now()
 	}
 	if opts.TimeLimit > 0 {
 		s.deadline = time.Now().Add(opts.TimeLimit)
@@ -328,6 +368,10 @@ func Solve(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 		obs.Int("warm_starts", res.WarmStarts),
 		obs.Int("warm_rejects", res.WarmStartRejects))
 	s.rec.NoteNodes(res.Nodes)
+	if s.tree != nil {
+		s.tree.ElapsedNanos = int64(time.Since(s.treeStart))
+		s.rec.NoteTree(s.tree)
+	}
 	if s.rep != nil {
 		s.publishProgress()
 	}
@@ -355,6 +399,7 @@ func (s *searcher) dfs(depth int, rootObj *float64, warm *lp.Basis) (searchState
 		if !s.budgetLogged {
 			s.budgetLogged = true
 			s.rec.Record(flight.Event{Kind: flight.KindPrune, Node: s.nodes, Depth: depth, Cause: "budget"})
+			s.notePrune(flight.PruneBudget)
 		}
 		return searchBudget, nil
 	}
@@ -362,11 +407,13 @@ func (s *searcher) dfs(depth int, rootObj *float64, warm *lp.Basis) (searchState
 		if !s.budgetLogged {
 			s.budgetLogged = true
 			s.rec.Record(flight.Event{Kind: flight.KindPrune, Node: s.nodes, Depth: depth, Cause: "budget"})
+			s.notePrune(flight.PruneBudget)
 		}
 		return searchBudget, nil
 	}
 	s.nodes++
 	s.nodeCtr.Inc()
+	s.tree.Node(depth)
 	if s.rep != nil && s.nodes&63 == 1 {
 		// Throttled heartbeat: every 64th node (and the first), plus the
 		// unthrottled incumbent/root publishes below, keeps the hot loop
@@ -404,6 +451,7 @@ func (s *searcher) dfs(depth int, rootObj *float64, warm *lp.Basis) (searchState
 	switch sol.Status {
 	case lp.Infeasible:
 		s.rec.Record(flight.Event{Kind: flight.KindPrune, Node: s.nodes, Depth: depth, Cause: "infeasible"})
+		s.notePrune(flight.PruneInfeasible)
 		return searchExhausted, nil
 	case lp.Unbounded:
 		return searchExhausted, fmt.Errorf("milp: LP relaxation unbounded at depth %d", depth)
@@ -411,10 +459,12 @@ func (s *searcher) dfs(depth int, rootObj *float64, warm *lp.Basis) (searchState
 		// Treat as unexplorable; conservative (cannot prune optimality
 		// claims below, so report budget).
 		s.rec.Record(flight.Event{Kind: flight.KindPrune, Node: s.nodes, Depth: depth, Cause: "iterlimit"})
+		s.notePrune(flight.PruneIterLimit)
 		return searchBudget, nil
 	}
 	if s.hasInc && sol.Obj >= s.incObj-1e-9 {
 		s.rec.Record(flight.Event{Kind: flight.KindPrune, Node: s.nodes, Depth: depth, Cause: "bound", Obj: sol.Obj})
+		s.notePrune(flight.PruneBound)
 		return searchExhausted, nil // bound-dominated
 	}
 
@@ -446,6 +496,9 @@ func (s *searcher) dfs(depth int, rootObj *float64, warm *lp.Basis) (searchState
 			obs.Int("nodes", s.nodes),
 			obs.Int("depth", depth))
 		s.rec.Record(flight.Event{Kind: flight.KindIncumbent, Node: s.nodes, Depth: depth, Obj: sol.Obj})
+		s.incCtr.Inc()
+		s.tree.Incumbent(s.nodes, sol.Obj)
+		s.notePrune(flight.PruneIntegral)
 		if s.rep != nil {
 			s.publishProgress()
 		}

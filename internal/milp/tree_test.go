@@ -1,0 +1,86 @@
+package milp
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"agingfp/internal/flight"
+	"agingfp/internal/lp"
+)
+
+// knapsackProblem builds a 0/1 knapsack that forces real branching
+// (fractional LP relaxation at the root).
+func knapsackProblem() *Problem {
+	p := lp.NewProblem()
+	w := []float64{2, 3, 4, 5, 7, 6}
+	v := []float64{3, 4, 5, 6, 9, 7}
+	ints := make([]int, len(w))
+	for i := range w {
+		ints[i] = p.AddVar(-v[i], 0, 1)
+	}
+	p.MustAddRow(lp.LE, 11, ints, w)
+	return &Problem{LP: p, IntVars: ints}
+}
+
+// TestTreeStatsRecorded: with a kernel-armed recorder, branch-and-bound
+// leaves its tree-shape stats in the flight snapshot — node count,
+// prune-reason taxonomy, incumbent trajectory, and elapsed time.
+func TestTreeStatsRecorded(t *testing.T) {
+	rec := flight.NewRecorder(64)
+	rec.EnableKernel(0)
+	res, err := Solve(context.Background(), knapsackProblem(), Options{Flight: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Obj-(-14)) > 1e-6 {
+		t.Fatalf("got %v obj %g, want optimal -14", res.Status, res.Obj)
+	}
+	ts := rec.Snapshot().Tree
+	if ts == nil {
+		t.Fatal("armed recorder has no tree stats")
+	}
+	if ts.Nodes < 2 {
+		t.Fatalf("Nodes = %d, want branching (>= 2)", ts.Nodes)
+	}
+	var hist int64
+	for _, n := range ts.DepthHist {
+		hist += n
+	}
+	if hist != ts.Nodes {
+		t.Fatalf("depth histogram sums to %d, want Nodes = %d", hist, ts.Nodes)
+	}
+	var prunes int64
+	for reason, n := range ts.Prunes {
+		switch reason {
+		case flight.PruneBound, flight.PruneInfeasible, flight.PruneIntegral,
+			flight.PruneIterLimit, flight.PruneBudget:
+		default:
+			t.Fatalf("unknown prune reason %q", reason)
+		}
+		prunes += n
+	}
+	if prunes == 0 {
+		t.Fatal("no prunes recorded on a branching solve")
+	}
+	if len(ts.Incumbents) == 0 {
+		t.Fatal("no incumbent trajectory recorded")
+	}
+	last := ts.Incumbents[len(ts.Incumbents)-1]
+	if math.Abs(last.Obj-res.Obj) > 1e-6 {
+		t.Fatalf("last incumbent obj %g != result obj %g", last.Obj, res.Obj)
+	}
+	if ts.ElapsedNanos <= 0 {
+		t.Fatal("ElapsedNanos not recorded")
+	}
+
+	// An unarmed recorder must stay tree-free: journals serialize
+	// byte-identically whether or not the profiler code is compiled in.
+	cold := flight.NewRecorder(64)
+	if _, err := Solve(context.Background(), knapsackProblem(), Options{Flight: cold}); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Snapshot().Tree != nil {
+		t.Fatal("unarmed recorder accumulated tree stats")
+	}
+}

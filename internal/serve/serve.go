@@ -76,6 +76,15 @@ type Config struct {
 	// pipeline backs GET /v1/stats and GET /debug/dash. nil disables
 	// both (the routes answer 404) at zero per-job cost.
 	Telemetry *telemetry.Pipeline
+	// KernelProfile arms the LP kernel profiler on every job's flight
+	// recorder: solves attribute their wall-clock to simplex phases,
+	// journals and reports grow a kernel section, and wide events carry
+	// per-phase times. Requires FlightEvents recording.
+	KernelProfile bool
+	// ProfileRing, when set, links slow-solve outliers to the daemon's
+	// continuous CPU-profile ring: the capture window covering the slow
+	// job is copied aside under the job's id.
+	ProfileRing *telemetry.ProfRing
 	// SSEKeepAlive is the idle interval after which the /events stream
 	// emits a `: keep-alive` comment, so reverse proxies do not reap
 	// quiet connections and dead clients are detected by the failed
@@ -404,6 +413,9 @@ func (s *Server) Submit(req *JobRequest) (Snapshot, error) {
 	// journal and the report endpoint answers 404 for it.
 	if s.cfg.FlightEvents > 0 {
 		j.flight = flight.NewRecorder(s.cfg.FlightEvents)
+		if s.cfg.KernelProfile {
+			j.flight.EnableKernel(0)
+		}
 	}
 
 	deadline := s.cfg.DefaultDeadline
@@ -846,13 +858,20 @@ func (s *Server) emitSolveEvent(j *job, info *solveInfo, final JobState, elapsed
 		ev.WarmStarts = st.WarmStarts
 		ev.WarmRejects = st.WarmStartRejects
 	}
+	ev.FillKernel(j.flight.KernelSnapshot())
 	out := tp.Record(ev)
-	if out.Slow && j.flight != nil {
-		path := tp.CaptureSlow(j.id, j.flight.Snapshot().WriteJSON)
-		s.logJob(j, "slow solve captured",
-			slog.Float64("elapsed_ms", ev.ElapsedMs),
-			slog.Float64("threshold_ms", out.SlowThreshold),
-			slog.String("journal", path))
+	if out.Slow {
+		// Link the continuous profiler to the outlier: the CPU capture
+		// window in flight right now covered (at least the tail of) the
+		// slow solve.
+		s.cfg.ProfileRing.Mark(j.id)
+		if j.flight != nil {
+			path := tp.CaptureSlow(j.id, j.flight.Snapshot().WriteJSON)
+			s.logJob(j, "slow solve captured",
+				slog.Float64("elapsed_ms", ev.ElapsedMs),
+				slog.Float64("threshold_ms", out.SlowThreshold),
+				slog.String("journal", path))
+		}
 	}
 }
 

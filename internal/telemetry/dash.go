@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"agingfp/internal/flight"
 	"agingfp/internal/viz"
 )
 
@@ -116,6 +117,27 @@ func Dashboard(p *Pipeline, window time.Duration, service string) string {
 		b.WriteString("<h2>Traffic by workload shape</h2>\n")
 		b.WriteString(viz.HeatmapSVG(shapes, thinLabels(cols), heat) + "\n")
 		b.WriteString(`<div class="note">cell = jobs per time slice; darker = more (sequential ramp)</div>` + "\n")
+	}
+
+	// Solver-kernel panel: rendered only when profiled jobs contributed
+	// phase medians (the daemon runs with -kernel-profile).
+	if len(st.Total.PhaseP50Ms) > 0 {
+		labels := make([]string, 0, len(st.Total.PhaseP50Ms))
+		vals := make([]float64, 0, len(st.Total.PhaseP50Ms))
+		for _, name := range flight.PhaseOrder {
+			if ms, ok := st.Total.PhaseP50Ms[name]; ok {
+				labels = append(labels, name)
+				vals = append(vals, ms)
+			}
+		}
+		b.WriteString("<h2>Solver kernel: median phase time per job</h2>\n")
+		b.WriteString(viz.BarsSVG(labels, vals, "ms") + "\n")
+		b.WriteString("<table><tr><th>phase</th><th>p50 per job</th></tr>\n")
+		for i, name := range labels {
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td></tr>\n", html.EscapeString(name), fmtMs(vals[i]))
+		}
+		b.WriteString("</table>\n")
+		b.WriteString(`<div class="note">extrapolated from sampled simplex iterations (see the flight journal's kernel section for counts and coverage)</div>` + "\n")
 	}
 
 	if len(st.Shapes) > 0 {

@@ -20,6 +20,8 @@ package telemetry
 import (
 	"fmt"
 	"time"
+
+	"agingfp/internal/flight"
 )
 
 // Source values for SolveEvent.Source.
@@ -82,6 +84,58 @@ type SolveEvent struct {
 	ProbeTimeouts int `json:"probe_timeouts,omitempty"`
 	WarmStarts    int `json:"warm_starts,omitempty"`
 	WarmRejects   int `json:"warm_rejects,omitempty"`
+
+	// Per-phase simplex-kernel wall-clock from the LP kernel profiler,
+	// summed across the job's profiled LP solves. Present only when
+	// kernel profiling was armed for the job (see flight.EnableKernel);
+	// zero otherwise and omitted from the JSON.
+	LPSetupMs   float64 `json:"lp_setup_ms,omitempty"`
+	LPPricingMs float64 `json:"lp_pricing_ms,omitempty"`
+	LPFtranMs   float64 `json:"lp_ftran_ms,omitempty"`
+	LPRatioMs   float64 `json:"lp_ratio_ms,omitempty"`
+	LPUpdateMs  float64 `json:"lp_update_ms,omitempty"`
+	LPRefreshMs float64 `json:"lp_refresh_ms,omitempty"`
+}
+
+// FillKernel copies one kernel snapshot's per-phase extrapolated
+// wall-clock into the event's flat LP*Ms fields. Nil-safe, so callers
+// pass flight.Recorder.KernelSnapshot() unconditionally.
+func (e *SolveEvent) FillKernel(k *flight.Kernel) {
+	if k == nil {
+		return
+	}
+	ms := func(name string) float64 {
+		if ph := k.Phases[name]; ph != nil {
+			return float64(ph.Nanos) / 1e6
+		}
+		return 0
+	}
+	e.LPSetupMs = ms(flight.PhaseSetup)
+	e.LPPricingMs = ms(flight.PhasePricing)
+	e.LPFtranMs = ms(flight.PhaseFtran)
+	e.LPRatioMs = ms(flight.PhaseRatio)
+	e.LPUpdateMs = ms(flight.PhaseUpdate)
+	e.LPRefreshMs = ms(flight.PhaseRefresh)
+}
+
+// PhaseMs returns the event's non-zero kernel phase times keyed by
+// flight's phase names; empty for unprofiled jobs.
+func (e *SolveEvent) PhaseMs() map[string]float64 {
+	all := map[string]float64{
+		flight.PhaseSetup:   e.LPSetupMs,
+		flight.PhasePricing: e.LPPricingMs,
+		flight.PhaseFtran:   e.LPFtranMs,
+		flight.PhaseRatio:   e.LPRatioMs,
+		flight.PhaseUpdate:  e.LPUpdateMs,
+		flight.PhaseRefresh: e.LPRefreshMs,
+	}
+	out := make(map[string]float64, len(all))
+	for name, v := range all {
+		if v > 0 {
+			out[name] = v
+		}
+	}
+	return out
 }
 
 // solved reports whether the event describes a solver run whose elapsed

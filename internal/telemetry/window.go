@@ -12,6 +12,8 @@ import (
 // ran the solver to completion feed the sketches (see SolveEvent.solved)
 // — cache replays and canceled jobs would poison latency percentiles.
 type bucketStats struct {
+	alpha float64
+
 	jobs      int64
 	failures  int64
 	canceled  int64
@@ -21,15 +23,32 @@ type bucketStats struct {
 	queueWaitMs  *Sketch
 	simplexIters *Sketch
 	lpSolves     *Sketch
+	// phases holds per-kernel-phase solve-time sketches, keyed by
+	// flight's phase names. Lazy: allocated only when profiled events
+	// arrive, so unprofiled deployments pay nothing.
+	phases map[string]*Sketch
 }
 
 func newBucketStats(alpha float64) *bucketStats {
 	return &bucketStats{
+		alpha:        alpha,
 		elapsedMs:    NewSketch(alpha),
 		queueWaitMs:  NewSketch(alpha),
 		simplexIters: NewSketch(alpha),
 		lpSolves:     NewSketch(alpha),
 	}
+}
+
+func (b *bucketStats) phase(name string) *Sketch {
+	sk := b.phases[name]
+	if sk == nil {
+		if b.phases == nil {
+			b.phases = make(map[string]*Sketch, 6)
+		}
+		sk = NewSketch(b.alpha)
+		b.phases[name] = sk
+	}
+	return sk
 }
 
 func (b *bucketStats) record(ev *SolveEvent) {
@@ -49,6 +68,9 @@ func (b *bucketStats) record(ev *SolveEvent) {
 		b.elapsedMs.Add(ev.ElapsedMs)
 		b.simplexIters.Add(float64(ev.SimplexIters))
 		b.lpSolves.Add(float64(ev.LPSolves))
+		for name, ms := range ev.PhaseMs() {
+			b.phase(name).Add(ms)
+		}
 	}
 }
 
@@ -61,6 +83,9 @@ func (b *bucketStats) merge(o *bucketStats) {
 	b.queueWaitMs.Merge(o.queueWaitMs)
 	b.simplexIters.Merge(o.simplexIters)
 	b.lpSolves.Merge(o.lpSolves)
+	for name, sk := range o.phases {
+		b.phase(name).Merge(sk)
+	}
 }
 
 // cell is one time slot of the ring: totals plus per-shape-bucket and
@@ -179,10 +204,14 @@ type BucketSummary struct {
 	SimplexItersP50 float64 `json:"simplex_iters_p50"`
 	SimplexItersP99 float64 `json:"simplex_iters_p99"`
 	LPSolvesP50     float64 `json:"lp_solves_p50"`
+
+	// PhaseP50Ms is the median per-job kernel phase time, keyed by
+	// flight's phase names; present only when profiled jobs contributed.
+	PhaseP50Ms map[string]float64 `json:"phase_p50_ms,omitempty"`
 }
 
 func summarize(b *bucketStats) BucketSummary {
-	return BucketSummary{
+	out := BucketSummary{
 		Jobs:            b.jobs,
 		Solved:          b.elapsedMs.Count(),
 		Failures:        b.failures,
@@ -197,6 +226,13 @@ func summarize(b *bucketStats) BucketSummary {
 		SimplexItersP99: b.simplexIters.Quantile(0.99),
 		LPSolvesP50:     b.lpSolves.Quantile(0.50),
 	}
+	if len(b.phases) > 0 {
+		out.PhaseP50Ms = make(map[string]float64, len(b.phases))
+		for name, sk := range b.phases {
+			out.PhaseP50Ms[name] = sk.Quantile(0.50)
+		}
+	}
+	return out
 }
 
 // WindowStats is the GET /v1/stats payload: totals, rates, and the

@@ -127,6 +127,54 @@ func HeatmapSVG(rowLabels, colLabels []string, vals [][]float64) string {
 	return b.String()
 }
 
+// BarsSVG renders labeled values as horizontal bars scaled to the
+// largest value — the phase-breakdown mark for the kernel panels. unit
+// is appended to the printed value (e.g. "ms"). Zero-valued rows render
+// a recessed stub so the label set stays stable across refreshes.
+func BarsSVG(labels []string, values []float64, unit string) string {
+	const (
+		labelW   = 90  // row-label gutter
+		barMax   = 220 // full-scale bar length
+		valueW   = 80  // printed-value gutter
+		rh       = 20  // row height
+		bh       = 12  // bar height
+		fontSize = 10
+	)
+	rows := len(labels)
+	width := labelW + barMax + valueW
+	height := rows*rh + 4
+
+	max := 0.0
+	for _, v := range values {
+		max = math.Max(max, v)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" role="img" font-family="inherit">`,
+		width, height, width, height)
+	for i, label := range labels {
+		v := 0.0
+		if i < len(values) {
+			v = values[i]
+		}
+		y := i * rh
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="%d" text-anchor="end" fill="var(--text-secondary)">%s</text>`,
+			labelW-6, y+rh/2+4, fontSize, escape(label))
+		bw := 2.0
+		fill := "var(--surface-2)"
+		if v > 0 && max > 0 {
+			bw = math.Max(2, v/max*barMax)
+			fill = "var(--seq-6)"
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.1f" height="%d" rx="2" fill="%s"><title>%s: %s%s</title></rect>`,
+			labelW, y+(rh-bh)/2, bw, bh, fill, escape(label), trimFloat(v), unit)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="%d" fill="var(--text-secondary)">%s%s</text>`,
+			float64(labelW)+bw+6, y+rh/2+4, fontSize, trimFloat(v), unit)
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
 // trimFloat formats a value compactly: integers without decimals,
 // everything else with one.
 func trimFloat(v float64) string {
