@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 
 	"agingfp/internal/arch"
@@ -30,6 +31,7 @@ import (
 // remoteFlags are the options submit and delta share.
 type remoteFlags struct {
 	server    string
+	tenant    string
 	mode      string
 	seed      int64
 	timeLimit int64
@@ -40,6 +42,7 @@ type remoteFlags struct {
 
 func addRemoteFlags(fs *flag.FlagSet, rf *remoteFlags) {
 	fs.StringVar(&rf.server, "server", "http://localhost:8080", "agingfloord base URL")
+	fs.StringVar(&rf.tenant, "tenant", "", "accounting identity to submit under (empty = anon)")
 	fs.StringVar(&rf.mode, "mode", "", "re-mapping mode: freeze or rotate (empty = server default; delta inherits the base job's)")
 	fs.Int64Var(&rf.seed, "seed", 0, "random seed (0 = server default; delta inherits the base job's)")
 	fs.Int64Var(&rf.timeLimit, "time-limit-ms", 0, "wall-clock budget per ST_target probe in ms (0 = default)")
@@ -104,6 +107,7 @@ func runSubmit(args []string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	cl := client.New(rf.server, nil)
+	cl.Tenant = rf.tenant
 	snap, err := cl.Submit(ctx, req)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "submit:", err)
@@ -136,6 +140,7 @@ func runDelta(args []string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	cl := client.New(rf.server, nil)
+	cl.Tenant = rf.tenant
 	snap, err := cl.Delta(ctx, *baseID, &serve.DeltaRequest{
 		Design:      doc,
 		Mode:        rf.mode,
@@ -200,6 +205,23 @@ func finishRemote(ctx context.Context, cl *client.Client, snap serve.Snapshot, r
 		res.MTTF.BeforeHours/8760, res.MTTF.AfterHours/8760, res.MTTF.Increase)
 	fmt.Printf("solver effort: %d LP solves, %d simplex iterations, %d ST probes\n",
 		res.Stats.LPSolves, res.Stats.SimplexIters, res.Stats.STProbes)
+	// The cost block is delivery truth (what this job actually consumed,
+	// wherever the answer came from), distinct from the result document's
+	// request-deterministic stats.
+	if c := final.Cost; c != nil {
+		fmt.Printf("cost: tier %s, queue wait %.0f ms, solve %.0f ms", c.Tier, c.QueueWaitMs, c.SolveMs)
+		if final.Tenant != "" {
+			fmt.Printf("  (tenant %s)", final.Tenant)
+		}
+		fmt.Println()
+		if len(c.PhaseMs) > 0 {
+			fmt.Printf("kernel phases:")
+			for _, name := range sortedPhaseNames(c.PhaseMs) {
+				fmt.Printf(" %s %.1fms", name, c.PhaseMs[name])
+			}
+			fmt.Println()
+		}
+	}
 	if rf.out != "" {
 		if err := os.WriteFile(rf.out, raw, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -208,4 +230,13 @@ func finishRemote(ctx context.Context, cl *client.Client, snap serve.Snapshot, r
 		fmt.Println("wrote result to", rf.out)
 	}
 	return 0
+}
+
+func sortedPhaseNames(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }

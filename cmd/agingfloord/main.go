@@ -44,6 +44,7 @@ import (
 	"agingfp/internal/buildinfo"
 	"agingfp/internal/obs"
 	"agingfp/internal/serve"
+	"agingfp/internal/slo"
 	"agingfp/internal/telemetry"
 )
 
@@ -72,6 +73,10 @@ func run() int {
 		profRingDir  = flag.String("profile-ring", "", "continuous CPU profiling: keep rolling fixed-window pprof captures in this directory (empty disables)")
 		profWindow   = flag.Duration("profile-window", 30*time.Second, "length of one continuous-profiling capture window")
 		profKeep     = flag.Int("profile-keep", 8, "rolling pprof captures kept on disk (oldest pruned; slow-solve copies are kept separately)")
+		tenantCap    = flag.Int("tenant-cap", 0, "distinct tenant labels in metrics/telemetry before rollup into \"other\" (0 = default 32)")
+		sloOn        = flag.Bool("slo", true, "run the SLO engine behind GET /v1/slo (requires -telemetry-dir)")
+		sloAvail     = flag.Float64("slo-availability", 0.99, "availability objective: target fraction of non-canceled jobs that do not fail")
+		sloLatFactor = flag.Float64("slo-latency-factor", 4.0, "latency objectives: P90 under (baseline worst elapsed x this factor) per shape bucket (needs -telemetry-baseline)")
 		version      = flag.Bool("version", false, "print build identity (VCS revision, Go version) and exit")
 	)
 	flag.Parse()
@@ -122,12 +127,16 @@ func run() int {
 	// Telemetry is strictly additive: with no -telemetry-dir the pipeline
 	// stays nil and the server pays nothing per job (the stats/dash
 	// routes answer 404).
-	var pipeline *telemetry.Pipeline
+	var (
+		pipeline  *telemetry.Pipeline
+		sloEngine *slo.Engine
+	)
 	if *telemDir != "" {
 		tcfg := telemetry.Config{
 			Dir:            *telemDir,
 			DriftFactor:    *driftFactor,
 			SlowPercentile: *slowPct,
+			TenantCap:      *tenantCap,
 			Registry:       reg,
 			Logger:         logger,
 		}
@@ -147,6 +156,18 @@ func run() int {
 				return 1
 			}
 			tcfg.Baseline = base
+		}
+		// The SLO engine must exist before Open: it subscribes through the
+		// observer hook, and Open replays the durable event history through
+		// the same hook — that replay is what lets error budgets survive a
+		// restart. The latency objectives are seeded from the same perf
+		// baseline drift detection uses (none without -telemetry-baseline).
+		if *sloOn {
+			sloEngine = slo.New(
+				slo.DefaultObjectives(*sloAvail, tcfg.Baseline, *sloLatFactor),
+				slo.Config{Registry: reg, Logger: logger},
+			)
+			tcfg.Observers = append(tcfg.Observers, sloEngine.Record)
 		}
 		p, err := telemetry.Open(tcfg)
 		if err != nil {
@@ -191,6 +212,8 @@ func run() int {
 		Telemetry:       pipeline,
 		KernelProfile:   *kernelProf,
 		ProfileRing:     ring,
+		SLO:             sloEngine,
+		TenantCap:       *tenantCap,
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

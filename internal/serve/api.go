@@ -3,11 +3,13 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"agingfp/internal/arch"
@@ -19,6 +21,7 @@ import (
 	"agingfp/internal/nbti"
 	"agingfp/internal/obs"
 	"agingfp/internal/place"
+	"agingfp/internal/slo"
 	"agingfp/internal/telemetry"
 	"agingfp/internal/thermal"
 )
@@ -43,6 +46,12 @@ type JobRequest struct {
 	// (0 uses the server default). The deadline is delivery policy, not
 	// workload identity, so it is excluded from the result-cache key.
 	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	// Tenant is the accounting identity the job runs under ("" defaults
+	// to "anon"; the X-Tenant request header overrides this field). Like
+	// the deadline it is delivery metadata, not workload identity, so it
+	// is excluded from the result-cache key — two tenants submitting the
+	// same design share the cached result.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // RequestError reports a submission the server refuses outright
@@ -472,7 +481,9 @@ func (s *Server) execute(ctx context.Context, j *job) (*execOut, *solveInfo, err
 //	DELETE /v1/jobs/{id}          cooperative cancel
 //	GET    /v1/version            build identity (VCS revision, Go version)
 //	GET    /v1/stats              windowed telemetry summary
-//	                              (?window=15m; Config.Telemetry)
+//	                              (?window=15m&tenant=NAME; Config.Telemetry)
+//	GET    /v1/slo                SLO status: SLIs, error budgets, and
+//	                              burn rates (?window=1h; Config.SLO)
 //	GET    /v1/openapi.json       hand-maintained OpenAPI description
 //	GET    /healthz               liveness + drain state
 //	GET    /metrics               Prometheus text-format snapshot
@@ -525,6 +536,7 @@ func (s *Server) routes() []route {
 		{"DELETE", "/v1/jobs/{id}", "cooperative cancel", s.handleCancel},
 		{"GET", "/v1/version", "build identity", s.handleVersion},
 		{"GET", "/v1/stats", "windowed telemetry summary", s.handleStats},
+		{"GET", "/v1/slo", "service-level objective status", s.handleSLO},
 		{"GET", "/v1/openapi.json", "this API description", s.handleOpenAPI},
 		{"GET", "/healthz", "liveness and drain state", s.handleHealthz},
 		{"GET", "/metrics", "Prometheus text-format snapshot", s.handleMetrics},
@@ -589,14 +601,23 @@ func (s *Server) logRequests(next http.Handler) http.Handler {
 		if id := sw.Header().Get("X-Trace-Id"); id != "" {
 			attrs = append(attrs, slog.String("trace_id", id))
 		}
+		if tenant := sw.Header().Get("X-Tenant"); tenant != "" {
+			attrs = append(attrs, slog.String("tenant", tenant))
+		}
 		s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "http request", attrs...)
 	})
 }
 
-// setTraceHeader stamps the job's correlation ID on the response.
+// setTraceHeader stamps the job's correlation ID — and its accounting
+// identity — on the response, so clients see which tenant the job was
+// attributed to and the request log picks both up without re-resolving
+// the route.
 func setTraceHeader(w http.ResponseWriter, snap Snapshot) {
 	if snap.TraceID != "" {
 		w.Header().Set("X-Trace-Id", snap.TraceID)
+	}
+	if snap.Tenant != "" {
+		w.Header().Set("X-Tenant", snap.Tenant)
 	}
 }
 
@@ -606,6 +627,17 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+// rejectWithRetry maps intake back-pressure (queue full, draining) to
+// the error envelope plus a Retry-After header, so well-behaved clients
+// back off for about as long as the backlog needs to drain instead of
+// hammering.
+func (s *Server) rejectWithRetry(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining) {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	}
+	httpError(w, err)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -619,9 +651,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, badRequest("serve: bad request JSON: %v", err))
 		return
 	}
+	if h := r.Header.Get("X-Tenant"); h != "" {
+		req.Tenant = h
+	}
 	snap, err := s.Submit(&req)
 	if err != nil {
-		httpError(w, err)
+		s.rejectWithRetry(w, err)
 		return
 	}
 	setTraceHeader(w, snap)
@@ -639,9 +674,12 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		httpError(w, badRequest("serve: bad request JSON: %v", err))
 		return
 	}
+	if h := r.Header.Get("X-Tenant"); h != "" {
+		req.Tenant = h
+	}
 	snap, err := s.SubmitDelta(r.PathValue("id"), &req)
 	if err != nil {
-		httpError(w, err)
+		s.rejectWithRetry(w, err)
 		return
 	}
 	setTraceHeader(w, snap)
@@ -831,8 +869,11 @@ func (s *Server) statsWindow(r *http.Request) (time.Duration, error) {
 }
 
 // handleStats serves the windowed telemetry summary: percentiles per
-// shape bucket and benchmark, throughput, cache hit rate, and drift
-// findings. 404 when no telemetry pipeline is configured.
+// shape bucket, benchmark, and tenant, throughput, cache hit rate, and
+// drift findings. ?tenant=NAME narrows the response to one tenant's
+// accounting view (look up "other" for identities past the cardinality
+// cap — a rolled-up tenant's own name reports zero traffic, honestly).
+// 404 when no telemetry pipeline is configured.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Telemetry == nil {
 		httpError(w, ErrNoTelemetry)
@@ -843,7 +884,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
+	if tenant := r.URL.Query().Get("tenant"); tenant != "" {
+		writeJSON(w, http.StatusOK, s.cfg.Telemetry.TenantStats(tenant, window))
+		return
+	}
 	writeJSON(w, http.StatusOK, s.cfg.Telemetry.Stats(window))
+}
+
+// handleSLO serves the SLO engine's objective status: per-objective
+// SLI, error-budget remaining, and multi-window burn rates. ?window=
+// narrows the SLI/budget horizon (default: the engine's full 6h ring).
+// 404 when no engine is configured (it requires telemetry — the engine
+// is fed through the pipeline's observer hook).
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.SLO == nil {
+		httpError(w, ErrNoSLO)
+		return
+	}
+	var window time.Duration // 0 = the engine's full ring span
+	if q := r.URL.Query().Get("window"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil || d <= 0 {
+			httpError(w, badRequest("serve: bad window %q", q))
+			return
+		}
+		window = d
+	}
+	writeJSON(w, http.StatusOK, s.cfg.SLO.Status(window))
 }
 
 // handleDash serves the self-contained HTML operator dashboard over the
@@ -859,7 +926,11 @@ func (s *Server) handleDash(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	io.WriteString(w, telemetry.Dashboard(s.cfg.Telemetry, window, "agingfloord")) //nolint:errcheck
+	var extras []string
+	if s.cfg.SLO != nil {
+		extras = append(extras, slo.PanelHTML(s.cfg.SLO.Status(window)))
+	}
+	io.WriteString(w, telemetry.Dashboard(s.cfg.Telemetry, window, "agingfloord", extras...)) //nolint:errcheck
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"agingfp/internal/serve"
+	"agingfp/internal/slo"
 )
 
 // APIError is a non-2xx response decoded from the server's error
@@ -43,6 +44,10 @@ type Client struct {
 	http *http.Client
 	// PollInterval paces Wait's status polling (default 150ms).
 	PollInterval time.Duration
+	// Tenant, when set, rides every request as the X-Tenant header — the
+	// accounting identity the server attributes jobs and resource usage
+	// to. Empty submits anonymously (the server accounts it as "anon").
+	Tenant string
 }
 
 // New builds a client for the server at base (e.g.
@@ -78,6 +83,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Tenant != "" {
+		req.Header.Set("X-Tenant", c.Tenant)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -181,6 +189,23 @@ func (c *Client) Stats(ctx context.Context, window string) ([]byte, error) {
 	var raw []byte
 	err := c.do(ctx, http.MethodGet, path, nil, &raw)
 	return raw, err
+}
+
+// SLO fetches the server's service-level-objective status: per-objective
+// SLIs, error-budget remaining, and multi-window burn rates. window ""
+// uses the server default (the engine's full ring span); otherwise a Go
+// duration string like "1h". 404 (*APIError) when the server runs
+// without an SLO engine.
+func (c *Client) SLO(ctx context.Context, window string) (*slo.Status, error) {
+	path := "/v1/slo"
+	if window != "" {
+		path += "?window=" + url.QueryEscape(window)
+	}
+	var st slo.Status
+	if err := c.do(ctx, http.MethodGet, path, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
 }
 
 // Cancel requests cooperative cancellation and returns the job's

@@ -39,6 +39,9 @@ type DeltaRequest struct {
 	Seed        int64          `json:"seed,omitempty"`
 	TimeLimitMs int64          `json:"time_limit_ms,omitempty"`
 	DeadlineMs  int64          `json:"deadline_ms,omitempty"`
+	// Tenant is the accounting identity (see JobRequest.Tenant); a delta
+	// job is attributed to its own submitter, not the base job's.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // DeltaDiff summarizes how a delta design differs from its base. It is
@@ -344,6 +347,10 @@ func (s *Server) executeDelta(ctx context.Context, j *job) (*execOut, *solveInfo
 // the seed survived is reported per job (snapshot delta_fallback /
 // reuse), not guessed from cache state.
 func (s *Server) SubmitDelta(baseID string, req *DeltaRequest) (Snapshot, error) {
+	tenant, err := resolveTenant(req.Tenant)
+	if err != nil {
+		return Snapshot{}, err
+	}
 	if req.Design == nil {
 		return Snapshot{}, badRequest("serve: delta request needs a design")
 	}
@@ -396,6 +403,7 @@ func (s *Server) SubmitDelta(baseID string, req *DeltaRequest) (Snapshot, error)
 	j := &job{
 		id:            fmt.Sprintf("job-%06d", s.nextID),
 		traceID:       newTraceID(),
+		tenant:        tenant,
 		req:           jr,
 		submitted:     time.Now(),
 		state:         StateQueued,

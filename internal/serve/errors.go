@@ -54,7 +54,8 @@ func classify(err error) (ErrorCode, int) {
 		return CodeBadRequest, http.StatusBadRequest
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 		return CodeUnavailable, http.StatusServiceUnavailable
-	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoTrace), errors.Is(err, ErrNoFlight), errors.Is(err, ErrNoTelemetry):
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoTrace), errors.Is(err, ErrNoFlight),
+		errors.Is(err, ErrNoTelemetry), errors.Is(err, ErrNoSLO):
 		return CodeNotFound, http.StatusNotFound
 	case errors.Is(err, ErrBaseNotReady):
 		return CodeBaseNotReady, http.StatusConflict

@@ -4,7 +4,7 @@ import "net/http"
 
 // openAPIVersion is the spec revision served at /v1/openapi.json. Bump
 // it when the API surface changes.
-const openAPIVersion = "1.1.0"
+const openAPIVersion = "1.2.0"
 
 // openAPIDocument assembles the OpenAPI 3 description from the route
 // table plus the hand-maintained schema section. Paths come from the
@@ -77,6 +77,9 @@ func responsesFor(rt route) map[string]interface{} {
 	case rt.Pattern == "/v1/jobs/{id}":
 		out["200"] = okJSON("Snapshot")
 		out["404"] = errRef
+	case rt.Pattern == "/v1/slo":
+		out["200"] = okJSON("SLOStatus")
+		out["404"] = errRef
 	default:
 		out["200"] = map[string]interface{}{"description": "success"}
 	}
@@ -108,10 +111,13 @@ func openAPISchemas() map[string]interface{} {
 		return map[string]interface{}{"type": "object", "properties": m}
 	}
 	return map[string]interface{}{
-		"JobRequest":   obj("bench", "design", "mode", "seed", "time_limit_ms", "deadline_ms"),
-		"DeltaRequest": obj("design", "mode", "seed", "time_limit_ms", "deadline_ms"),
-		"Snapshot": obj("id", "trace_id", "state", "error", "solve_kind", "base_job",
-			"delta_fallback", "reuse", "submitted", "started", "finished"),
+		"JobRequest":   obj("bench", "design", "mode", "seed", "time_limit_ms", "deadline_ms", "tenant"),
+		"DeltaRequest": obj("design", "mode", "seed", "time_limit_ms", "deadline_ms", "tenant"),
+		"Snapshot": obj("id", "trace_id", "tenant", "state", "error", "solve_kind", "base_job",
+			"delta_fallback", "reuse", "cost", "submitted", "started", "finished"),
+		"Cost": obj("tier", "queue_wait_ms", "solve_ms", "lp_solves", "simplex_iters",
+			"ilp_nodes", "st_probes", "phase_ms"),
+		"SLOStatus": obj("window", "since", "until", "objectives"),
 		"JobResult": obj("design", "ops", "contexts", "status", "improved", "st_target",
 			"st_lower_bound", "orig_max_stress", "new_max_stress", "orig_cpd_ns",
 			"new_cpd_ns", "mttf", "stats", "mapping"),

@@ -20,12 +20,14 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"sync"
 	"time"
 
 	"agingfp/internal/canon"
 	"agingfp/internal/flight"
 	"agingfp/internal/obs"
+	"agingfp/internal/slo"
 	"agingfp/internal/telemetry"
 )
 
@@ -90,6 +92,17 @@ type Config struct {
 	// quiet connections and dead clients are detected by the failed
 	// write. Zero defaults to 15s; negative disables.
 	SSEKeepAlive time.Duration
+	// SLO is the service-level-objective engine backing GET /v1/slo and
+	// the /debug/dash SLO panel. The server never feeds it directly —
+	// events reach it through the telemetry pipeline's observer hook
+	// (replayed history included), so the engine requires Telemetry and
+	// nil disables the route (404) at zero cost.
+	SLO *slo.Engine
+	// TenantCap bounds the distinct tenant labels the server emits into
+	// metrics and wide events (default telemetry.DefaultTenantCap).
+	// Identities past the cap are accounted under "other"; the per-job
+	// Snapshot keeps the raw name regardless.
+	TenantCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +150,9 @@ var (
 	// ErrNoTelemetry reports a /v1/stats or /debug/dash request when no
 	// telemetry pipeline is configured (404).
 	ErrNoTelemetry = errors.New("serve: telemetry disabled")
+	// ErrNoSLO reports a /v1/slo request when no SLO engine is
+	// configured (404).
+	ErrNoSLO = errors.New("serve: slo engine disabled")
 )
 
 // JobState is the lifecycle phase of a submitted job.
@@ -166,6 +182,7 @@ type job struct {
 	key       string // exact-tier cache key; "" for delta jobs (never cached)
 	semKey    string // semantic-tier key; "" for bench and delta jobs
 	traceID   string // correlation ID across logs, spans, and the API
+	tenant    string // validated accounting identity (raw, pre-rollup)
 	req       *JobRequest
 	canonForm *canon.Form // canonical form of a design submission; nil otherwise
 	ctx       context.Context
@@ -188,6 +205,7 @@ type job struct {
 	artifacts     *solveArtifacts // exported after a successful solve (or attached on cache hits)
 	deltaFallback string          // cold-fallback reason; "" when the seed was used
 	reuse         *ReuseInfo
+	cost          *CostReport // attribution, set when the job reaches a terminal state
 	started       time.Time
 	finished      time.Time
 }
@@ -201,12 +219,61 @@ type ReuseInfo struct {
 	BracketHit   bool `json:"bracket_hit"`
 }
 
+// CostReport is the per-job resource-attribution block a terminal job
+// carries in its snapshot: what the answer cost to produce, wherever it
+// was produced. It lives on the Snapshot rather than in the result
+// document on purpose — result bytes are a deterministic function of
+// the request (the cache contract), and wall-clock cost is not.
+type CostReport struct {
+	// Tier is the provenance the cost describes: cold, exact_hit,
+	// semantic_hit, or delta. Cache tiers cost ~nothing and say so.
+	Tier string `json:"tier"`
+	// QueueWaitMs is submission-to-worker-pickup; SolveMs the solver
+	// wall-clock (zero for cache hits).
+	QueueWaitMs float64 `json:"queue_wait_ms"`
+	SolveMs     float64 `json:"solve_ms"`
+	// Solver-effort counters: the work the hardware actually did.
+	LPSolves     int `json:"lp_solves,omitempty"`
+	SimplexIters int `json:"simplex_iters,omitempty"`
+	ILPNodes     int `json:"ilp_nodes,omitempty"`
+	STProbes     int `json:"st_probes,omitempty"`
+	// PhaseMs breaks the simplex kernel's wall-clock down per phase;
+	// present only when kernel profiling was armed for the job.
+	PhaseMs map[string]float64 `json:"phase_ms,omitempty"`
+}
+
+// costFromEvent derives the attribution block from the job's wide
+// event, so the cost block and the telemetry record can never disagree.
+func costFromEvent(ev *telemetry.SolveEvent) *CostReport {
+	c := &CostReport{
+		Tier:         ev.SolveKind,
+		QueueWaitMs:  ev.QueueWaitMs,
+		LPSolves:     ev.LPSolves,
+		SimplexIters: ev.SimplexIters,
+		ILPNodes:     ev.ILPNodes,
+		STProbes:     ev.STProbes,
+	}
+	if !ev.CacheHit {
+		c.SolveMs = ev.ElapsedMs
+	}
+	if ph := ev.PhaseMs(); len(ph) > 0 {
+		c.PhaseMs = ph
+	}
+	return c
+}
+
 // Snapshot is a point-in-time copy of a job's externally visible state.
 type Snapshot struct {
-	ID      string   `json:"id"`
-	TraceID string   `json:"trace_id,omitempty"`
-	State   JobState `json:"state"`
-	Error   string   `json:"error,omitempty"`
+	ID      string `json:"id"`
+	TraceID string `json:"trace_id,omitempty"`
+	// Tenant is the accounting identity the job was submitted under
+	// (X-Tenant header or request field, defaulted to "anon"). This is
+	// the raw validated name — metrics and telemetry may have rolled it
+	// into "other" under the cardinality cap, but the job record keeps
+	// the truth.
+	Tenant string   `json:"tenant,omitempty"`
+	State  JobState `json:"state"`
+	Error  string   `json:"error,omitempty"`
 	// SolveKind is how the answer was produced: cold, exact_hit,
 	// semantic_hit, or delta.
 	SolveKind string `json:"solve_kind,omitempty"`
@@ -215,9 +282,12 @@ type Snapshot struct {
 	// DeltaFallback carries the reason a delta ran cold ("" = seeded).
 	DeltaFallback string     `json:"delta_fallback,omitempty"`
 	Reuse         *ReuseInfo `json:"reuse,omitempty"`
-	Submitted     time.Time  `json:"submitted"`
-	Started       time.Time  `json:"started,omitempty"`
-	Finished      time.Time  `json:"finished,omitempty"`
+	// Cost is the resource-attribution block, present once the job is
+	// terminal.
+	Cost      *CostReport `json:"cost,omitempty"`
+	Submitted time.Time   `json:"submitted"`
+	Started   time.Time   `json:"started,omitempty"`
+	Finished  time.Time   `json:"finished,omitempty"`
 }
 
 func (j *job) snapshot() Snapshot {
@@ -226,16 +296,44 @@ func (j *job) snapshot() Snapshot {
 	return Snapshot{
 		ID:            j.id,
 		TraceID:       j.traceID,
+		Tenant:        j.tenant,
 		State:         j.state,
 		Error:         j.errText,
 		SolveKind:     j.solveKind,
 		BaseJob:       j.baseID,
 		DeltaFallback: j.deltaFallback,
 		Reuse:         j.reuse,
+		Cost:          j.cost,
 		Submitted:     j.submitted,
 		Started:       j.started,
 		Finished:      j.finished,
 	}
+}
+
+// DefaultTenant is the accounting identity of submissions that carry
+// none.
+const DefaultTenant = "anon"
+
+// resolveTenant validates the submitted tenant identity: empty defaults
+// to DefaultTenant; otherwise 1–64 characters of [A-Za-z0-9._-] (a
+// metric-label-safe charset, so tenant names never need escaping in
+// /metrics or log lines). Anything else is a 400.
+func resolveTenant(raw string) (string, error) {
+	if raw == "" {
+		return DefaultTenant, nil
+	}
+	if len(raw) > 64 {
+		return "", badRequest("serve: tenant %q too long (max 64 characters)", raw)
+	}
+	for _, r := range raw {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return "", badRequest("serve: tenant %q has invalid character %q (want [A-Za-z0-9._-])", raw, r)
+		}
+	}
+	return raw, nil
 }
 
 // newTraceID returns a 16-hex-character random correlation ID.
@@ -291,9 +389,10 @@ func (c *traceCapture) bytes() []byte {
 // with New, wire Handler into an http.Server, and call Drain on
 // shutdown.
 type Server struct {
-	cfg   Config
-	reg   *obs.Registry
-	cache *resultCache
+	cfg     Config
+	reg     *obs.Registry
+	cache   *resultCache
+	tenants *telemetry.TenantTracker // rolls tenant labels past the cap into "other"
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -317,6 +416,7 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		reg:        cfg.Registry,
 		cache:      newResultCache(cfg.CacheEntries, cfg.Registry),
+		tenants:    telemetry.NewTenantTracker(cfg.TenantCap),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *job, cfg.QueueDepth),
@@ -339,6 +439,10 @@ func New(cfg Config) *Server {
 // ErrQueueFull and ErrDraining report back-pressure; validation
 // problems surface as *RequestError.
 func (s *Server) Submit(req *JobRequest) (Snapshot, error) {
+	tenant, err := resolveTenant(req.Tenant)
+	if err != nil {
+		return Snapshot{}, err
+	}
 	canonical, err := req.canonicalize()
 	if err != nil {
 		return Snapshot{}, err
@@ -367,6 +471,7 @@ func (s *Server) Submit(req *JobRequest) (Snapshot, error) {
 		key:       key,
 		semKey:    semKey,
 		traceID:   newTraceID(),
+		tenant:    tenant,
 		req:       req,
 		canonForm: form,
 		solveKind: solveKindCold,
@@ -441,6 +546,40 @@ func (s *Server) Submit(req *JobRequest) (Snapshot, error) {
 	return j.snapshot(), nil
 }
 
+// tenantLabel is the metric/telemetry label for a job's tenant: the raw
+// name while the cardinality cap has room, "other" past it.
+func (s *Server) tenantLabel(j *job) string { return s.tenants.Label(j.tenant) }
+
+// accountTenant folds one terminal job into the per-tenant counters.
+// agingfp_tenant_solve_seconds_total is a gauge used as a float
+// accumulator (the obs counter is integer-only); it only ever goes up.
+func (s *Server) accountTenant(label string, final JobState, solveElapsed time.Duration) {
+	s.reg.Counter(obs.Labeled(obs.Labeled(`agingfp_tenant_jobs_total`, "tenant", label), "status", string(final))).Inc()
+	s.reg.Gauge(obs.Labeled(`agingfp_tenant_solve_seconds_total`, "tenant", label)).Add(solveElapsed.Seconds())
+}
+
+// retryAfterSeconds estimates when a rejected submission is worth
+// retrying: the current backlog (plus the rejected job) divided across
+// the worker pool at the windowed median solve time, clamped to
+// [1, 300] seconds. Without telemetry (or traffic) the estimate assumes
+// 2s per job — a deliberate overestimate for an idle-history server.
+func (s *Server) retryAfterSeconds() int {
+	const defaultSolveMs = 2000
+	medianMs := s.cfg.Telemetry.MedianSolveMs(s.cfg.Telemetry.DriftWindow())
+	if medianMs <= 0 {
+		medianMs = defaultSolveMs
+	}
+	backlog := float64(len(s.queue) + 1)
+	secs := math.Ceil(backlog * medianMs / 1000 / float64(s.cfg.Workers))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return int(secs)
+}
+
 // finishFromCache completes a cache-answered job at submission time:
 // the stored bytes become the result, the job is terminal immediately,
 // and — for design submissions whose semantic entry survives — the
@@ -460,10 +599,14 @@ func (s *Server) finishFromCache(j *job, cached []byte) {
 	}
 	j.started = j.submitted
 	j.finished = j.submitted
+	// A cache hit consumed no queue slot and no solver time; the cost
+	// block says so explicitly rather than being absent.
+	j.cost = &CostReport{Tier: j.solveKind}
 	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
 	j.cancel() // nothing left to cancel
 	s.jobs[j.id] = j
 	s.gaugeState(StateDone, 1)
+	s.accountTenant(s.tenantLabel(j), StateDone, 0)
 	j.rep.Update(func(p *obs.Progress) { p.Phase = "done"; p.Done = true; p.Status = string(StateDone) })
 	s.logJob(j, "job served from cache",
 		slog.Bool("cache_hit", true), slog.String("solve_kind", j.solveKind))
@@ -495,6 +638,7 @@ func (s *Server) emitCacheHitEvent(j *job, cached []byte) {
 		Source:    telemetry.SourceServe,
 		JobID:     j.id,
 		TraceID:   j.traceID,
+		Tenant:    s.tenantLabel(j),
 		Bench:     res.Design,
 		Ops:       res.Ops,
 		Contexts:  res.Contexts,
@@ -518,6 +662,9 @@ func (s *Server) logJob(j *job, msg string, attrs ...slog.Attr) {
 		return
 	}
 	base := []slog.Attr{slog.String("job_id", j.id), slog.String("trace_id", j.traceID)}
+	if j.tenant != "" {
+		base = append(base, slog.String("tenant", j.tenant))
+	}
 	s.cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, msg, append(base, attrs...)...)
 }
 
@@ -566,19 +713,63 @@ func (s *Server) Cancel(id string) error {
 		return ErrNotFound
 	}
 	j.mu.Lock()
+	dropped := false
+	var queueWait time.Duration
 	if j.state == StateQueued {
+		dropped = true
 		j.state = StateCanceled
 		j.errText = context.Canceled.Error()
 		j.finished = time.Now()
+		queueWait = j.finished.Sub(j.submitted)
+		j.cost = &CostReport{Tier: j.solveKind, QueueWaitMs: durMs(queueWait)}
 		s.reg.Counter(`agingfp_serve_jobs_total{state="canceled"}`).Inc()
 		s.gaugeState(StateQueued, -1)
 		s.gaugeState(StateCanceled, 1)
-		j.rep.Update(func(p *obs.Progress) { p.Phase = "done"; p.Done = true; p.Status = string(StateCanceled) })
-		s.logJob(j, "job canceled while queued")
 	}
 	j.mu.Unlock()
+	if dropped {
+		j.rep.Update(func(p *obs.Progress) { p.Phase = "done"; p.Done = true; p.Status = string(StateCanceled) })
+		s.logJob(j, "job canceled while queued")
+		s.accountTenant(s.tenantLabel(j), StateCanceled, 0)
+		s.emitQueueDropEvent(j, StateCanceled, queueWait, context.Canceled)
+	}
 	j.cancel()
 	return nil
+}
+
+// emitQueueDropEvent records a job that went terminal without ever
+// running the solver — canceled while queued, or expired before a
+// worker picked it up — so availability accounting and per-tenant stats
+// see every submission's outcome, not just the solved ones.
+func (s *Server) emitQueueDropEvent(j *job, final JobState, queueWait time.Duration, cause error) {
+	tp := s.cfg.Telemetry
+	if tp == nil {
+		return
+	}
+	mode := j.req.Mode
+	if mode == "" {
+		mode = "rotate"
+	}
+	name := j.req.Bench
+	if name == "" && j.req.Design != nil {
+		name = j.req.Design.Name
+	}
+	ev := &telemetry.SolveEvent{
+		Time:        time.Now(),
+		Source:      telemetry.SourceServe,
+		JobID:       j.id,
+		TraceID:     j.traceID,
+		Tenant:      s.tenantLabel(j),
+		Bench:       name,
+		Mode:        mode,
+		Status:      string(final),
+		SolveKind:   j.solveKind,
+		QueueWaitMs: durMs(queueWait),
+	}
+	if cause != nil {
+		ev.Error = cause.Error()
+	}
+	tp.Record(ev)
 }
 
 // Progress returns the job's latest solver-progress snapshot.
@@ -717,9 +908,13 @@ func (s *Server) runJob(j *job) {
 		s.gaugeState(final, 1)
 		j.errText = err.Error()
 		j.finished = time.Now()
+		expireWait := j.finished.Sub(j.submitted)
+		j.cost = &CostReport{Tier: j.solveKind, QueueWaitMs: durMs(expireWait)}
 		j.mu.Unlock()
 		j.rep.Update(func(p *obs.Progress) { p.Phase = "done"; p.Done = true; p.Status = string(final) })
 		s.logJob(j, "job expired in queue", slog.String("state", string(final)))
+		s.accountTenant(s.tenantLabel(j), final, 0)
+		s.emitQueueDropEvent(j, final, expireWait, err)
 		return
 	}
 	j.state = StateRunning
@@ -813,16 +1008,14 @@ func (s *Server) runJob(j *job) {
 	s.emitSolveEvent(j, info, final, elapsed, queueWait, err)
 }
 
-// emitSolveEvent folds the finished job into the telemetry pipeline as
-// one wide event, and — when the pipeline flags the solve as a slow
-// outlier for its shape bucket — persists the job's flight journal next
+// emitSolveEvent builds the finished job's wide event, derives the
+// job's cost-attribution block from it (the two can never disagree),
+// folds the job into the per-tenant counters, and hands the event to
+// the telemetry pipeline — which, when it flags the solve as a slow
+// outlier for its shape bucket, persists the job's flight journal next
 // to the event store so the decision log is on disk before anyone asks.
-// A nil pipeline makes the whole call a no-op.
+// Cost and tenant accounting happen even with a nil pipeline.
 func (s *Server) emitSolveEvent(j *job, info *solveInfo, final JobState, elapsed, queueWait time.Duration, jobErr error) {
-	tp := s.cfg.Telemetry
-	if tp == nil {
-		return
-	}
 	mode := j.req.Mode
 	if mode == "" {
 		mode = "rotate"
@@ -832,6 +1025,7 @@ func (s *Server) emitSolveEvent(j *job, info *solveInfo, final JobState, elapsed
 		Source:      telemetry.SourceServe,
 		JobID:       j.id,
 		TraceID:     j.traceID,
+		Tenant:      s.tenantLabel(j),
 		Mode:        mode,
 		Status:      string(final),
 		SolveKind:   j.solveKind,
@@ -859,6 +1053,16 @@ func (s *Server) emitSolveEvent(j *job, info *solveInfo, final JobState, elapsed
 		ev.WarmRejects = st.WarmStartRejects
 	}
 	ev.FillKernel(j.flight.KernelSnapshot())
+
+	j.mu.Lock()
+	j.cost = costFromEvent(ev)
+	j.mu.Unlock()
+	s.accountTenant(ev.Tenant, final, elapsed)
+
+	tp := s.cfg.Telemetry
+	if tp == nil {
+		return
+	}
 	out := tp.Record(ev)
 	if out.Slow {
 		// Link the continuous profiler to the outlier: the CPU capture

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -316,8 +317,20 @@ func TestQueueFullAndDrain(t *testing.T) {
 	if _, code := postJob(t, hs, `{"bench": "B4"}`); code != http.StatusAccepted {
 		t.Fatalf("queued submit: HTTP %d", code)
 	}
-	if _, code := postJob(t, hs, `{"bench": "B5"}`); code != http.StatusServiceUnavailable {
-		t.Fatalf("over-capacity submit: HTTP %d, want 503", code)
+	// Over capacity: a 503 that tells the client when to come back. The
+	// hint is queue depth scaled by observed solve time, clamped to at
+	// least one second, so it must parse as a positive integer.
+	resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", strings.NewReader(`{"bench": "B5"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity submit: HTTP %d, want 503", resp.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("503 Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
 	}
 
 	// Drain force-cancels the slow job after DrainTimeout and must

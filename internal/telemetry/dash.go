@@ -20,7 +20,11 @@ import (
 //
 // Everything the charts show is also in a table on the same page, so
 // the view degrades to text (screen readers, curl) without loss.
-func Dashboard(p *Pipeline, window time.Duration, service string) string {
+//
+// extra fragments are trusted pre-rendered HTML sections appended
+// before </body> — the serve layer uses this for the SLO panel, which
+// lives in internal/slo (telemetry cannot import it without a cycle).
+func Dashboard(p *Pipeline, window time.Duration, service string, extra ...string) string {
 	st := p.Stats(window)
 	if st == nil {
 		st = &WindowStats{Window: window.String()}
@@ -150,6 +154,27 @@ func Dashboard(p *Pipeline, window time.Duration, service string) string {
 		b.WriteString("</table>\n")
 	}
 
+	// Per-tenant accounting panel: who consumed the solver, and through
+	// which cache tier. Solve-time totals are exact sketch sums, so the
+	// bars add up to the aggregate.
+	if len(st.Tenants) > 0 {
+		names := sortedSummaryKeys(st.Tenants)
+		vals := make([]float64, len(names))
+		for i, name := range names {
+			vals[i] = st.Tenants[name].SolveMsTotal
+		}
+		b.WriteString("<h2>Tenants: solve time consumed</h2>\n")
+		b.WriteString(viz.BarsSVG(names, vals, "ms") + "\n")
+		b.WriteString("<table><tr><th>tenant</th><th>jobs</th><th>solved</th><th>failed</th><th>solve total</th><th>iters total</th><th>cache hit</th><th>queue p90</th></tr>\n")
+		for _, name := range names {
+			s := st.Tenants[name]
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td><td>%.0f</td><td>%.0f%%</td><td>%s</td></tr>\n",
+				html.EscapeString(name), s.Jobs, s.Solved, s.Failures, fmtMs(s.SolveMsTotal), s.SimplexItersTotal, 100*s.CacheHitRate, fmtMs(s.QueueWaitP90Ms))
+		}
+		b.WriteString("</table>\n")
+		b.WriteString(`<div class="note">identities past the tenant cap roll into "other"; totals are exact sums, so rows add up to the aggregate</div>` + "\n")
+	}
+
 	if len(st.Benchmarks) > 0 {
 		b.WriteString("<h2>Benchmarks</h2>\n<table><tr><th>benchmark</th><th>jobs</th><th>p50</th><th>p99</th><th>iters p50</th><th>LP p50</th></tr>\n")
 		for _, name := range sortedSummaryKeys(st.Benchmarks) {
@@ -172,6 +197,10 @@ func Dashboard(p *Pipeline, window time.Duration, service string) string {
 		}
 		b.WriteString("</table>\n")
 		b.WriteString(`<div class="note">ratio = windowed p50 over BENCH_baseline.json; the gate factor mirrors CI's perf gate</div>` + "\n")
+	}
+
+	for _, frag := range extra {
+		b.WriteString(frag)
 	}
 
 	b.WriteString("</body></html>\n")

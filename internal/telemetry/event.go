@@ -46,6 +46,13 @@ type SolveEvent struct {
 	JobID   string `json:"job_id,omitempty"`
 	TraceID string `json:"trace_id,omitempty"`
 
+	// Tenant is the accounting identity the job ran under (serve's
+	// X-Tenant header, defaulted to "anon"). Stored post-rollup: when the
+	// daemon's tenant-cardinality cap is exceeded the overflow identity
+	// is already "other" here, so the durable history keeps a bounded
+	// label set no matter what clients send. Empty on CLI events.
+	Tenant string `json:"tenant,omitempty"`
+
 	// Bench is the workload name (Table-I benchmark or design name).
 	Bench string `json:"bench,omitempty"`
 	// Ops / Contexts are the workload shape; ShapeBucket groups them.
@@ -138,21 +145,23 @@ func (e *SolveEvent) PhaseMs() map[string]float64 {
 	return out
 }
 
-// solved reports whether the event describes a solver run whose elapsed
+// Solved reports whether the event describes a solver run whose elapsed
 // time belongs in the latency percentiles: a job that finished the
 // solver, not a cache replay and not a failure (a canceled 2-second job
-// says nothing about solve latency).
-func (e *SolveEvent) solved() bool {
+// says nothing about solve latency). Exported so the SLO engine
+// (internal/slo) classifies events with the same predicate the
+// aggregation windows use.
+func (e *SolveEvent) Solved() bool {
 	return !e.CacheHit && (e.Status == "done" || e.Status == "optimal" || e.Status == "feasible")
 }
 
-// failed reports a job that ended in an error state.
-func (e *SolveEvent) failed() bool {
+// Failed reports a job that ended in an error state.
+func (e *SolveEvent) Failed() bool {
 	return e.Status == "failed" || e.Status == "infeasible" || e.Status == "error"
 }
 
-// canceled reports a job that was canceled (operator or deadline).
-func (e *SolveEvent) canceled() bool { return e.Status == "canceled" }
+// Canceled reports a job that was canceled (operator or deadline).
+func (e *SolveEvent) Canceled() bool { return e.Status == "canceled" }
 
 // ShapeBucket groups workloads of similar size so percentiles compare
 // like with like: ops and contexts are rounded up to the next power of
@@ -160,7 +169,15 @@ func (e *SolveEvent) canceled() bool { return e.Status == "canceled" }
 // distinction is noise). A B7-sized job (88 ops, 16 contexts) lands in
 // "ops<=128,ctx<=16" alongside every similarly sized submission.
 func (e *SolveEvent) ShapeBucket() string {
-	return fmt.Sprintf("ops<=%d,ctx<=%d", ceilPow2(e.Ops, 16), ceilPow2(e.Contexts, 4))
+	return ShapeBucketFor(e.Ops, e.Contexts)
+}
+
+// ShapeBucketFor is the bucketing function itself, exported so other
+// layers (the SLO engine seeding latency targets from the perf
+// baseline's record shapes) land in exactly the buckets live traffic
+// lands in.
+func ShapeBucketFor(ops, contexts int) string {
+	return fmt.Sprintf("ops<=%d,ctx<=%d", ceilPow2(ops, 16), ceilPow2(contexts, 4))
 }
 
 // ceilPow2 rounds n up to the next power of two, at least floor.

@@ -52,6 +52,18 @@ type Config struct {
 	SlowMinSamples int64
 	SlowKeep       int
 
+	// TenantCap bounds the per-tenant aggregation key set (default
+	// DefaultTenantCap); identities past it roll into "other".
+	TenantCap int
+
+	// Observers are invoked for every event the pipeline accepts — both
+	// the durable history replayed at Open and every live Record — after
+	// the event is folded into the aggregation ring. The SLO engine
+	// subscribes here, so its error budgets survive restarts exactly as
+	// far back as the store does. Observers must be fast and must not
+	// call back into the pipeline.
+	Observers []func(*SolveEvent)
+
 	// Registry receives the drift gauges and pipeline counters; Logger
 	// the drift and slow-solve alerts. Both may be nil.
 	Registry *obs.Registry
@@ -89,6 +101,9 @@ func (c Config) withDefaults() Config {
 	if c.SlowKeep < 1 {
 		c.SlowKeep = 32
 	}
+	if c.TenantCap < 1 {
+		c.TenantCap = DefaultTenantCap
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -114,6 +129,10 @@ type Pipeline struct {
 	agg   *Aggregator
 	drift *driftDetector
 	reg   *obs.Registry
+	// replaySkipped counts malformed store lines dropped during the
+	// open-time replay; surfaced in WindowStats and as
+	// agingfp_telemetry_replay_skipped_total.
+	replaySkipped int64
 }
 
 // Open builds the pipeline: opens (or creates) the durable store under
@@ -136,16 +155,21 @@ func Open(cfg Config) (*Pipeline, error) {
 		drift: newDriftDetector(cfg.Baseline, cfg.DriftFactor, cfg.DriftMinSamples, cfg.Registry, cfg.Logger),
 		reg:   cfg.Registry,
 	}
+	p.agg.tenants = NewTenantTracker(cfg.TenantCap)
 	replayed, skipped, err := store.Replay(func(ev *SolveEvent) error {
 		p.agg.Record(ev)
+		for _, fn := range cfg.Observers {
+			fn(ev)
+		}
 		return nil
 	})
 	if err != nil {
 		store.Close()
 		return nil, err
 	}
+	p.replaySkipped = int64(skipped)
 	p.reg.Counter("agingfp_telemetry_events_replayed_total").Add(int64(replayed))
-	p.reg.Counter("agingfp_telemetry_events_skipped_total").Add(int64(skipped))
+	p.reg.Counter("agingfp_telemetry_replay_skipped_total").Add(int64(skipped))
 	if cfg.Logger != nil && (replayed > 0 || skipped > 0 || store.RecoveredBytes() > 0) {
 		cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, "telemetry store recovered",
 			slog.String("dir", cfg.Dir),
@@ -175,7 +199,7 @@ func (p *Pipeline) Record(ev *SolveEvent) Outcome {
 	}
 
 	var out Outcome
-	if p.cfg.SlowPercentile > 0 && ev.solved() {
+	if p.cfg.SlowPercentile > 0 && ev.Solved() {
 		threshold, samples := p.agg.ShapeQuantile(ev.ShapeBucket(), p.cfg.SlowPercentile, p.cfg.DriftWindow)
 		if samples >= p.cfg.SlowMinSamples && ev.ElapsedMs > threshold {
 			out.Slow, out.SlowThreshold = true, threshold
@@ -190,6 +214,9 @@ func (p *Pipeline) Record(ev *SolveEvent) Outcome {
 	}
 	p.reg.Counter("agingfp_telemetry_events_total").Inc()
 	p.agg.Record(ev)
+	for _, fn := range p.cfg.Observers {
+		fn(ev)
+	}
 
 	if ev.Bench != "" && p.drift != nil {
 		if s, ok := p.agg.BenchStats(ev.Bench, p.cfg.DriftWindow); ok {
@@ -206,8 +233,28 @@ func (p *Pipeline) Stats(window time.Duration) *WindowStats {
 		return nil
 	}
 	st := p.agg.Stats(window)
+	st.ReplaySkipped = p.replaySkipped
 	st.Drift = p.DriftFindings(p.cfg.DriftWindow)
 	return st
+}
+
+// TenantStats summarizes one tenant's windowed accounting view. Nil on
+// a nil pipeline.
+func (p *Pipeline) TenantStats(tenant string, window time.Duration) *TenantWindow {
+	if p == nil {
+		return nil
+	}
+	return p.agg.TenantStats(tenant, window)
+}
+
+// MedianSolveMs is the windowed P50 solve time in milliseconds (0 with
+// no solved traffic or a nil pipeline) — the Retry-After estimator's
+// input.
+func (p *Pipeline) MedianSolveMs(window time.Duration) float64 {
+	if p == nil {
+		return 0
+	}
+	return p.agg.Stats(window).Total.P50Ms
 }
 
 // DriftFindings evaluates every baseline benchmark against the trailing

@@ -281,3 +281,47 @@ func TestOpenRequiresDir(t *testing.T) {
 		t.Fatal("Open without Dir must fail")
 	}
 }
+
+// TestReplaySkipCountSurfaced corrupts the durable store between runs:
+// the reopened pipeline must skip the bad line, keep the good history,
+// and surface the skip count in both the stats document and the
+// replay-skip counter so an operator can tell the window is incomplete.
+func TestReplaySkipCountSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	clock := &fixedClock{t: testBase}
+	p := testPipeline(t, Config{Dir: dir, Now: clock.now})
+	for i := 0; i < 3; i++ {
+		p.Record(solvedEvent(testBase, "B1", 20, 4, 100))
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "events-*.jsonl"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no store segments: %v %v", segs, err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A complete-but-malformed line (a torn tail would be recovery, not
+	// a skip), followed by one more good event a later process appended.
+	if _, err := f.WriteString("{not json at all\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close() //nolint:errcheck
+
+	reg := obs.NewRegistry()
+	p2 := testPipeline(t, Config{Dir: dir, Now: clock.now, Registry: reg})
+	st := p2.Stats(time.Hour)
+	if st.Jobs != 3 {
+		t.Fatalf("replayed jobs = %d, want the 3 intact events", st.Jobs)
+	}
+	if st.ReplaySkipped != 1 {
+		t.Fatalf("stats replay_skipped = %d, want 1", st.ReplaySkipped)
+	}
+	if got := reg.Counter("agingfp_telemetry_replay_skipped_total").Value(); got != 1 {
+		t.Fatalf("replay-skip counter = %d, want 1", got)
+	}
+}

@@ -18,6 +18,11 @@ type bucketStats struct {
 	failures  int64
 	canceled  int64
 	cacheHits int64
+	// Per-tier cache-hit counts (exact vs semantic), keyed off the
+	// event's SolveKind so per-tenant hit rates can say which tier is
+	// doing the work.
+	exactHits    int64
+	semanticHits int64
 
 	elapsedMs    *Sketch
 	queueWaitMs  *Sketch
@@ -56,15 +61,21 @@ func (b *bucketStats) record(ev *SolveEvent) {
 	switch {
 	case ev.CacheHit:
 		b.cacheHits++
-	case ev.failed():
+		switch ev.SolveKind {
+		case "exact_hit":
+			b.exactHits++
+		case "semantic_hit":
+			b.semanticHits++
+		}
+	case ev.Failed():
 		b.failures++
-	case ev.canceled():
+	case ev.Canceled():
 		b.canceled++
 	}
 	if ev.QueueWaitMs > 0 {
 		b.queueWaitMs.Add(ev.QueueWaitMs)
 	}
-	if ev.solved() {
+	if ev.Solved() {
 		b.elapsedMs.Add(ev.ElapsedMs)
 		b.simplexIters.Add(float64(ev.SimplexIters))
 		b.lpSolves.Add(float64(ev.LPSolves))
@@ -79,6 +90,8 @@ func (b *bucketStats) merge(o *bucketStats) {
 	b.failures += o.failures
 	b.canceled += o.canceled
 	b.cacheHits += o.cacheHits
+	b.exactHits += o.exactHits
+	b.semanticHits += o.semanticHits
 	b.elapsedMs.Merge(o.elapsedMs)
 	b.queueWaitMs.Merge(o.queueWaitMs)
 	b.simplexIters.Merge(o.simplexIters)
@@ -88,13 +101,63 @@ func (b *bucketStats) merge(o *bucketStats) {
 	}
 }
 
-// cell is one time slot of the ring: totals plus per-shape-bucket and
-// per-benchmark breakdowns.
+// cell is one time slot of the ring: totals plus per-shape-bucket,
+// per-benchmark, and per-tenant breakdowns.
 type cell struct {
 	start   int64 // unix nanoseconds of the slot start; 0 = empty
 	total   *bucketStats
 	shapes  map[string]*bucketStats
 	benches map[string]*bucketStats
+	tenants map[string]*bucketStats
+}
+
+// DefaultTenantCap bounds the distinct tenant identities the aggregator
+// (and the serve metric labels) will track before rolling overflow into
+// "other". Tenants are client-controlled strings, so without a cap one
+// misbehaving client could grow the label set — and every Prometheus
+// time series behind it — without bound.
+const DefaultTenantCap = 32
+
+// TenantOther is the rollup identity for tenants past the cap.
+const TenantOther = "other"
+
+// TenantTracker bounds tenant-label cardinality: the first cap distinct
+// identities are admitted verbatim (admission order — a pragmatic
+// "top-K" under the assumption that steady tenants appear early and
+// churn is the attack), everything later maps to TenantOther. Safe for
+// concurrent use; the zero value must not be used (NewTenantTracker).
+type TenantTracker struct {
+	mu   sync.Mutex
+	cap  int
+	seen map[string]struct{}
+}
+
+// NewTenantTracker builds a tracker admitting up to cap identities
+// (cap < 1 uses DefaultTenantCap).
+func NewTenantTracker(cap int) *TenantTracker {
+	if cap < 1 {
+		cap = DefaultTenantCap
+	}
+	return &TenantTracker{cap: cap, seen: make(map[string]struct{}, cap)}
+}
+
+// Label maps a tenant identity to its bounded label: the identity
+// itself while the cap holds, TenantOther past it. Empty stays empty
+// (CLI events carry no tenant).
+func (t *TenantTracker) Label(tenant string) string {
+	if t == nil || tenant == "" {
+		return tenant
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.seen[tenant]; ok {
+		return tenant
+	}
+	if len(t.seen) < t.cap {
+		t.seen[tenant] = struct{}{}
+		return tenant
+	}
+	return TenantOther
 }
 
 // Aggregator maintains a fixed ring of time cells (Step wide, Cells
@@ -108,6 +171,12 @@ type Aggregator struct {
 	step  time.Duration
 	alpha float64
 	now   func() time.Time
+
+	// tenants bounds the per-tenant breakdown's key set. Events arrive
+	// with serve's own rollup already applied, so this second tracker is
+	// a backstop against hand-written stores; both default to
+	// DefaultTenantCap.
+	tenants *TenantTracker
 
 	mu    sync.Mutex
 	cells []cell
@@ -134,7 +203,7 @@ func NewAggregator(step time.Duration, cells int, alpha float64, now func() time
 	if now == nil {
 		now = time.Now
 	}
-	return &Aggregator{step: step, alpha: alpha, now: now, cells: make([]cell, cells)}
+	return &Aggregator{step: step, alpha: alpha, now: now, tenants: NewTenantTracker(0), cells: make([]cell, cells)}
 }
 
 func (a *Aggregator) lock()   { a.mu.Lock() }
@@ -167,6 +236,7 @@ func (a *Aggregator) Record(ev *SolveEvent) {
 			total:   newBucketStats(a.alpha),
 			shapes:  make(map[string]*bucketStats),
 			benches: make(map[string]*bucketStats),
+			tenants: make(map[string]*bucketStats),
 		}
 	}
 	c.total.record(ev)
@@ -185,6 +255,15 @@ func (a *Aggregator) Record(ev *SolveEvent) {
 		}
 		bb.record(ev)
 	}
+	if ev.Tenant != "" {
+		label := a.tenants.Label(ev.Tenant)
+		tb := c.tenants[label]
+		if tb == nil {
+			tb = newBucketStats(a.alpha)
+			c.tenants[label] = tb
+		}
+		tb.record(ev)
+	}
 }
 
 // BucketSummary is the JSON shape of one aggregated traffic slice.
@@ -194,16 +273,31 @@ type BucketSummary struct {
 	Failures  int64 `json:"failures"`
 	Canceled  int64 `json:"canceled"`
 	CacheHits int64 `json:"cache_hits"`
+	// Per-tier cache hits and the hit rate over the bucket's jobs — the
+	// per-tenant accounting view of who is being served from which tier.
+	ExactHits    int64   `json:"exact_hits,omitempty"`
+	SemanticHits int64   `json:"semantic_hits,omitempty"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
 
 	P50Ms  float64 `json:"p50_ms"`
 	P90Ms  float64 `json:"p90_ms"`
 	P99Ms  float64 `json:"p99_ms"`
 	MaxMs  float64 `json:"max_ms"`
 	MeanMs float64 `json:"mean_ms"`
+	// SolveMsTotal is the exact sum of solved wall-clock in the bucket
+	// (sketch sums are exact even though quantiles are approximate) —
+	// the resource-attribution figure per-tenant accounting reads.
+	SolveMsTotal float64 `json:"solve_ms_total"`
+
+	QueueWaitP50Ms float64 `json:"queue_wait_p50_ms,omitempty"`
+	QueueWaitP90Ms float64 `json:"queue_wait_p90_ms,omitempty"`
 
 	SimplexItersP50 float64 `json:"simplex_iters_p50"`
 	SimplexItersP99 float64 `json:"simplex_iters_p99"`
-	LPSolvesP50     float64 `json:"lp_solves_p50"`
+	// SimplexItersTotal is the exact windowed sum of simplex iterations
+	// — per-tenant totals add up to the aggregate, by construction.
+	SimplexItersTotal float64 `json:"simplex_iters_total"`
+	LPSolvesP50       float64 `json:"lp_solves_p50"`
 
 	// PhaseP50Ms is the median per-job kernel phase time, keyed by
 	// flight's phase names; present only when profiled jobs contributed.
@@ -212,19 +306,28 @@ type BucketSummary struct {
 
 func summarize(b *bucketStats) BucketSummary {
 	out := BucketSummary{
-		Jobs:            b.jobs,
-		Solved:          b.elapsedMs.Count(),
-		Failures:        b.failures,
-		Canceled:        b.canceled,
-		CacheHits:       b.cacheHits,
-		P50Ms:           b.elapsedMs.Quantile(0.50),
-		P90Ms:           b.elapsedMs.Quantile(0.90),
-		P99Ms:           b.elapsedMs.Quantile(0.99),
-		MaxMs:           b.elapsedMs.Max(),
-		MeanMs:          b.elapsedMs.Mean(),
-		SimplexItersP50: b.simplexIters.Quantile(0.50),
-		SimplexItersP99: b.simplexIters.Quantile(0.99),
-		LPSolvesP50:     b.lpSolves.Quantile(0.50),
+		Jobs:              b.jobs,
+		Solved:            b.elapsedMs.Count(),
+		Failures:          b.failures,
+		Canceled:          b.canceled,
+		CacheHits:         b.cacheHits,
+		ExactHits:         b.exactHits,
+		SemanticHits:      b.semanticHits,
+		P50Ms:             b.elapsedMs.Quantile(0.50),
+		P90Ms:             b.elapsedMs.Quantile(0.90),
+		P99Ms:             b.elapsedMs.Quantile(0.99),
+		MaxMs:             b.elapsedMs.Max(),
+		MeanMs:            b.elapsedMs.Mean(),
+		SolveMsTotal:      b.elapsedMs.Sum(),
+		QueueWaitP50Ms:    b.queueWaitMs.Quantile(0.50),
+		QueueWaitP90Ms:    b.queueWaitMs.Quantile(0.90),
+		SimplexItersP50:   b.simplexIters.Quantile(0.50),
+		SimplexItersP99:   b.simplexIters.Quantile(0.99),
+		SimplexItersTotal: b.simplexIters.Sum(),
+		LPSolvesP50:       b.lpSolves.Quantile(0.50),
+	}
+	if b.jobs > 0 {
+		out.CacheHitRate = float64(b.cacheHits) / float64(b.jobs)
 	}
 	if len(b.phases) > 0 {
 		out.PhaseP50Ms = make(map[string]float64, len(b.phases))
@@ -255,6 +358,15 @@ type WindowStats struct {
 	Total      BucketSummary            `json:"total"`
 	Shapes     map[string]BucketSummary `json:"shapes,omitempty"`
 	Benchmarks map[string]BucketSummary `json:"benchmarks,omitempty"`
+	// Tenants breaks the window down by accounting identity (serve's
+	// X-Tenant, bounded to the tenant cap + "other"). Present only when
+	// tenant-attributed events contributed.
+	Tenants map[string]BucketSummary `json:"tenants,omitempty"`
+
+	// ReplaySkipped counts malformed store lines skipped when the
+	// pipeline replayed its durable history at open — nonzero means the
+	// windowed statistics are missing events a past process wrote.
+	ReplaySkipped int64 `json:"replay_skipped,omitempty"`
 
 	// Drift carries the latest baseline comparison (nil without a
 	// baseline); see DriftFinding.
@@ -278,6 +390,7 @@ func (a *Aggregator) Stats(window time.Duration) *WindowStats {
 	total := newBucketStats(a.alpha)
 	shapes := map[string]*bucketStats{}
 	benches := map[string]*bucketStats{}
+	tenants := map[string]*bucketStats{}
 
 	a.lock()
 	for i := range a.cells {
@@ -301,6 +414,12 @@ func (a *Aggregator) Stats(window time.Duration) *WindowStats {
 				benches[k] = newBucketStats(a.alpha)
 			}
 			benches[k].merge(b)
+		}
+		for k, b := range c.tenants {
+			if tenants[k] == nil {
+				tenants[k] = newBucketStats(a.alpha)
+			}
+			tenants[k].merge(b)
 		}
 	}
 	a.unlock()
@@ -326,7 +445,57 @@ func (a *Aggregator) Stats(window time.Duration) *WindowStats {
 			out.Benchmarks[k] = summarize(b)
 		}
 	}
+	if len(tenants) > 0 {
+		out.Tenants = make(map[string]BucketSummary, len(tenants))
+		for k, b := range tenants {
+			out.Tenants[k] = summarize(b)
+		}
+	}
 	return out
+}
+
+// TenantWindow is the GET /v1/stats?tenant= payload: one tenant's
+// windowed accounting summary.
+type TenantWindow struct {
+	Tenant  string        `json:"tenant"`
+	Window  string        `json:"window"`
+	Since   time.Time     `json:"since"`
+	Until   time.Time     `json:"until"`
+	Summary BucketSummary `json:"summary"`
+}
+
+// TenantStats summarizes one tenant over the trailing window. A tenant
+// with no traffic in the window returns a zero summary (the identity is
+// echoed back, so the response is still self-describing).
+func (a *Aggregator) TenantStats(tenant string, window time.Duration) *TenantWindow {
+	if window <= 0 || window > a.Span() {
+		window = a.Span()
+	}
+	now := a.now()
+	since := now.Add(-window).Truncate(a.step)
+	merged := newBucketStats(a.alpha)
+	a.lock()
+	for i := range a.cells {
+		c := &a.cells[i]
+		if c.start == 0 {
+			continue
+		}
+		start := time.Unix(0, c.start)
+		if start.Before(since) || start.After(now) {
+			continue
+		}
+		if b := c.tenants[tenant]; b != nil {
+			merged.merge(b)
+		}
+	}
+	a.unlock()
+	return &TenantWindow{
+		Tenant:  tenant,
+		Window:  window.String(),
+		Since:   now.Add(-window),
+		Until:   now,
+		Summary: summarize(merged),
+	}
 }
 
 // BenchStats summarizes one benchmark over the trailing window —

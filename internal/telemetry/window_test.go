@@ -137,3 +137,62 @@ func TestAggregatorSeriesAndHeat(t *testing.T) {
 		t.Fatalf("heat jobs sum %g, want 6", sum)
 	}
 }
+
+func TestTenantTrackerCapAndRollup(t *testing.T) {
+	tr := NewTenantTracker(2)
+	if got := tr.Label("a"); got != "a" {
+		t.Fatalf("first identity = %q, want admitted", got)
+	}
+	if got := tr.Label("b"); got != "b" {
+		t.Fatalf("second identity = %q, want admitted", got)
+	}
+	// Past the cap every new identity rolls up; admitted ones keep
+	// resolving to themselves.
+	for _, raw := range []string{"c", "d", "e"} {
+		if got := tr.Label(raw); got != TenantOther {
+			t.Fatalf("Label(%q) = %q, want %q", raw, got, TenantOther)
+		}
+	}
+	if got := tr.Label("a"); got != "a" {
+		t.Fatalf("admitted identity after overflow = %q, want a", got)
+	}
+	// Empty is the CLI's "no tenant" and passes through untouched; a nil
+	// tracker is inert.
+	if got := tr.Label(""); got != "" {
+		t.Fatalf("Label(\"\") = %q, want empty", got)
+	}
+	var nilTr *TenantTracker
+	if got := nilTr.Label("x"); got != "x" {
+		t.Fatalf("nil tracker Label = %q, want passthrough", got)
+	}
+}
+
+func TestAggregatorTenantBreakdown(t *testing.T) {
+	clock := &fixedClock{t: testBase}
+	a := NewAggregator(time.Minute, 10, 0.01, clock.now)
+	a.tenants = NewTenantTracker(2)
+
+	for i, tenant := range []string{"a", "a", "b", "c", "d"} {
+		ev := solvedEvent(testBase.Add(-time.Duration(i)*time.Minute), "B1", 20, 4, 100)
+		ev.Tenant = tenant
+		a.Record(ev)
+	}
+
+	st := a.Stats(10 * time.Minute)
+	if len(st.Tenants) != 3 {
+		t.Fatalf("tenant buckets = %v, want a, b, other", st.Tenants)
+	}
+	if st.Tenants["a"].Jobs != 2 || st.Tenants["b"].Jobs != 1 || st.Tenants[TenantOther].Jobs != 2 {
+		t.Fatalf("tenant jobs = %v, want a:2 b:1 other:2", st.Tenants)
+	}
+
+	// The single-tenant view matches the breakdown; an over-cap identity
+	// reports empty under its own name (its traffic lives in "other").
+	tw := a.TenantStats("a", 10*time.Minute)
+	if tw == nil || tw.Summary.Jobs != 2 || tw.Summary.Solved != 2 {
+		t.Fatalf("TenantStats(a) = %+v, want 2 jobs", tw)
+	}
+	if sum := a.TenantStats("c", 10*time.Minute).Summary; sum.Jobs != 0 {
+		t.Fatalf("rolled-up tenant reports %d jobs under its own name, want 0", sum.Jobs)
+	}
+}
